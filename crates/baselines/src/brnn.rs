@@ -1,0 +1,244 @@
+//! Iterative BRNN baseline (paper Sections III-A and VII-A).
+//!
+//! Optimal Location Queries place a *single* facility maximizing attracted
+//! customers (MaxSum) via Bichromatic Reverse Nearest Neighbor counting.
+//! Applied iteratively as an MCFS heuristic: start with the 1-median of the
+//! customers, then repeatedly add the candidate that would become the new
+//! nearest facility for the most customers ("the region with the highest
+//! amount of overlapping NLRs"), recomputing customer Nearest Location
+//! Regions each step. The paper's Figure 2 shows why this mis-optimizes the
+//! distance objective, and its experiments confirm both poor quality and
+//! poor runtime — behaviour this implementation reproduces faithfully,
+//! including the expensive per-step NLR recomputation.
+//!
+//! The final assignment runs the optimal capacitated matching ("it then runs
+//! SIA to produce a final assignment"), after a capacity repair pass.
+
+use mcfs::assign::optimal_assignment;
+use mcfs::components::{capacity_suffices, cover_components};
+use mcfs::greedy_add::select_greedy;
+use mcfs::{McfsInstance, SolveError, Solution, Solver};
+use mcfs_graph::{dijkstra_all, dijkstra_bounded, multi_source_dijkstra, NodeId, INF};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The iterative BRNN / MaxSum baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BrnnBaseline;
+
+impl BrnnBaseline {
+    /// Construct the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Solver for BrnnBaseline {
+    fn solve(&self, inst: &McfsInstance) -> Result<Solution, SolveError> {
+        let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
+        let g = inst.graph();
+        let k = inst.k();
+
+        // Candidate lookup: node -> candidate indices (largest capacity
+        // first so node-level picks take the most capable twin).
+        let mut cand_at: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+        for (j, f) in inst.facilities().iter().enumerate() {
+            cand_at.entry(f.node).or_default().push(j as u32);
+        }
+        for list in cand_at.values_mut() {
+            list.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.facilities()[j as usize].capacity));
+        }
+
+        // --- First facility: the 1-median over candidate nodes (MaxSum with
+        // no existing facility degenerates to minimizing total distance). ---
+        let n = g.num_nodes();
+        let mut sums = vec![0u64; n];
+        let mut reach = vec![0u32; n];
+        for &s in inst.customers() {
+            let d = dijkstra_all(g, s);
+            for v in 0..n {
+                if d[v] != INF {
+                    sums[v] += d[v];
+                    reach[v] += 1;
+                }
+            }
+        }
+        let mut taken: FxHashSet<u32> = FxHashSet::default();
+        let first_node = cand_at
+            .keys()
+            .copied()
+            .max_by_key(|&v| (reach[v as usize], std::cmp::Reverse(sums[v as usize]), std::cmp::Reverse(v)))
+            .expect("instances have at least one candidate");
+        let first = cand_at[&first_node][0];
+        taken.insert(first);
+        let mut selection = vec![first];
+
+        // --- Iterative MaxSum additions with fresh NLRs per step. ---
+        while selection.len() < k {
+            let sel_nodes: Vec<NodeId> =
+                selection.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+            let (to_sel, _) = multi_source_dijkstra(g, &sel_nodes);
+
+            // Attraction count per candidate node: customers that would be
+            // strictly closer to it than to their current nearest facility.
+            let mut attraction: FxHashMap<NodeId, u32> = FxHashMap::default();
+            for &s in inst.customers() {
+                let radius = to_sel[s as usize];
+                if radius == 0 {
+                    continue; // already colocated with a facility
+                }
+                let bound = if radius == INF { INF } else { radius - 1 };
+                for (v, _) in dijkstra_bounded(g, s, bound) {
+                    if cand_at.contains_key(&v) {
+                        *attraction.entry(v).or_insert(0) += 1;
+                    }
+                }
+            }
+
+            // Best unchosen candidate by attraction (ties: smaller node id,
+            // matching the paper's "breaking ties arbitrarily" but kept
+            // deterministic).
+            let best = attraction
+                .iter()
+                .filter_map(|(&v, &a)| {
+                    cand_at[&v].iter().find(|&&j| !taken.contains(&j)).map(|&j| (a, v, j))
+                })
+                .max_by_key(|&(a, v, _)| (a, std::cmp::Reverse(v)));
+            match best {
+                Some((_, _, j)) => {
+                    taken.insert(j);
+                    selection.push(j);
+                }
+                None => break, // nobody attracts anyone anymore
+            }
+        }
+
+        // Spend any leftover budget deterministically, repair capacity, and
+        // match optimally.
+        if selection.len() < k {
+            select_greedy(inst, &mut selection);
+        }
+        if !capacity_suffices(inst, &selection, &feas.components) {
+            selection = cover_components(inst, selection, &feas.components)?;
+        }
+        let (assignment, objective) = optimal_assignment(inst, &selection)?;
+        Ok(Solution { facilities: selection, assignment, objective })
+    }
+
+    fn name(&self) -> &'static str {
+        "BRNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs::Facility;
+    use mcfs_graph::{Graph, GraphBuilder};
+
+    fn path(n: usize, w: u64) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, i as NodeId + 1, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn first_pick_is_the_one_median() {
+        let g = path(7, 10);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 3, 6])
+            .facilities((0..7).map(|v| Facility { node: v, capacity: 3 }))
+            .k(1)
+            .build()
+            .unwrap();
+        let sol = BrnnBaseline::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+        assert_eq!(inst.facilities()[sol.facilities[0] as usize].node, 3);
+    }
+
+    #[test]
+    fn second_pick_exhibits_the_maxsum_pathology() {
+        let g = path(10, 10);
+        // Customers bunched left and right. The MaxSum criterion counts
+        // attracted customers, not saved distance, so BRNN piles facilities
+        // around the center instead of covering the flanks — the paper's
+        // Figure 2 in miniature. The distance optimum (one facility per
+        // flank) is strictly better.
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 2, 7, 8, 9])
+            .facilities((0..10).map(|v| Facility { node: v, capacity: 3 }))
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = BrnnBaseline::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+        let mut nodes: Vec<NodeId> =
+            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        nodes.sort_unstable();
+        assert!(
+            (nodes[1] as i64 - nodes[0] as i64).abs() <= 2,
+            "MaxSum picks stay central/adjacent: {nodes:?}"
+        );
+        let wma = mcfs::Wma::new().solve(&inst).unwrap();
+        assert!(sol.objective > wma.objective, "the pathology costs real distance");
+    }
+
+    #[test]
+    fn produces_feasible_solution_under_tight_capacities() {
+        let g = path(8, 5);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 2, 4, 6])
+            .facility(1, 2)
+            .facility(3, 1)
+            .facility(5, 2)
+            .facility(7, 2)
+            .k(3)
+            .build()
+            .unwrap();
+        let sol = BrnnBaseline::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+        assert!(sol.facilities.len() <= 3);
+    }
+
+    #[test]
+    fn handles_disconnected_networks() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        b.add_edge(3, 4, 2);
+        b.add_edge(4, 5, 2);
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 2, 3, 5])
+            .facility(1, 4)
+            .facility(4, 4)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = BrnnBaseline::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+        let nodes: Vec<NodeId> =
+            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        assert!(nodes.contains(&1) && nodes.contains(&4));
+    }
+
+    #[test]
+    fn worse_than_wma_on_the_figure_2_pattern() {
+        // The paper's Figure 2 intuition: BRNN's MaxSum greed picks central
+        // nodes; the distance optimum wants one facility per flank. On this
+        // instance BRNN must not beat WMA.
+        use mcfs::Wma;
+        let g = path(12, 10);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 10, 11])
+            .facilities((0..12).map(|v| Facility { node: v, capacity: 2 }))
+            .k(2)
+            .build()
+            .unwrap();
+        let brnn = BrnnBaseline::new().solve(&inst).unwrap();
+        let wma = Wma::new().solve(&inst).unwrap();
+        inst.verify(&brnn).unwrap();
+        assert!(brnn.objective >= wma.objective);
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline MCFS solvers from Section VII-A of the paper.
+//!
+//! * [`HilbertBaseline`] — the strongest scalable baseline: order customers
+//!   along a Hilbert space-filling curve, cut the order into `k` buckets,
+//!   and snap each bucket's centroid to the nearest candidate facility.
+//! * [`BrnnBaseline`] — iterative Bichromatic Reverse Nearest Neighbor
+//!   placement under the MaxSum objective, the OLQ-derived approach the
+//!   paper's Figure 2 shows to mis-optimize the k-median objective.
+//! * [`GreedyAddition`] — the literature's classic greedy k-median
+//!   heuristic (not benched by the paper; included as the expected
+//!   strong-simple baseline of an open-source release).
+//!
+//! Both produce their final customer assignment with the optimal bipartite
+//! matching from `mcfs-flow` ("it then runs SIA to produce a final
+//! assignment", Section VII-A), so any quality gap versus WMA is
+//! attributable purely to *facility siting*.
+
+#![warn(missing_docs)]
+
+pub mod brnn;
+pub mod greedy;
+pub mod hilbert;
+
+pub use brnn::BrnnBaseline;
+pub use greedy::GreedyAddition;
+pub use hilbert::HilbertBaseline;

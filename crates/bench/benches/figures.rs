@@ -1,0 +1,259 @@
+//! Criterion benches — one group per table/figure of the paper.
+//!
+//! Each group times the *solver work* of its figure on a deterministic,
+//! bench-sized rendition of that figure's workload (workload generation
+//! happens outside the timing loop). The full-lineup regeneration of the
+//! paper's series — including the exact solver with its failure budget —
+//! lives in the `repro` binary; these benches track the performance of the
+//! hot paths so regressions show up in `cargo bench`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcfs::{Solver, UniformFirst, Wma, WmaNaive};
+use mcfs_baselines::{BrnnBaseline, HilbertBaseline};
+use mcfs_bench::experiments::common::{synthetic_workload, CapSpec, Workload};
+use mcfs_exact::BranchAndBound;
+use mcfs_gen::bikes::{docking_demand, generate_flow_field};
+use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_gen::customers::{sample_weighted, uniform_customers};
+use mcfs_gen::points::clustered_points;
+use mcfs_gen::synthetic::SyntheticConfig;
+use mcfs_gen::venues::{generate_venues, venue_customer_weights};
+use mcfs_graph::Graph;
+
+/// Bench-sized n for synthetic sweeps.
+const N: usize = 1500;
+
+fn cfg<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    g
+}
+
+fn uniform_workload(alpha: f64, m_frac: f64, k_of_m: f64, caps: CapSpec) -> Workload {
+    let m = ((N as f64) * m_frac) as usize;
+    let k = ((m as f64 * k_of_m) as usize).max(2);
+    synthetic_workload(&SyntheticConfig::uniform(N, alpha, 0xBE6C), m, None, k, caps, 0xBE6C)
+}
+
+fn clustered_workload(clusters: usize, m_frac: f64, k_of_m: f64, cap: u32) -> Workload {
+    let m = ((N as f64) * m_frac) as usize;
+    let k = ((m as f64 * k_of_m) as usize).max(2);
+    synthetic_workload(
+        &SyntheticConfig::clustered(N, clusters, 1.5, 0xBE6C),
+        m,
+        None,
+        k,
+        CapSpec::Uniform(cap),
+        0xBE6C,
+    )
+}
+
+fn bench_solvers(c: &mut Criterion, name: &str, w: &Workload, solvers: &[&dyn Solver]) {
+    let mut g = cfg(c, name);
+    let inst = w.instance();
+    for s in solvers {
+        g.bench_function(s.name(), |b| b.iter(|| s.solve(&inst).expect("bench instance solvable")));
+    }
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let wma = Wma::new();
+    let naive = WmaNaive::new();
+    let hilbert = HilbertBaseline::new();
+    let lineup: [&dyn Solver; 3] = [&wma, &naive, &hilbert];
+    bench_solvers(c, "fig6a_uniform_o05", &uniform_workload(2.0, 0.1, 0.1, CapSpec::Uniform(20)), &lineup);
+    bench_solvers(c, "fig6b_uniform_dense", &uniform_workload(2.0, 0.2, 0.5, CapSpec::Uniform(4)), &lineup);
+    bench_solvers(c, "fig6c_uniform_sparse", &uniform_workload(1.2, 0.1, 0.5, CapSpec::Uniform(10)), &lineup);
+    let uf = UniformFirst::new();
+    let lineup_d: [&dyn Solver; 2] = [&wma, &uf];
+    bench_solvers(c, "fig6d_nonuniform_caps", &uniform_workload(1.2, 0.1, 0.5, CapSpec::Random(1, 10)), &lineup_d);
+}
+
+fn fig7(c: &mut Criterion) {
+    let wma = Wma::new();
+    let naive = WmaNaive::new();
+    let hilbert = HilbertBaseline::new();
+    let brnn = BrnnBaseline::new();
+    let small = clustered_workload(20, 0.05, 0.2, 20);
+    bench_solvers(c, "fig7a_clustered20_brnn", &small, &[&brnn]);
+    let lineup: [&dyn Solver; 3] = [&wma, &naive, &hilbert];
+    bench_solvers(c, "fig7a_clustered20", &clustered_workload(20, 0.2, 0.1, 20), &lineup);
+    bench_solvers(c, "fig7b_clustered20_tight", &clustered_workload(20, 0.1, 0.5, 4), &lineup);
+    bench_solvers(c, "fig7c_clustered20_loose", &clustered_workload(20, 0.1, 1.0, 10), &lineup);
+    bench_solvers(c, "fig7d_clustered5", &clustered_workload(5, 0.1, 0.1, 20), &lineup);
+}
+
+fn fig8(c: &mut Criterion) {
+    let wma = Wma::new();
+    let hilbert = HilbertBaseline::new();
+    let lineup: [&dyn Solver; 2] = [&wma, &hilbert];
+    // 8a: restricted candidate set (ℓ = 0.4 n).
+    let m = N / 5;
+    let w = synthetic_workload(
+        &SyntheticConfig::clustered(N, 20, 1.5, 0x8A),
+        m,
+        Some((N as f64 * 0.4) as usize),
+        m / 10,
+        CapSpec::Uniform(20),
+        0x8A,
+    );
+    bench_solvers(c, "fig8a_small_lp", &w, &lineup);
+    // 8b/8c: heavy demand.
+    bench_solvers(c, "fig8bc_many_customers", &clustered_workload(20, 0.3, 0.1, 20), &lineup);
+    // 8d: large k.
+    bench_solvers(c, "fig8d_large_k", &clustered_workload(20, 0.1, 0.5, 20), &lineup);
+}
+
+fn fig9(c: &mut Criterion) {
+    let wma = Wma::new();
+    let lineup: [&dyn Solver; 1] = [&wma];
+    // 9a endpoints: sparse vs dense.
+    let m = N / 10;
+    for (name, alpha) in [("fig9a_sparse", 1.2), ("fig9a_dense", 2.5)] {
+        let w = synthetic_workload(
+            &SyntheticConfig::clustered(N, 5, alpha, 0x9A),
+            m,
+            None,
+            m / 2,
+            CapSpec::Uniform(10),
+            0x9A,
+        );
+        bench_solvers(c, name, &w, &lineup);
+    }
+    // 9b endpoints: tight vs ample capacity.
+    // o = 0.67 for "tight": full occupancy (c=2) is a perfect-matching
+    // pathology that takes minutes per solve — measured once in the harness
+    // (fig9b), not ten times per bench run.
+    for (name, cap) in [("fig9b_tight_capacity", 3u32), ("fig9b_ample_capacity", 32)] {
+        let w = synthetic_workload(
+            &SyntheticConfig::clustered(N, 5, 1.5, 0x9B),
+            m,
+            None,
+            N / 20,
+            CapSpec::Uniform(cap),
+            0x9B,
+        );
+        bench_solvers(c, name, &w, &lineup);
+    }
+}
+
+fn city_graph() -> Graph {
+    generate_city(&CitySpec {
+        name: "BenchCity",
+        target_nodes: 3000,
+        style: CityStyle::Organic,
+        avg_edge_len: 35.0,
+        seed: 0xBE9C,
+    })
+}
+
+fn tables_and_fig10(c: &mut Criterion) {
+    // Table III: generation cost of grid vs organic cities.
+    {
+        let mut g = cfg(c, "table3_city_generation");
+        g.bench_function("organic", |b| b.iter(city_graph));
+        g.bench_function("grid", |b| {
+            b.iter(|| {
+                generate_city(&CitySpec {
+                    name: "BenchGrid",
+                    target_nodes: 3000,
+                    style: CityStyle::Grid,
+                    avg_edge_len: 50.0,
+                    seed: 0xBE6D,
+                })
+            })
+        });
+        g.finish();
+    }
+    // Table IV / Fig 10: the city comparison at bench size.
+    let g = city_graph();
+    let customers = uniform_customers(&g, 128, 0x7AB4);
+    let facilities: Vec<mcfs::Facility> =
+        g.nodes().map(|node| mcfs::Facility { node, capacity: 20 }).collect();
+    let inst = mcfs::McfsInstance::builder(&g)
+        .customers(customers)
+        .facilities(facilities)
+        .k(13)
+        .build()
+        .unwrap();
+    let mut grp = cfg(c, "table4_fig10_city");
+    let wma = Wma::new();
+    let naive = WmaNaive::new();
+    let hilbert = HilbertBaseline::new();
+    for s in [&wma as &dyn Solver, &naive, &hilbert] {
+        grp.bench_function(s.name(), |b| b.iter(|| s.solve(&inst).unwrap()));
+    }
+    grp.finish();
+}
+
+fn fig12_13(c: &mut Criterion) {
+    let g = city_graph();
+    // Fig 12a/13a: coworking (venues + occupancy model).
+    let venues = generate_venues(&g, 150, 0x12B);
+    let weights = venue_customer_weights(&g, &venues, 0.5);
+    let customers = sample_weighted(&weights, 200, 0x12C);
+    let facilities: Vec<mcfs::Facility> =
+        venues.iter().map(|v| mcfs::Facility { node: v.node, capacity: v.hours }).collect();
+    let inst = mcfs::McfsInstance::builder(&g)
+        .customers(customers)
+        .facilities(facilities)
+        .k(100)
+        .build()
+        .unwrap();
+    let mut grp = cfg(c, "fig12a_13a_coworking");
+    let wma = Wma::new();
+    let uf = UniformFirst::new();
+    for s in [&wma as &dyn Solver, &uf] {
+        grp.bench_function(s.name(), |b| b.iter(|| s.solve(&inst).unwrap()));
+    }
+    // The exact solver is benched via its `run` (which always returns its
+    // incumbent, proven or not) so a budget exhaustion cannot panic.
+    let bb = BranchAndBound::with_budget(Duration::from_secs(2));
+    grp.bench_function("Exact-BB-budgeted", |b| b.iter(|| bb.run(&inst).unwrap().solution.objective));
+    // Fig 12b: the instrumented run.
+    grp.bench_function("WMA-instrumented", |b| {
+        b.iter(|| Wma::new().with_stats().run(&inst).unwrap())
+    });
+    grp.finish();
+
+    // Fig 13b + Fig 15: the bike pipeline (field, divergence, demand, solve).
+    let mut grp = cfg(c, "fig13b_fig15_bikes");
+    grp.bench_function("flow_field_and_demand", |b| {
+        b.iter(|| {
+            let field = generate_flow_field(&g, 0x13F);
+            docking_demand(&g, &field)
+        })
+    });
+    let field = generate_flow_field(&g, 0x13F);
+    let demand = docking_demand(&g, &field);
+    let bikes = sample_weighted(&demand, 200, 0x140);
+    let stations = mcfs_gen::bikes::generate_stations(&g, 300, 0x13E);
+    let st_facs: Vec<mcfs::Facility> =
+        stations.iter().map(|s| mcfs::Facility { node: s.node, capacity: s.capacity }).collect();
+    let inst = mcfs::McfsInstance::builder(&g)
+        .customers(bikes)
+        .facilities(st_facs)
+        .k(120)
+        .build()
+        .unwrap();
+    grp.bench_function("WMA-bike-docking", |b| b.iter(|| Wma::new().solve(&inst).unwrap()));
+    grp.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = cfg(c, "fig5_scatter");
+    g.bench_function("clustered_20", |b| {
+        b.iter(|| clustered_points(10_000, 20, 1000.0, None, 0x5A))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5, fig6, fig7, fig8, fig9, tables_and_fig10, fig12_13);
+criterion_main!(benches);

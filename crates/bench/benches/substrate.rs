@@ -1,0 +1,105 @@
+//! Criterion benches for the substrate layers: shortest-path engines,
+//! bipartite matching, and persistence. These track the hot primitives the
+//! figure-level benches compose, so a regression is attributable to a layer
+//! before it shows up in a figure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcfs::{Facility, McfsInstance, Solver, Wma};
+use mcfs_flow::{solve_transportation, Matcher, TransportProblem, VecStream};
+use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_gen::customers::uniform_customers;
+use mcfs_graph::{dijkstra_all, AltIndex, Graph};
+use mcfs_io::{read_instance, write_instance};
+
+fn city() -> Graph {
+    generate_city(&CitySpec {
+        name: "SubstrateCity",
+        target_nodes: 4000,
+        style: CityStyle::Organic,
+        avg_edge_len: 35.0,
+        seed: 0x5b57,
+    })
+}
+
+fn grp<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+/// One-to-all Dijkstra vs. ALT point-to-point on a city network.
+fn shortest_paths(c: &mut Criterion) {
+    let g = city();
+    let n = g.num_nodes() as u32;
+    let (s, t) = (0u32, n / 2);
+    let idx = AltIndex::build(&g, 8, s);
+    let mut grp = grp(c, "substrate_shortest_paths");
+    grp.bench_function("dijkstra_one_to_all", |b| b.iter(|| dijkstra_all(&g, s)));
+    grp.bench_function("alt_point_to_point", |b| b.iter(|| idx.query(&g, s, t).unwrap()));
+    grp.bench_function("alt_preprocess_8_landmarks", |b| b.iter(|| AltIndex::build(&g, 8, s)));
+    grp.finish();
+}
+
+/// Dense SSPA vs. the incremental matcher on identical random instances.
+fn matching(c: &mut Criterion) {
+    let (m, l) = (200usize, 120usize);
+    let rows: Vec<Vec<u64>> = (0..m)
+        .map(|i| (0..l).map(|j| ((i * 37 + j * 101) % 1000) as u64 + 1).collect())
+        .collect();
+    let caps = vec![3u32; l];
+    let mut grp = grp(c, "substrate_matching");
+    grp.bench_function("dense_transportation", |b| {
+        let p = TransportProblem::from_rows(&rows, caps.clone());
+        b.iter(|| solve_transportation(&p).unwrap())
+    });
+    grp.bench_function("incremental_matcher", |b| {
+        b.iter(|| {
+            let streams: Vec<VecStream> = rows.iter().map(|r| VecStream::from_row(r)).collect();
+            let mut matcher = Matcher::new(streams, caps.clone());
+            for i in 0..m {
+                matcher.find_pair(i).unwrap();
+            }
+            matcher.total_cost()
+        })
+    });
+    grp.finish();
+}
+
+/// Instance persistence round-trips and refinement.
+fn io_and_refine(c: &mut Criterion) {
+    let g = city();
+    let customers = uniform_customers(&g, 100, 3);
+    let inst = McfsInstance::builder(&g)
+        .customers(customers)
+        .facilities(g.nodes().step_by(5).map(|node| Facility { node, capacity: 5 }))
+        .k(25)
+        .build()
+        .unwrap();
+    let mut grp = grp(c, "substrate_io_refine");
+    grp.bench_function("write_instance", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            write_instance(&mut buf, &inst).unwrap();
+            buf.len()
+        })
+    });
+    let mut buf = Vec::new();
+    write_instance(&mut buf, &inst).unwrap();
+    grp.bench_function("read_instance", |b| b.iter(|| read_instance(buf.as_slice()).unwrap()));
+    let base = Wma::new().solve(&inst).unwrap();
+    grp.bench_function("local_search_refine", |b| {
+        b.iter(|| mcfs::refine::LocalSearch::default().refine(&inst, &base).unwrap())
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, shortest_paths, matching, io_and_refine);
+criterion_main!(benches);

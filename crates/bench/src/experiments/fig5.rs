@@ -1,0 +1,82 @@
+//! Figure 5 analogue — point scatter statistics.
+//!
+//! The paper's Figure 5 *shows* 10⁴ points under 40/20/5-cluster and
+//! uniform distributions; we print the statistics that characterize those
+//! pictures: cluster spread (mean distance to the assigned center) and plane
+//! coverage (fraction of a 10×10 occupancy grid that contains points).
+
+use mcfs_gen::points::{clustered_points, uniform_points};
+use mcfs_graph::Point;
+
+use crate::{scaled, Report};
+
+fn coverage(points: &[Point], side: f64) -> f64 {
+    let mut cells = [[false; 10]; 10];
+    for p in points {
+        let cx = ((p.x / side) * 10.0).min(9.0) as usize;
+        let cy = ((p.y / side) * 10.0).min(9.0) as usize;
+        cells[cx][cy] = true;
+    }
+    cells.iter().flatten().filter(|&&b| b).count() as f64 / 100.0
+}
+
+/// Regenerate the Figure 5 panel statistics.
+pub fn run(scale: f64) -> Report {
+    let mut report =
+        Report::new("fig5", "Scatter statistics: 10⁴ points, 40/20/5 clusters + uniform", "clusters");
+    let n = scaled(10_000, scale, 500);
+    let side = 1000.0;
+    for clusters in [40usize, 20, 5] {
+        let t0 = std::time::Instant::now();
+        let cp = clustered_points(n, clusters, side, None, 0x5A);
+        let dt = t0.elapsed();
+        // Mean distance of a point to its cluster center.
+        let mut total = 0.0;
+        for (c, &lo) in cp.center_indices.iter().enumerate() {
+            let hi = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            for p in &cp.points[lo..hi] {
+                total += p.dist(&cp.centers[c]);
+            }
+        }
+        let spread = total / cp.points.len() as f64;
+        let cov = coverage(&cp.points, side);
+        report.push(
+            "clustered",
+            clusters as f64,
+            Some(spread.round() as u64),
+            dt,
+            format!("mean dist to center; coverage {:.0}%", cov * 100.0),
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let pts = uniform_points(n, side, 0x5B);
+    let cov = coverage(&pts, side);
+    report.push(
+        "uniform",
+        0.0,
+        None,
+        t0.elapsed(),
+        format!("coverage {:.0}%", cov * 100.0),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_shrinks_with_more_clusters() {
+        let r = run(0.3);
+        let s40 = r.objective_of("clustered", 40.0).unwrap();
+        let s5 = r.objective_of("clustered", 5.0).unwrap();
+        assert!(s40 < s5, "40 clusters spread {s40} vs 5 clusters {s5}");
+    }
+
+    #[test]
+    fn uniform_covers_the_plane() {
+        let r = run(0.3);
+        let u = r.rows.iter().find(|x| x.algorithm == "uniform").unwrap();
+        assert!(u.note.contains("coverage"), "{}", u.note);
+    }
+}

@@ -1,0 +1,202 @@
+//! Figure 8 — clustered data (20 clusters, n = 10⁴), varying the major
+//! problem parameters other than network size.
+//!
+//! * **8a** candidate-facility count `ℓ` from 40% to 100% of `n`: Hilbert is
+//!   sensitive to small `F_p` (its centroids land far from any candidate);
+//!   WMA stays stable. The exact solver fails above moderate `ℓ`.
+//! * **8b** customer count `m`: the objective grows with demand.
+//! * **8c** scaled-up `m` with multiple customers per node, occupancy 0.1.
+//! * **8d** budget `k`: the objective falls — and WMA's runtime falls too,
+//!   as fewer iterations are needed to find a cover.
+
+use mcfs::{Facility, McfsInstance, Solver, Wma, WmaNaive};
+use mcfs_baselines::HilbertBaseline;
+use mcfs_exact::BranchAndBound;
+use mcfs_gen::customers::sample_weighted;
+use mcfs_gen::synthetic::{generate_synthetic, SyntheticConfig};
+
+use crate::experiments::common::{synthetic_workload, CapSpec};
+use crate::experiments::fig6::EXACT_BUDGET;
+use crate::{run_solver, scaled, Report};
+
+const BASE_N: usize = 10_000;
+
+fn lineup(include_exact: bool) -> Vec<Box<dyn Solver>> {
+    let mut v: Vec<Box<dyn Solver>> = vec![
+        Box::new(Wma::new()),
+        Box::new(WmaNaive::new()),
+        Box::new(HilbertBaseline::new()),
+    ];
+    if include_exact {
+        v.push(Box::new(BranchAndBound::with_budget(EXACT_BUDGET)));
+    }
+    v
+}
+
+/// 8a: sweep `ℓ/n` ∈ {0.4, 0.6, 0.8, 1.0} over *nested* candidate pools —
+/// the same customers throughout, `F_p(40%) ⊂ F_p(60%) ⊂ … ⊂ V` — so the
+/// series isolates the effect of candidate supply (a superset can only help
+/// an exact solver; heuristics should stay stable, which is the claim under
+/// test).
+pub fn run_8a(scale: f64) -> Report {
+    let mut report =
+        Report::new("fig8a", "Variable ℓ (40–100% of n, nested pools), m=0.2n, k=0.1m, c=20", "l_frac");
+    let n = scaled(BASE_N, scale, 256);
+    let m = scaled(BASE_N / 5, scale, 16);
+    let k = (m / 10).max(2);
+    let cfg = SyntheticConfig::clustered(n, 20.min(n / 8), 1.5, 0x8A);
+    // Base workload at the smallest pool decides the (fixed) customer set,
+    // including any giant-component restriction needed for feasibility.
+    let l_min = (n as f64 * 0.4) as usize;
+    let base = synthetic_workload(&cfg, m, Some(l_min), k, CapSpec::Uniform(20), 0x8A);
+    // Nested pools: the base facilities first, then the remaining nodes in
+    // a deterministic shuffled order.
+    let mut pool: Vec<mcfs_graph::NodeId> = base.facilities.iter().map(|f| f.node).collect();
+    let in_pool: rustc_hash::FxHashSet<mcfs_graph::NodeId> = pool.iter().copied().collect();
+    let rest = mcfs_gen::customers::uniform_nodes(&base.graph, base.graph.num_nodes(), 0x8A1);
+    pool.extend(rest.into_iter().filter(|v| !in_pool.contains(v)));
+
+    for frac in [0.4, 0.6, 0.8, 1.0] {
+        let l = (n as f64 * frac) as usize;
+        let facilities: Vec<Facility> =
+            pool[..l.min(pool.len())].iter().map(|&node| Facility { node, capacity: 20 }).collect();
+        let inst = McfsInstance::builder(&base.graph)
+            .customers(base.customers.iter().copied())
+            .facilities(facilities)
+            .k(k)
+            .build()
+            .unwrap();
+        if inst.check_feasibility().is_err() {
+            continue;
+        }
+        // The paper: "Gurobi failed for F_p sizes above 60%".
+        for solver in lineup(frac <= 0.6) {
+            let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
+            report.push(solver.name(), frac, obj, dt, err);
+        }
+    }
+    report
+}
+
+/// 8b: sweep `m` with everything else fixed.
+pub fn run_8b(scale: f64) -> Report {
+    let mut report = Report::new("fig8b", "Variable m, ℓ=n, k=0.02n, c=20", "m");
+    let n = scaled(BASE_N, scale, 256);
+    let k = (n / 50).max(2);
+    for (i, m_frac) in [0.05, 0.1, 0.2, 0.3].into_iter().enumerate() {
+        let m = ((n as f64 * m_frac) as usize).max(8);
+        let cfg = SyntheticConfig::clustered(n, 20.min(n / 8), 1.5, 0x8B);
+        let w = synthetic_workload(&cfg, m, None, k, CapSpec::Uniform(20), 0x8B + i as u64);
+        let inst = w.instance();
+        for solver in lineup(i == 0) {
+            let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
+            report.push(solver.name(), m as f64, obj, dt, err);
+        }
+    }
+    report
+}
+
+/// 8c: scaled-up customers, multiple per node, occupancy 0.1
+/// (`c = 100`, `k = 0.1 m`).
+pub fn run_8c(scale: f64) -> Report {
+    let mut report =
+        Report::new("fig8c", "Scaled-up m (multiple customers per node), o=0.1", "m");
+    let n = scaled(BASE_N, scale, 256);
+    let cfg = SyntheticConfig::clustered(n, 20.min(n / 8), 1.5, 0x8C);
+    let graph = generate_synthetic(&cfg);
+    let weights = vec![1.0; graph.num_nodes()];
+    for (i, m_frac) in [0.5, 1.0, 2.0].into_iter().enumerate() {
+        let m = ((n as f64 * m_frac) as usize).max(32);
+        let customers = sample_weighted(&weights, m, 0x8C + i as u64);
+        let k = (m / 10).max(2);
+        let facilities: Vec<Facility> =
+            graph.nodes().map(|node| Facility { node, capacity: 100 }).collect();
+        let inst = McfsInstance::builder(&graph)
+            .customers(customers)
+            .facilities(facilities)
+            .k(k)
+            .build()
+            .unwrap();
+        if inst.check_feasibility().is_err() {
+            report.push("WMA", m as f64, None, std::time::Duration::ZERO, "infeasible draw");
+            continue;
+        }
+        for solver in lineup(i == 0) {
+            let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
+            report.push(solver.name(), m as f64, obj, dt, err);
+        }
+    }
+    report
+}
+
+/// 8d: sweep `k`.
+pub fn run_8d(scale: f64) -> Report {
+    let mut report = Report::new("fig8d", "Variable k, m=0.1n, ℓ=n, c=20", "k");
+    let n = scaled(BASE_N, scale, 256);
+    let m = (n / 10).max(16);
+    // One workload, constructed feasible at the *smallest* k of the sweep,
+    // so only the budget varies across the series.
+    let cfg = SyntheticConfig::clustered(n, 20.min(n / 8), 1.5, 0x8D);
+    // Smallest budget: the tightest *feasible* occupancy (o ≈ 0.67).
+    let k_min = ((m as f64 * 0.075) as usize).max(2);
+    let w = synthetic_workload(&cfg, m, None, k_min, CapSpec::Uniform(20), 0x8D);
+    for (i, k_frac) in [0.075, 0.125, 0.25, 0.5].into_iter().enumerate() {
+        let k = ((m as f64 * k_frac) as usize).max(2);
+        let inst = McfsInstance::builder(&w.graph)
+            .customers(w.customers.iter().copied())
+            .facilities(w.facilities.iter().copied())
+            .k(k)
+            .build()
+            .unwrap();
+        if inst.check_feasibility().is_err() {
+            continue;
+        }
+        for solver in lineup(i == 0) {
+            let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
+            report.push(solver.name(), k as f64, obj, dt, err);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8a_hilbert_degrades_with_small_lp() {
+        let r = run_8a(0.04);
+        // At ℓ = 40% Hilbert must not beat WMA (the paper's point).
+        if let (Some(h), Some(w)) = (r.objective_of("Hilbert", 0.4), r.objective_of("WMA", 0.4)) {
+            assert!(h >= w, "Hilbert {h} < WMA {w} at ℓ=40%");
+        }
+    }
+
+    #[test]
+    fn fig8b_objective_grows_with_m() {
+        let r = run_8b(0.04);
+        let xs = r.xs();
+        let first = r.objective_of("WMA", xs[0]);
+        let last = r.objective_of("WMA", *xs.last().unwrap());
+        if let (Some(a), Some(b)) = (first, last) {
+            assert!(b > a, "objective must grow with m: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn fig8c_handles_replacement_sampling() {
+        let r = run_8c(0.03);
+        assert!(r.rows.iter().any(|row| row.objective.is_some()));
+    }
+
+    #[test]
+    fn fig8d_objective_falls_with_k() {
+        let r = run_8d(0.04);
+        let xs = r.xs();
+        if let (Some(a), Some(b)) =
+            (r.objective_of("WMA", xs[0]), r.objective_of("WMA", *xs.last().unwrap()))
+        {
+            assert!(b <= a, "objective must not grow with k: {a} -> {b}");
+        }
+    }
+}

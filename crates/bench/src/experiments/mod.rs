@@ -1,0 +1,74 @@
+//! Experiment registry: one entry per table/figure of the paper.
+
+pub mod ablation;
+pub mod common;
+pub mod fig12_13;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+use crate::Report;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a",
+    "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table3", "table4", "fig10", "fig12a", "fig12b",
+    "fig13a", "fig13b", "fig15", "ablation",
+];
+
+/// Run one experiment by id at the given scale; `None` for unknown ids.
+pub fn run_experiment(id: &str, scale: f64) -> Option<Report> {
+    let report = match id {
+        "fig5" => fig5::run(scale),
+        "fig6a" | "fig6b" | "fig6c" | "fig6d" => fig6::run(id, scale),
+        "fig7a" | "fig7b" | "fig7c" | "fig7d" => fig7::run(id, scale),
+        "fig8a" => fig8::run_8a(scale),
+        "fig8b" => fig8::run_8b(scale),
+        "fig8c" => fig8::run_8c(scale),
+        "fig8d" => fig8::run_8d(scale),
+        "fig9a" => fig9::run_9a(scale),
+        "fig9b" => fig9::run_9b(scale),
+        "table3" => tables::run_table3(scale),
+        "table4" => tables::run_table4(scale),
+        "fig10" => tables::run_fig10(scale),
+        "fig12a" => fig12_13::run_12a(scale),
+        "fig12b" => fig12_13::run_12b(scale),
+        "fig13a" => fig12_13::run_13a(scale),
+        "fig13b" => fig12_13::run_13b(scale),
+        "fig15" => fig12_13::run_fig15(scale),
+        "ablation" => ablation::run(scale),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_every_id() {
+        for &id in ALL_IDS {
+            // Don't run them here (slow); just check dispatch exists by
+            // matching on the id list used in run_experiment.
+            assert!(
+                matches!(
+                    id,
+                    "fig5" | "fig6a" | "fig6b" | "fig6c" | "fig6d" | "fig7a" | "fig7b" | "fig7c"
+                        | "fig7d" | "fig8a" | "fig8b" | "fig8c" | "fig8d" | "fig9a" | "fig9b"
+                        | "table3" | "table4" | "fig10" | "fig12a" | "fig12b" | "fig13a"
+                        | "fig13b" | "fig15" | "ablation"
+                ),
+                "{id} not dispatchable"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        assert!(run_experiment("fig99", 1.0).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section VII).
+//!
+//! Each experiment module builds the paper's workload (via `mcfs-gen`), runs
+//! the paper's algorithm lineup, and emits the same series the paper plots:
+//! objective value and runtime per algorithm per x-value. A `--scale` knob
+//! shrinks problem sizes uniformly so the full suite completes in minutes
+//! rather than the paper's server-days; EXPERIMENTS.md records the scales
+//! used and compares the measured *shapes* against the paper's claims.
+//!
+//! Run a single experiment with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p mcfs-bench --bin repro -- fig6a --scale 0.5
+//! cargo run --release -p mcfs-bench --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::time::{Duration, Instant};
+
+use mcfs::{McfsInstance, SolveError, Solver};
+
+/// One measured point: algorithm × x-value → objective + runtime.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Algorithm display name.
+    pub algorithm: &'static str,
+    /// The experiment's x-coordinate (network size, k, capacity, …).
+    pub x: f64,
+    /// Objective value; `None` when the solver failed (budget/infeasible).
+    pub objective: Option<u64>,
+    /// Wall-clock solve time.
+    pub runtime: Duration,
+    /// Failure note or extra info.
+    pub note: String,
+}
+
+/// A regenerated table/figure: a titled list of measurements.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (`fig6a`, `table4`, …).
+    pub id: &'static str,
+    /// Human title, mirroring the paper's caption.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: &'static str,
+    /// All measurements, in run order.
+    pub rows: Vec<Measurement>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &'static str, title: impl Into<String>, x_label: &'static str) -> Self {
+        Self { id, title: title.into(), x_label, rows: Vec::new() }
+    }
+
+    /// Record one measurement.
+    pub fn push(
+        &mut self,
+        algorithm: &'static str,
+        x: f64,
+        objective: Option<u64>,
+        runtime: Duration,
+        note: impl Into<String>,
+    ) {
+        self.rows.push(Measurement { algorithm, x, objective, runtime, note: note.into() });
+    }
+
+    /// Render as a markdown table (the shape EXPERIMENTS.md embeds).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} | algorithm | objective | runtime | note |\n", self.x_label));
+        out.push_str("|---:|---|---:|---:|---|\n");
+        for r in &self.rows {
+            let obj = r.objective.map_or("fail".to_string(), |o| o.to_string());
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                trim_float(r.x),
+                r.algorithm,
+                obj,
+                human_duration(r.runtime),
+                r.note
+            ));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Render as CSV (one row per measurement; runtime in microseconds) —
+    /// the shape plotting scripts want.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,algorithm,objective,runtime_us,note
+");
+        for r in &self.rows {
+            let obj = r.objective.map_or(String::new(), |o| o.to_string());
+            out.push_str(&format!(
+                "{},{},{},{},{}
+",
+                trim_float(r.x),
+                r.algorithm,
+                obj,
+                r.runtime.as_micros(),
+                r.note.replace(',', ";")
+            ));
+        }
+        out
+    }
+
+    /// Objective of `algorithm` at `x`, if it succeeded.
+    pub fn objective_of(&self, algorithm: &str, x: f64) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == algorithm && (r.x - x).abs() < 1e-9)
+            .and_then(|r| r.objective)
+    }
+
+    /// All distinct x values in run order.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs = Vec::new();
+        for r in &self.rows {
+            if !xs.iter().any(|&x: &f64| (x - r.x).abs() < 1e-9) {
+                xs.push(r.x);
+            }
+        }
+        xs
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Render a duration compactly (µs/ms/s).
+pub fn human_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+/// Run one solver on one instance, timing it and verifying the solution
+/// end-to-end (a wrong solution is a harness bug worth failing loudly on).
+pub fn run_solver(solver: &dyn Solver, inst: &McfsInstance) -> (Option<u64>, Duration, String) {
+    let t0 = Instant::now();
+    match solver.solve(inst) {
+        Ok(sol) => {
+            let dt = t0.elapsed();
+            if let Err(e) = inst.verify(&sol) {
+                panic!("{} produced an invalid solution: {e}", solver.name());
+            }
+            (Some(sol.objective), dt, String::new())
+        }
+        Err(SolveError::BudgetExhausted) => (None, t0.elapsed(), "budget exhausted".into()),
+        Err(e) => (None, t0.elapsed(), format!("{e}")),
+    }
+}
+
+/// Scale helper: `(base as f64 * scale).round()` with a floor.
+pub fn scaled(base: usize, scale: f64, min: usize) -> usize {
+    ((base as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new("figX", "demo", "n");
+        r.push("WMA", 512.0, Some(100), Duration::from_millis(5), "");
+        r.push("Hilbert", 512.0, Some(140), Duration::from_millis(2), "");
+        r.push("Gurobi", 1024.0, None, Duration::from_secs(1), "budget exhausted");
+        assert_eq!(r.objective_of("WMA", 512.0), Some(100));
+        assert_eq!(r.objective_of("Gurobi", 1024.0), None);
+        assert_eq!(r.xs(), vec![512.0, 1024.0]);
+        let md = r.to_markdown();
+        assert!(md.contains("| 512 | WMA | 100 |"));
+        assert!(md.contains("fail"));
+    }
+
+    #[test]
+    fn csv_render() {
+        let mut r = Report::new("figX", "demo", "n");
+        r.push("WMA", 512.0, Some(100), Duration::from_millis(5), "a,b");
+        r.push("Exact", 512.0, None, Duration::from_secs(1), "budget exhausted");
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,algorithm,objective,runtime_us,note"));
+        assert_eq!(lines.next(), Some("512,WMA,100,5000,a;b"));
+        assert_eq!(lines.next(), Some("512,Exact,,1000000,budget exhausted"));
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(human_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(human_duration(Duration::from_micros(2500)), "2.5ms");
+        assert_eq!(human_duration(Duration::from_millis(3200)), "3.20s");
+    }
+
+    #[test]
+    fn scaling_floors() {
+        assert_eq!(scaled(1000, 0.5, 1), 500);
+        assert_eq!(scaled(10, 0.01, 4), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Component capacity repair (paper Algorithm 5, `CoverComponents`).
+//!
+//! A selection `F` is only usable if every connected component of the
+//! network holds enough selected capacity for its own customers — no
+//! assignment crosses components. When the main loop terminates without full
+//! coverage (demands saturated on a fragmented network), this routine swaps
+//! facilities between components: repeatedly move one selection slot from
+//! the most over-provisioned component (dropping its smallest-capacity
+//! selected facility) to the most under-provisioned one (adding its
+//! largest-capacity unselected candidate), until no component is short.
+//!
+//! Theorem 3 of the paper shows the loop reaches per-component top-capacity
+//! sets when a feasible solution exists; we additionally bound the loop and
+//! fall back to constructing those top-capacity sets directly should the
+//! bound ever be hit, so the routine is total.
+
+use rustc_hash::FxHashSet;
+
+use mcfs_graph::ComponentInfo;
+
+use crate::instance::McfsInstance;
+use crate::SolveError;
+
+/// Does each component's selected capacity cover its own customers?
+/// This is the postcondition Algorithm 5 establishes and the cheap test
+/// Algorithm 1 uses to decide whether to invoke it.
+pub fn capacity_suffices(inst: &McfsInstance, selection: &[u32], cc: &ComponentInfo) -> bool {
+    let mut balance = vec![0i64; cc.count];
+    for &s in inst.customers() {
+        balance[cc.of(s) as usize] -= 1;
+    }
+    for &j in selection {
+        let f = inst.facilities()[j as usize];
+        balance[cc.of(f.node) as usize] += f.capacity as i64;
+    }
+    balance.iter().all(|&b| b >= 0)
+}
+
+/// Repair `selection` so every component's selected capacity covers its
+/// customers (Algorithm 5). Keeps `|selection|` unchanged.
+pub fn cover_components(
+    inst: &McfsInstance,
+    mut selection: Vec<u32>,
+    cc: &ComponentInfo,
+) -> Result<Vec<u32>, SolveError> {
+    let facs = inst.facilities();
+    let comp_of_fac: Vec<usize> =
+        facs.iter().map(|f| cc.of(f.node) as usize).collect();
+
+    let mut customers_per = vec![0i64; cc.count];
+    for &s in inst.customers() {
+        customers_per[cc.of(s) as usize] += 1;
+    }
+
+    let mut chosen: FxHashSet<u32> = selection.iter().copied().collect();
+    // g.p = selected capacity − customers, per component (paper line 3).
+    let mut surplus = vec![0i64; cc.count];
+    for g in 0..cc.count {
+        surplus[g] = -customers_per[g];
+    }
+    for &j in &selection {
+        surplus[comp_of_fac[j as usize]] += facs[j as usize].capacity as i64;
+    }
+
+    let max_swaps = inst.num_facilities() * inst.k() + 16;
+    let mut swaps = 0usize;
+    #[allow(clippy::while_let_loop)]
+    loop {
+        let Some(g_min) = (0..cc.count).filter(|&g| surplus[g] < 0).min_by_key(|&g| surplus[g])
+        else {
+            break; // every component satisfied
+        };
+        if swaps >= max_swaps {
+            return rebuild(inst, selection, cc, &comp_of_fac, &customers_per);
+        }
+        swaps += 1;
+
+        // Largest-capacity unselected candidate in the starving component.
+        let incoming = (0..facs.len() as u32)
+            .filter(|&j| comp_of_fac[j as usize] == g_min && !chosen.contains(&j))
+            .max_by_key(|&j| (facs[j as usize].capacity, std::cmp::Reverse(j)));
+        let Some(incoming) = incoming else {
+            // Nothing left to add there: the component itself lacks capacity.
+            return Err(SolveError::Infeasible(
+                crate::instance::Infeasibility::ComponentCapacity {
+                    component: g_min,
+                    customers: customers_per[g_min] as u64,
+                    capacity: (surplus[g_min] + customers_per[g_min]) as u64,
+                },
+            ));
+        };
+
+        // Smallest-capacity selected facility in the richest component. The
+        // paper's argmax ranges over all components, so `g_max` may equal
+        // `g_min`: the swap then upgrades a small selected facility to a
+        // larger unselected one within the same component.
+        let g_max = (0..cc.count)
+            .filter(|&g| selection.iter().any(|&j| comp_of_fac[j as usize] == g))
+            .max_by_key(|&g| surplus[g]);
+        let Some(g_max) = g_max else {
+            return Err(SolveError::Infeasible(
+                crate::instance::Infeasibility::BudgetTooSmall {
+                    required: inst.k() + 1,
+                    k: inst.k(),
+                },
+            ));
+        };
+        let outgoing = selection
+            .iter()
+            .copied()
+            .filter(|&j| comp_of_fac[j as usize] == g_max)
+            .min_by_key(|&j| (facs[j as usize].capacity, j))
+            .expect("g_max chosen to contain a selected facility");
+        if g_max == g_min && facs[incoming as usize].capacity <= facs[outgoing as usize].capacity {
+            // A same-component swap that does not add capacity cannot make
+            // progress; fall through to the deterministic rebuild.
+            return rebuild(inst, selection, cc, &comp_of_fac, &customers_per);
+        }
+
+        // Perform the swap and update the bookkeeping (paper lines 7–9).
+        chosen.remove(&outgoing);
+        chosen.insert(incoming);
+        let pos = selection.iter().position(|&j| j == outgoing).expect("selected");
+        selection[pos] = incoming;
+        surplus[g_max] -= facs[outgoing as usize].capacity as i64;
+        surplus[g_min] += facs[incoming as usize].capacity as i64;
+    }
+    Ok(selection)
+}
+
+/// Deterministic fallback: per component take the top-capacity facilities
+/// needed for coverage, then spend any leftover budget on the
+/// largest-capacity remaining candidates (preferring already-selected ones
+/// to stay close to the incoming selection).
+fn rebuild(
+    inst: &McfsInstance,
+    old: Vec<u32>,
+    cc: &ComponentInfo,
+    comp_of_fac: &[usize],
+    customers_per: &[i64],
+) -> Result<Vec<u32>, SolveError> {
+    let facs = inst.facilities();
+    let was_selected: FxHashSet<u32> = old.iter().copied().collect();
+    let mut per_comp: Vec<Vec<u32>> = vec![Vec::new(); cc.count];
+    for j in 0..facs.len() as u32 {
+        per_comp[comp_of_fac[j as usize]].push(j);
+    }
+    let mut selection = Vec::with_capacity(old.len());
+    let mut leftovers: Vec<u32> = Vec::new();
+    for g in 0..cc.count {
+        per_comp[g].sort_unstable_by_key(|&j| {
+            (std::cmp::Reverse(facs[j as usize].capacity), j)
+        });
+        let mut need = customers_per[g];
+        for &j in &per_comp[g] {
+            if need > 0 {
+                need -= facs[j as usize].capacity as i64;
+                selection.push(j);
+            } else {
+                leftovers.push(j);
+            }
+        }
+        if need > 0 {
+            return Err(SolveError::Infeasible(
+                crate::instance::Infeasibility::ComponentCapacity {
+                    component: g,
+                    customers: customers_per[g] as u64,
+                    capacity: (customers_per[g] - need) as u64,
+                },
+            ));
+        }
+    }
+    if selection.len() > old.len() {
+        return Err(SolveError::Infeasible(crate::instance::Infeasibility::BudgetTooSmall {
+            required: selection.len(),
+            k: old.len(),
+        }));
+    }
+    // Spend remaining slots: previously selected candidates first, then by
+    // capacity.
+    leftovers.sort_unstable_by_key(|&j| {
+        (
+            !was_selected.contains(&j),
+            std::cmp::Reverse(facs[j as usize].capacity),
+            j,
+        )
+    });
+    for j in leftovers {
+        if selection.len() == old.len() {
+            break;
+        }
+        selection.push(j);
+    }
+    Ok(selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::{connected_components, GraphBuilder};
+
+    /// Two components: nodes {0,1,2} and {3,4,5}; unit edges.
+    fn two_islands() -> mcfs_graph::Graph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        b.add_edge(4, 5, 1);
+        b.build()
+    }
+
+    #[test]
+    fn rebalances_capacity_between_components() {
+        let g = two_islands();
+        // Customers on both islands; all selected capacity starts on island A.
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 3, 4])
+            .facility(1, 2) // A, idx 0
+            .facility(2, 2) // A, idx 1
+            .facility(4, 2) // B, idx 2
+            .facility(5, 1) // B, idx 3
+            .k(2)
+            .build()
+            .unwrap();
+        let cc = connected_components(&g);
+        let fixed = cover_components(&inst, vec![0, 1], &cc).unwrap();
+        assert_eq!(fixed.len(), 2);
+        // One A-facility swapped for the big B-facility (idx 2).
+        assert!(fixed.contains(&2), "starving island gets its biggest candidate: {fixed:?}");
+        let a_caps: i64 = fixed
+            .iter()
+            .filter(|&&j| inst.facilities()[j as usize].node <= 2)
+            .map(|&j| inst.facilities()[j as usize].capacity as i64)
+            .sum();
+        assert!(a_caps >= 2, "island A keeps enough capacity");
+    }
+
+    #[test]
+    fn already_feasible_is_untouched() {
+        let g = two_islands();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 3])
+            .facility(1, 1)
+            .facility(4, 1)
+            .k(2)
+            .build()
+            .unwrap();
+        let cc = connected_components(&g);
+        let fixed = cover_components(&inst, vec![0, 1], &cc).unwrap();
+        assert_eq!(fixed, vec![0, 1]);
+    }
+
+    #[test]
+    fn infeasible_component_rejected() {
+        let g = two_islands();
+        // Island B has 3 customers but only capacity 1 available in total.
+        let inst = McfsInstance::builder(&g)
+            .customers([3, 4, 5])
+            .facility(1, 5)
+            .facility(4, 1)
+            .k(1)
+            .build()
+            .unwrap();
+        let cc = connected_components(&g);
+        assert!(matches!(
+            cover_components(&inst, vec![0], &cc),
+            Err(SolveError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn multi_swap_chain() {
+        // Three components, all capacity initially on the first.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(4, 5, 1);
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 2, 4])
+            .facility(0, 3) // comp 0
+            .facility(1, 3) // comp 0
+            .facility(2, 1) // comp 1
+            .facility(3, 2) // comp 1
+            .facility(4, 2) // comp 2
+            .k(3)
+            .build()
+            .unwrap();
+        let cc = connected_components(&g);
+        let fixed = cover_components(&inst, vec![0, 1, 2], &cc).unwrap();
+        assert_eq!(fixed.len(), 3);
+        // Each component with customers must end up with surplus ≥ 0.
+        for comp in 0..cc.count {
+            let cust = inst.customers().iter().filter(|&&s| cc.of(s) as usize == comp).count() as i64;
+            let cap: i64 = fixed
+                .iter()
+                .filter(|&&j| cc.of(inst.facilities()[j as usize].node) as usize == comp)
+                .map(|&j| inst.facilities()[j as usize].capacity as i64)
+                .sum();
+            assert!(cap >= cust, "component {comp}: cap {cap} < customers {cust}");
+        }
+    }
+
+    #[test]
+    fn rebuild_fallback_produces_feasible_selection() {
+        let g = two_islands();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 2, 3, 4, 5])
+            .facility(0, 3)
+            .facility(1, 1)
+            .facility(3, 3)
+            .facility(4, 1)
+            .k(2)
+            .build()
+            .unwrap();
+        let cc = connected_components(&g);
+        let comp_of_fac: Vec<usize> = inst
+            .facilities()
+            .iter()
+            .map(|f| cc.of(f.node) as usize)
+            .collect();
+        let customers_per = vec![3i64, 3];
+        let sel = rebuild(&inst, vec![1, 3], &cc, &comp_of_fac, &customers_per).unwrap();
+        assert_eq!(sel.len(), 2);
+        assert!(sel.contains(&0) && sel.contains(&2), "top-capacity per island: {sel:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Greedy facility addition (paper Algorithm 4, `SelectGreedy`).
+//!
+//! When fewer than `k` facilities already cover all customers, spending the
+//! remaining budget still helps the objective. Each round places one more
+//! facility: find the customer farthest from the current selection
+//! (`s* = argmax_s min_{f∈F} dist(s, f)`) and add the candidate facility
+//! nearest to it. The farthest-customer query is one multi-source Dijkstra
+//! from all selected nodes; the nearest-candidate query is one early-exiting
+//! lazy Dijkstra from `s*`.
+
+use mcfs_graph::{multi_source_dijkstra, LazyDijkstra, NodeId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::instance::McfsInstance;
+
+/// Grow `selection` to exactly `inst.k()` facilities (or until candidates
+/// run out), following Algorithm 4. `selection` holds indices into
+/// `inst.facilities()`.
+pub fn select_greedy(inst: &McfsInstance, selection: &mut Vec<u32>) {
+    let k = inst.k();
+    let mut chosen: FxHashSet<u32> = selection.iter().copied().collect();
+
+    // node → unselected candidate indices, kept in capacity-descending order
+    // so ties at one node prefer the more capable facility.
+    let mut available: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+    for (j, f) in inst.facilities().iter().enumerate() {
+        if !chosen.contains(&(j as u32)) {
+            available.entry(f.node).or_default().push(j as u32);
+        }
+    }
+    for list in available.values_mut() {
+        list.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.facilities()[j as usize].capacity));
+    }
+
+    while selection.len() < k {
+        // Farthest customer from the current selection.
+        let s_star = if selection.is_empty() {
+            // Degenerate start: any customer anchors the first pick.
+            inst.customers()[0]
+        } else {
+            let nodes: Vec<NodeId> =
+                selection.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+            let (dist, _) = multi_source_dijkstra(inst.graph(), &nodes);
+            *inst
+                .customers()
+                .iter()
+                .max_by_key(|&&s| dist[s as usize])
+                .expect("instances always have customers")
+        };
+
+        // Nearest unselected candidate from s*; lazily expand outwards.
+        let mut search = LazyDijkstra::new(s_star);
+        let mut found = None;
+        while let Some((node, _)) = search.next_settled(inst.graph()) {
+            if let Some(list) = available.get_mut(&node) {
+                if let Some(j) = list.first().copied() {
+                    list.remove(0);
+                    found = Some(j);
+                    break;
+                }
+            }
+        }
+        let j = match found {
+            Some(j) => j,
+            None => {
+                // s* cannot reach any remaining candidate (other component);
+                // fall back to the highest-capacity candidate anywhere so the
+                // budget is still spent deterministically.
+                let best = available
+                    .values()
+                    .flat_map(|l| l.iter().copied())
+                    .max_by_key(|&j| {
+                        (inst.facilities()[j as usize].capacity, std::cmp::Reverse(j))
+                    });
+                match best {
+                    Some(j) => {
+                        let node = inst.facilities()[j as usize].node;
+                        let list = available.get_mut(&node).expect("indexed above");
+                        list.retain(|&x| x != j);
+                        j
+                    }
+                    None => break, // no candidates left at all
+                }
+            }
+        };
+        chosen.insert(j);
+        selection.push(j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::{Graph, GraphBuilder};
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, i as NodeId + 1, 10);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn adds_near_farthest_customer() {
+        let g = path(10);
+        // Customers at both ends; facility already selected at node 0's end.
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 9])
+            .facility(1, 2) // selected
+            .facility(2, 2)
+            .facility(8, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let mut sel = vec![0];
+        select_greedy(&inst, &mut sel);
+        assert_eq!(sel, vec![0, 2], "facility near customer 9 is added");
+    }
+
+    #[test]
+    fn fills_exactly_to_k() {
+        let g = path(6);
+        let inst = McfsInstance::builder(&g)
+            .customers([0])
+            .facility(1, 1)
+            .facility(2, 1)
+            .facility(3, 1)
+            .facility(4, 1)
+            .k(3)
+            .build()
+            .unwrap();
+        let mut sel = vec![3];
+        select_greedy(&inst, &mut sel);
+        assert_eq!(sel.len(), 3);
+        let unique: FxHashSet<u32> = sel.iter().copied().collect();
+        assert_eq!(unique.len(), 3, "no duplicates");
+    }
+
+    #[test]
+    fn empty_selection_bootstraps() {
+        let g = path(4);
+        let inst = McfsInstance::builder(&g)
+            .customers([2])
+            .facility(0, 1)
+            .facility(3, 1)
+            .k(1)
+            .build()
+            .unwrap();
+        let mut sel = Vec::new();
+        select_greedy(&inst, &mut sel);
+        assert_eq!(sel, vec![1], "nearest candidate to the customer");
+    }
+
+    #[test]
+    fn unreachable_customers_fall_back_to_capacity() {
+        // Two components; all candidates are in the far component.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([0])
+            .facility(2, 3)
+            .facility(3, 7)
+            .k(2)
+            .build()
+            .unwrap();
+        let mut sel = Vec::new();
+        select_greedy(&inst, &mut sel);
+        assert_eq!(sel.len(), 2);
+        // First pick falls back to the highest-capacity candidate.
+        assert_eq!(sel[0], 1);
+    }
+
+    #[test]
+    fn colocated_candidates_prefer_higher_capacity() {
+        let g = path(3);
+        let inst = McfsInstance::builder(&g)
+            .customers([0])
+            .facility(1, 1)
+            .facility(1, 9)
+            .k(1)
+            .build()
+            .unwrap();
+        let mut sel = Vec::new();
+        select_greedy(&inst, &mut sel);
+        assert_eq!(sel, vec![1], "higher-capacity twin picked first");
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-iteration instrumentation of the WMA main loop.
+//!
+//! Figure 12b of the paper reports, per iteration: the number of covered
+//! customers, the time spent matching, and the time spent in the set-cover
+//! routine. [`IterationStats`] captures exactly those series plus a few
+//! internals (demand mass, `G_b` growth) that the analysis section discusses.
+
+use std::time::Duration;
+
+/// Measurements for one iteration of the WMA main loop.
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Customers covered by the selected set at the end of the iteration.
+    pub covered_customers: usize,
+    /// Wall-clock time spent satisfying demands (the matching phase).
+    pub matching_time: Duration,
+    /// Wall-clock time spent in `CheckCover`.
+    pub cover_time: Duration,
+    /// Total demand `Σ d_i` after the update.
+    pub total_demand: u64,
+    /// Bipartite edges materialized so far (the paper's |E'|).
+    pub edges_in_gb: u64,
+    /// Residual Dijkstra executions so far.
+    pub dijkstra_runs: u64,
+}
+
+/// Full trace of a WMA run (returned alongside the solution when
+/// instrumentation is enabled).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per main-loop iteration.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl RunStats {
+    /// Number of main-loop iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total time spent in the matching phase.
+    pub fn total_matching_time(&self) -> Duration {
+        self.iterations.iter().map(|s| s.matching_time).sum()
+    }
+
+    /// Total time spent in the set-cover phase.
+    pub fn total_cover_time(&self) -> Duration {
+        self.iterations.iter().map(|s| s.cover_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_iterations() {
+        let mut stats = RunStats::default();
+        for i in 1..=3 {
+            stats.iterations.push(IterationStats {
+                iteration: i,
+                covered_customers: i * 10,
+                matching_time: Duration::from_millis(5),
+                cover_time: Duration::from_millis(2),
+                total_demand: i as u64,
+                edges_in_gb: i as u64 * 4,
+                dijkstra_runs: i as u64,
+            });
+        }
+        assert_eq!(stats.num_iterations(), 3);
+        assert_eq!(stats.total_matching_time(), Duration::from_millis(15));
+        assert_eq!(stats.total_cover_time(), Duration::from_millis(6));
+    }
+}

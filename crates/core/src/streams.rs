@@ -1,0 +1,133 @@
+//! Network-backed edge streams: the bridge between the graph substrate and
+//! the matching substrate.
+//!
+//! Section IV-D of the paper: "We achieve this order by one Dijkstra
+//! execution per customer, yielding distances to candidate facilities in
+//! non-decreasing order; such distance values give the weights of new edges
+//! in `G_b`", with the per-customer searches persisting across `FindPair`
+//! calls. [`NetworkStream`] is that persistent search, shaped as the
+//! [`EdgeStream`] the incremental matcher consumes.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mcfs_flow::EdgeStream;
+use mcfs_graph::{Graph, LazyDijkstra, NodeId};
+use rustc_hash::FxHashMap;
+
+/// Shared lookup from network node to the candidate-facility indices located
+/// there (several facilities may share a node).
+pub type FacilityMap = Rc<FxHashMap<NodeId, Vec<u32>>>;
+
+/// A per-customer stream of `(facility index, network distance)` pairs in
+/// nondecreasing distance order, produced by a resumable Dijkstra over the
+/// road network.
+pub struct NetworkStream<'g> {
+    graph: &'g Graph,
+    search: LazyDijkstra,
+    facilities_at: FacilityMap,
+    /// Facilities co-located on an already-settled node, pending emission.
+    pending: VecDeque<(u32, u64)>,
+}
+
+impl<'g> NetworkStream<'g> {
+    /// Stream for a customer located at `source`.
+    pub fn new(graph: &'g Graph, source: NodeId, facilities_at: FacilityMap) -> Self {
+        Self { graph, search: LazyDijkstra::new(source), facilities_at, pending: VecDeque::new() }
+    }
+
+    /// Build one stream per customer over a shared facility map.
+    pub fn for_customers(
+        graph: &'g Graph,
+        customers: &[NodeId],
+        facilities_at: FacilityMap,
+    ) -> Vec<Self> {
+        customers
+            .iter()
+            .map(|&s| Self::new(graph, s, Rc::clone(&facilities_at)))
+            .collect()
+    }
+}
+
+impl EdgeStream for NetworkStream<'_> {
+    fn next_edge(&mut self) -> Option<(u32, u64)> {
+        if let Some(e) = self.pending.pop_front() {
+            return Some(e);
+        }
+        while let Some((node, dist)) = self.search.next_settled(self.graph) {
+            if let Some(fs) = self.facilities_at.get(&node) {
+                let mut it = fs.iter().copied();
+                let first = it.next().expect("facility map entries are nonempty");
+                for j in it {
+                    self.pending.push_back((j, dist));
+                }
+                return Some((first, dist));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::GraphBuilder;
+
+    fn line(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, i as NodeId + 1, 7);
+        }
+        b.build()
+    }
+
+    fn map(entries: &[(NodeId, &[u32])]) -> FacilityMap {
+        let mut m = FxHashMap::default();
+        for &(node, fs) in entries {
+            m.insert(node, fs.to_vec());
+        }
+        Rc::new(m)
+    }
+
+    #[test]
+    fn yields_facilities_in_distance_order() {
+        let g = line(6);
+        // Facilities at nodes 1, 4, 5 with indices 0, 1, 2.
+        let fm = map(&[(1, &[0]), (4, &[1]), (5, &[2])]);
+        let mut s = NetworkStream::new(&g, 2, fm);
+        assert_eq!(s.next_edge(), Some((0, 7)));
+        assert_eq!(s.next_edge(), Some((1, 14)));
+        assert_eq!(s.next_edge(), Some((2, 21)));
+        assert_eq!(s.next_edge(), None);
+    }
+
+    #[test]
+    fn colocated_facilities_all_emitted() {
+        let g = line(3);
+        let fm = map(&[(2, &[0, 1, 2])]);
+        let mut s = NetworkStream::new(&g, 0, fm);
+        assert_eq!(s.next_edge(), Some((0, 14)));
+        assert_eq!(s.next_edge(), Some((1, 14)));
+        assert_eq!(s.next_edge(), Some((2, 14)));
+        assert_eq!(s.next_edge(), None);
+    }
+
+    #[test]
+    fn customer_on_facility_node_distance_zero() {
+        let g = line(3);
+        let fm = map(&[(1, &[0])]);
+        let mut s = NetworkStream::new(&g, 1, fm);
+        assert_eq!(s.next_edge(), Some((0, 0)));
+    }
+
+    #[test]
+    fn disconnected_facilities_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5);
+        b.add_edge(2, 3, 5);
+        let g = b.build();
+        let fm = map(&[(3, &[0])]);
+        let mut s = NetworkStream::new(&g, 0, fm);
+        assert_eq!(s.next_edge(), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Standalone quality certificates: lower bounds that hold for *any*
+//! feasible solution, computable even where exact solving is hopeless.
+//!
+//! The transportation relaxation — assign every customer optimally with all
+//! `ℓ` candidates open, ignoring the cardinality constraint — bounds the
+//! optimum from below, because any real solution's feasible region is a
+//! subset of the relaxation's. The paper can only compare against Gurobi
+//! where Gurobi finishes; this bound lets the harness report "WMA is within
+//! X % of optimal" unconditionally (the bound is loose when `k` binds hard,
+//! so the gap it certifies is an upper bound on the true gap).
+
+use mcfs::{McfsInstance, SolveError};
+use mcfs_flow::{solve_transportation, TransportProblem};
+
+use crate::matrix::cost_matrix;
+
+/// Transportation lower bound on the optimal MCFS objective.
+///
+/// Costs one Dijkstra per customer plus one SSPA solve; practical at any
+/// `ℓ` the heuristics handle.
+pub fn relaxation_lower_bound(inst: &McfsInstance) -> Result<u64, SolveError> {
+    inst.check_feasibility().map_err(SolveError::Infeasible)?;
+    let costs = cost_matrix(inst);
+    let p = TransportProblem::new(inst.num_customers(), costs, inst.capacities());
+    solve_transportation(&p)
+        .map(|s| s.cost)
+        .map_err(|_| SolveError::AssignmentFailed { customer: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_optimal;
+    use mcfs::{Solver, Wma};
+    use mcfs_graph::{GraphBuilder, NodeId};
+    use proptest::prelude::*;
+
+    fn path(n: usize, w: u64) -> mcfs_graph::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, i as NodeId + 1, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bounds_the_optimum_from_below() {
+        let g = path(9, 5);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 2, 4, 6, 8])
+            .facility(1, 2)
+            .facility(3, 2)
+            .facility(5, 3)
+            .facility(7, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let lb = relaxation_lower_bound(&inst).unwrap();
+        let opt = enumerate_optimal(&inst).unwrap();
+        assert!(lb <= opt.objective, "LB {lb} above optimum {}", opt.objective);
+    }
+
+    #[test]
+    fn tight_when_k_equals_l() {
+        // With every candidate selectable the relaxation IS the problem.
+        let g = path(7, 3);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 3, 6])
+            .facility(1, 2)
+            .facility(5, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let lb = relaxation_lower_bound(&inst).unwrap();
+        let opt = enumerate_optimal(&inst).unwrap();
+        assert_eq!(lb, opt.objective);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// LB ≤ optimum ≤ WMA on random instances.
+        #[test]
+        fn sandwich_holds(
+            n in 5usize..12,
+            cust in proptest::collection::vec(0u32..12, 2..5),
+            fac in proptest::collection::vec((0u32..12, 1u32..4), 2..6),
+            k in 1usize..4,
+        ) {
+            let g = path(n, 4);
+            let customers: Vec<NodeId> = cust.iter().map(|&c| c % n as u32).collect();
+            let mut facs: Vec<mcfs::Facility> = fac
+                .iter()
+                .map(|&(v, c)| mcfs::Facility { node: v % n as u32, capacity: c })
+                .collect();
+            facs.dedup_by_key(|f| f.node);
+            let k = k.min(facs.len());
+            let inst = McfsInstance::builder(&g)
+                .customers(customers)
+                .facilities(facs)
+                .k(k)
+                .build()
+                .unwrap();
+            let (Ok(lb), Ok(opt), Ok(wma)) = (
+                relaxation_lower_bound(&inst),
+                enumerate_optimal(&inst),
+                Wma::new().solve(&inst),
+            ) else { return Ok(()); };
+            prop_assert!(lb <= opt.objective);
+            prop_assert!(opt.objective <= wma.objective);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Dense customer→facility distance matrices.
+//!
+//! The exact solvers evaluate many facility subsets against the same
+//! distances, so unlike WMA they precompute the full `m × ℓ` matrix — one
+//! Dijkstra per customer, exactly the `d_ij` of the paper's IP formulation
+//! ("they may be computed on the fly over the input network"; here the
+//! fly-weight is paid once up front).
+
+use mcfs::McfsInstance;
+use mcfs_flow::INF_COST;
+use mcfs_graph::{dijkstra_all, INF};
+
+/// Row-major `m × ℓ` matrix of network distances; unreachable pairs get
+/// [`INF_COST`].
+pub fn cost_matrix(inst: &McfsInstance) -> Vec<u64> {
+    let m = inst.num_customers();
+    let l = inst.num_facilities();
+    let mut costs = vec![INF_COST; m * l];
+    for (i, &s) in inst.customers().iter().enumerate() {
+        let dist = dijkstra_all(inst.graph(), s);
+        for (j, f) in inst.facilities().iter().enumerate() {
+            let d = dist[f.node as usize];
+            if d != INF {
+                costs[i * l + j] = d;
+            }
+        }
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::GraphBuilder;
+
+    #[test]
+    fn matrix_matches_dijkstra_on_random_graph() {
+        use mcfs_gen::synthetic::{generate_synthetic, SyntheticConfig};
+        let g = generate_synthetic(&SyntheticConfig::uniform(200, 2.0, 5));
+        let customers: Vec<u32> = (0..10).map(|i| i * 17 % 200).collect();
+        let fac_nodes: Vec<u32> = (0..8).map(|j| (j * 23 + 3) % 200).collect();
+        let inst = McfsInstance::builder(&g)
+            .customers(customers.iter().copied())
+            .facilities(fac_nodes.iter().map(|&v| mcfs::Facility { node: v, capacity: 2 }))
+            .k(2)
+            .build()
+            .unwrap();
+        let c = cost_matrix(&inst);
+        for (i, &s) in customers.iter().enumerate() {
+            let d = dijkstra_all(&g, s);
+            for (j, &f) in fac_nodes.iter().enumerate() {
+                let want = if d[f as usize] == INF { INF_COST } else { d[f as usize] };
+                assert_eq!(c[i * fac_nodes.len() + j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_customer_and_facility_cost_zero() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([1])
+            .facility(1, 1)
+            .k(1)
+            .build()
+            .unwrap();
+        assert_eq!(cost_matrix(&inst), vec![0]);
+    }
+
+    #[test]
+    fn matrix_matches_hand_distances() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 2])
+            .facility(1, 1)
+            .facility(3, 1)
+            .k(1)
+            .build()
+            .unwrap();
+        let c = cost_matrix(&inst);
+        assert_eq!(c, vec![3, INF_COST, 4, INF_COST]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Exhaustive assignment oracles for tiny instances.
+//!
+//! These enumerate *all* feasible assignments and are therefore correct by
+//! construction; the SSPA solvers and, transitively, WMA's matching layer are
+//! property-tested against them. Exponential — keep instances at toy size.
+
+use crate::INF_COST;
+
+/// Minimum total cost of assigning each customer `i` to `demands[i]`
+/// *distinct* facilities (each customer-facility pair used at most once),
+/// with facility `j` serving at most `capacities[j]` customers in total.
+/// `rows[i][j]` is the cost of pair `(i, j)`; [`INF_COST`] forbids the pair.
+///
+/// Returns `None` when no feasible assignment exists.
+pub fn brute_min_cost_assignment(
+    rows: &[Vec<u64>],
+    capacities: &[u32],
+    demands: &[u32],
+) -> Option<u64> {
+    let m = rows.len();
+    assert_eq!(demands.len(), m, "one demand per customer");
+    let mut remaining: Vec<u32> = capacities.to_vec();
+    let mut best: Option<u64> = None;
+
+    // Depth-first over customers; for each, over combinations of facilities.
+    fn recurse(
+        rows: &[Vec<u64>],
+        demands: &[u32],
+        remaining: &mut [u32],
+        i: usize,
+        acc: u64,
+        best: &mut Option<u64>,
+    ) {
+        if let Some(b) = *best {
+            if acc >= b {
+                return; // branch-and-bound prune
+            }
+        }
+        if i == rows.len() {
+            *best = Some(best.map_or(acc, |b| b.min(acc)));
+            return;
+        }
+        let need = demands[i] as usize;
+        // Enumerate `need`-subsets of facilities via a small index stack.
+        let mut combo: Vec<usize> = Vec::with_capacity(need);
+        #[allow(clippy::too_many_arguments)]
+        fn pick(
+            rows: &[Vec<u64>],
+            demands: &[u32],
+            remaining: &mut [u32],
+            i: usize,
+            from: usize,
+            combo: &mut Vec<usize>,
+            acc: u64,
+            best: &mut Option<u64>,
+        ) {
+            let need = demands[i] as usize;
+            if combo.len() == need {
+                recurse(rows, demands, remaining, i + 1, acc, best);
+                return;
+            }
+            for j in from..remaining.len() {
+                if remaining[j] == 0 || rows[i][j] == INF_COST {
+                    continue;
+                }
+                remaining[j] -= 1;
+                combo.push(j);
+                pick(rows, demands, remaining, i, j + 1, combo, acc + rows[i][j], best);
+                combo.pop();
+                remaining[j] += 1;
+            }
+        }
+        pick(rows, demands, remaining, i, 0, &mut combo, acc, best);
+    }
+
+    recurse(rows, demands, &mut remaining, 0, 0, &mut best);
+    best
+}
+
+/// Enumerate all `k`-subsets of `0..l`, calling `f` with each. Used by the
+/// exact solver's enumeration oracle and its tests.
+pub fn for_each_subset(l: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k > l {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        if k == 0 {
+            return;
+        }
+        // Advance to the next combination in lexicographic order: find the
+        // rightmost index that can still move, bump it, reset the suffix.
+        let mut i = k - 1;
+        while idx[i] == i + l - k {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_demand_hand_case() {
+        let rows = vec![vec![1, 2], vec![1, 100]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1, 1], &[1, 1]), Some(3));
+    }
+
+    #[test]
+    fn infeasible_capacity() {
+        let rows = vec![vec![1], vec![1]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1], &[1, 1]), None);
+    }
+
+    #[test]
+    fn multi_demand() {
+        // Customer 0 needs two distinct facilities.
+        let rows = vec![vec![1, 2, 50]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1, 1, 1], &[2]), Some(3));
+        // With facility 1 forbidden it must take the expensive one.
+        let rows = vec![vec![1, INF_COST, 50]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1, 1, 1], &[2]), Some(51));
+    }
+
+    #[test]
+    fn demand_exceeds_usable_facilities() {
+        let rows = vec![vec![1, INF_COST]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1, 1], &[2]), None);
+    }
+
+    #[test]
+    fn zero_demand_customer() {
+        let rows = vec![vec![5], vec![3]];
+        assert_eq!(brute_min_cost_assignment(&rows, &[1], &[0, 1]), Some(3));
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(brute_min_cost_assignment(&[], &[1, 2], &[]), Some(0));
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let mut count = 0;
+        for_each_subset(5, 2, |s| {
+            assert_eq!(s.len(), 2);
+            assert!(s[0] < s[1]);
+            count += 1;
+        });
+        assert_eq!(count, 10);
+
+        let mut count = 0;
+        for_each_subset(4, 4, |_| count += 1);
+        assert_eq!(count, 1);
+
+        let mut count = 0;
+        for_each_subset(3, 0, |s| {
+            assert!(s.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
+
+        let mut count = 0;
+        for_each_subset(2, 3, |_| count += 1);
+        assert_eq!(count, 0, "k > l yields nothing");
+    }
+
+    #[test]
+    fn subset_enumeration_is_exhaustive_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for_each_subset(6, 3, |s| {
+            assert!(seen.insert(s.to_vec()), "duplicate subset {s:?}");
+        });
+        assert_eq!(seen.len(), 20);
+    }
+}

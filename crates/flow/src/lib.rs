@@ -1,0 +1,35 @@
+//! Min-cost-flow substrate for the MCFS reproduction.
+//!
+//! The paper reduces customer-to-facility assignment under capacities to
+//! bipartite min-cost matching and solves it with the Successive Shortest
+//! Path Algorithm (SSPA) with node potentials, enhanced with the edge-pruning
+//! idea of SIA (U et al.) transferred from Euclidean to network distances
+//! (Sections IV-D and V). This crate provides that machinery in three tiers:
+//!
+//! * [`transport`] — a dense transportation solver: every cost is known up
+//!   front. Used for baselines' final matchings and the exact solver's
+//!   relaxations, and as the oracle the incremental matcher is tested
+//!   against.
+//! * [`incremental`] — the paper's `FindPair` (Algorithm 2): an SSPA that
+//!   materializes bipartite edges lazily from per-customer nondecreasing
+//!   [`EdgeStream`]s and stops pulling edges via the Theorem-1 threshold.
+//! * [`brute`] — exhaustive assignment enumeration for tiny instances; the
+//!   ground truth both solvers are property-tested against.
+//!
+//! Costs are `u64` (network distances in meters); [`INF_COST`] marks
+//! unusable/unknown pairs. Potentials are maintained so that all residual
+//! reduced costs stay nonnegative — asserted in debug builds.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod incremental;
+pub mod stream;
+pub mod transport;
+
+pub use incremental::{Matcher, MatcherError, PruningRule};
+pub use stream::{EdgeStream, VecStream};
+pub use transport::{solve_transportation, TransportError, TransportProblem, TransportSolution};
+
+/// Cost sentinel for "no usable edge".
+pub const INF_COST: u64 = u64::MAX;

@@ -1,0 +1,82 @@
+//! Edge streams: lazily discovered bipartite edges in nondecreasing cost
+//! order.
+//!
+//! `FindPair` never sees the complete bipartite graph `G_b`; it pulls edges
+//! one at a time from a per-customer source that yields candidate facilities
+//! in nondecreasing network distance (one persistent Dijkstra per customer in
+//! the paper, Section IV-D). [`EdgeStream`] abstracts that source so the
+//! matcher can be tested against in-memory streams ([`VecStream`]) and driven
+//! in production by network searches (implemented in the `mcfs` crate on top
+//! of `mcfs_graph::LazyDijkstra`).
+
+/// A source of bipartite edges for one customer, yielded in nondecreasing
+/// cost order. Yielding an edge to the same facility twice is allowed but
+/// useless (the matcher ignores duplicates).
+pub trait EdgeStream {
+    /// Produce the next `(facility_index, cost)` pair, or `None` when the
+    /// customer's candidate set is exhausted.
+    ///
+    /// Implementations must yield costs in nondecreasing order; the matcher
+    /// checks this in debug builds. Costs must be `< u64::MAX / 4` so that
+    /// path sums cannot overflow.
+    fn next_edge(&mut self) -> Option<(u32, u64)>;
+}
+
+/// An in-memory stream over a pre-sorted edge list; primarily for tests and
+/// for callers that already computed full cost rows.
+#[derive(Clone, Debug)]
+pub struct VecStream {
+    edges: Vec<(u32, u64)>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Stream over `edges`, which are sorted by cost here (stable on facility
+    /// id for determinism).
+    pub fn new(mut edges: Vec<(u32, u64)>) -> Self {
+        edges.sort_unstable_by_key(|&(j, w)| (w, j));
+        Self { edges, pos: 0 }
+    }
+
+    /// Stream over one dense cost row; `u64::MAX` entries mean "no edge".
+    pub fn from_row(row: &[u64]) -> Self {
+        Self::new(
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != u64::MAX)
+                .map(|(j, &w)| (j as u32, w))
+                .collect(),
+        )
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn next_edge(&mut self) -> Option<(u32, u64)> {
+        let e = self.edges.get(self.pos).copied();
+        self.pos += 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_sorts_and_exhausts() {
+        let mut s = VecStream::new(vec![(2, 30), (0, 10), (1, 10)]);
+        assert_eq!(s.next_edge(), Some((0, 10)));
+        assert_eq!(s.next_edge(), Some((1, 10)));
+        assert_eq!(s.next_edge(), Some((2, 30)));
+        assert_eq!(s.next_edge(), None);
+        assert_eq!(s.next_edge(), None);
+    }
+
+    #[test]
+    fn from_row_skips_inf() {
+        let mut s = VecStream::from_row(&[5, u64::MAX, 3]);
+        assert_eq!(s.next_edge(), Some((2, 3)));
+        assert_eq!(s.next_edge(), Some((0, 5)));
+        assert_eq!(s.next_edge(), None);
+    }
+}

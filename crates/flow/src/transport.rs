@@ -1,0 +1,432 @@
+//! Dense transportation solver: optimal assignment of unit-demand customers
+//! to capacitated facilities with a fully known cost matrix.
+//!
+//! This is the Successive Shortest Path Algorithm with Johnson potentials on
+//! the bipartite residual graph — the same machinery the paper's `FindPair`
+//! uses (Section IV-D), minus the lazy edge discovery. It serves three roles:
+//!
+//! * final customer→facility matchings for the Hilbert and BRNN baselines
+//!   ("it then runs SIA to produce a final assignment", Section VII-A);
+//! * the assignment subproblem and relaxation bounds inside the exact
+//!   branch-and-bound solver;
+//! * the oracle the incremental matcher is property-tested against.
+//!
+//! Reduced costs follow the paper's Equation (5) sign convention,
+//! `w_r(u, v) = w(u, v) − u.p + v.p`, and potentials are kept nonnegative;
+//! debug builds assert that every relaxed arc has nonnegative reduced cost.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::INF_COST;
+
+/// A transportation problem: `m` unit-demand customers, `l` facilities with
+/// integer capacities, and an `m × l` cost matrix (row-major;
+/// [`INF_COST`] marks a forbidden pair).
+///
+/// ```
+/// use mcfs_flow::{solve_transportation, TransportProblem};
+///
+/// // Two customers, two unit-capacity facilities; the optimum rewires
+/// // customer 0 away from its favorite so customer 1 can use it.
+/// let p = TransportProblem::from_rows(&[vec![1, 2], vec![1, 100]], vec![1, 1]);
+/// let sol = solve_transportation(&p).unwrap();
+/// assert_eq!(sol.cost, 3);
+/// assert_eq!(sol.assignment, vec![1, 0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransportProblem {
+    m: usize,
+    l: usize,
+    costs: Vec<u64>,
+    capacities: Vec<u32>,
+}
+
+/// An optimal solution to a [`TransportProblem`].
+#[derive(Clone, Debug)]
+pub struct TransportSolution {
+    /// `assignment[i]` is the facility serving customer `i`.
+    pub assignment: Vec<u32>,
+    /// Total assignment cost, `Σ_i cost(i, assignment[i])`.
+    pub cost: u64,
+    /// Number of customers assigned per facility.
+    pub loads: Vec<u32>,
+}
+
+/// Why a transportation problem has no solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// Customer `customer` cannot reach any facility with spare capacity.
+    Infeasible {
+        /// The unservable customer.
+        customer: usize,
+    },
+    /// Capacities sum to less than the number of customers.
+    InsufficientCapacity {
+        /// Total capacity across all facilities.
+        total_capacity: u64,
+        /// Number of unit-demand customers.
+        customers: usize,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Infeasible { customer } => {
+                write!(f, "customer {customer} cannot be assigned to any reachable facility")
+            }
+            TransportError::InsufficientCapacity { total_capacity, customers } => write!(
+                f,
+                "total facility capacity {total_capacity} is less than {customers} customers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportProblem {
+    /// Build a problem from a row-major cost matrix.
+    ///
+    /// `costs.len()` must equal `m * capacities.len()` where
+    /// `m = costs.len() / capacities.len()`.
+    pub fn new(m: usize, costs: Vec<u64>, capacities: Vec<u32>) -> Self {
+        let l = capacities.len();
+        assert_eq!(costs.len(), m * l, "cost matrix shape mismatch");
+        Self { m, l, costs, capacities }
+    }
+
+    /// Build from nested rows (convenience for tests).
+    pub fn from_rows(rows: &[Vec<u64>], capacities: Vec<u32>) -> Self {
+        let m = rows.len();
+        let l = capacities.len();
+        let mut costs = Vec::with_capacity(m * l);
+        for r in rows {
+            assert_eq!(r.len(), l, "row length mismatch");
+            costs.extend_from_slice(r);
+        }
+        Self { m, l, costs, capacities }
+    }
+
+    #[inline]
+    fn cost(&self, i: usize, j: usize) -> u64 {
+        self.costs[i * self.l + j]
+    }
+
+    /// Number of customers.
+    pub fn num_customers(&self) -> usize {
+        self.m
+    }
+
+    /// Number of facilities.
+    pub fn num_facilities(&self) -> usize {
+        self.l
+    }
+}
+
+/// Solve a transportation problem to optimality via SSPA with potentials.
+///
+/// Runtime is `O(m · (m·l + (m+l) log(m+l)))`; memory `O(m·l)` for the cost
+/// matrix the caller already owns plus `O(m + l)` scratch.
+pub fn solve_transportation(p: &TransportProblem) -> Result<TransportSolution, TransportError> {
+    let (m, l) = (p.m, p.l);
+    let total_cap: u64 = p.capacities.iter().map(|&c| c as u64).sum();
+    if total_cap < m as u64 {
+        return Err(TransportError::InsufficientCapacity {
+            total_capacity: total_cap,
+            customers: m,
+        });
+    }
+    let n = m + l;
+    // assigned[i] = facility of customer i (l == unassigned sentinel).
+    let unassigned = l as u32;
+    let mut assigned = vec![unassigned; m];
+    let mut holders: Vec<Vec<u32>> = vec![Vec::new(); l];
+    let mut pi = vec![0u64; n]; // nonnegative potentials, paper Eq. (5)
+
+    // Versioned Dijkstra scratch.
+    let mut dist = vec![0u64; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut stamp = vec![0u32; n];
+    let mut version = 0u32;
+
+    for s in 0..m {
+        version += 1;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut touched: Vec<u32> = Vec::new();
+        dist[s] = 0;
+        stamp[s] = version;
+        parent[s] = u32::MAX;
+        touched.push(s as u32);
+        heap.push(Reverse((0, s as u32)));
+
+        let mut target: Option<(u64, u32)> = None;
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if stamp[v as usize] != version || d > dist[v as usize] {
+                continue;
+            }
+            let vu = v as usize;
+            if vu >= m {
+                // Facility node: free capacity makes it the sink.
+                let j = vu - m;
+                if holders[j].len() < p.capacities[j] as usize {
+                    target = Some((d, v));
+                    break;
+                }
+                // Backward arcs to customers currently held here.
+                for &i in &holders[j] {
+                    let w = p.cost(i as usize, j);
+                    // Reduced cost of the reversed arc: −w − π_j + π_i ≥ 0.
+                    debug_assert!(
+                        pi[i as usize] >= w + pi[vu],
+                        "negative reduced cost on backward arc"
+                    );
+                    let rc = pi[i as usize] - w - pi[vu];
+                    relax(&mut dist, &mut parent, &mut stamp, &mut touched, version, &mut heap, v, i, d + rc);
+                }
+            } else {
+                // Customer node: forward arcs to all facilities except the
+                // currently assigned one.
+                let a = assigned[vu];
+                for j in 0..l {
+                    if j as u32 == a {
+                        continue;
+                    }
+                    let w = p.cost(vu, j);
+                    if w == INF_COST {
+                        continue;
+                    }
+                    // Reduced cost: w − π_i + π_j ≥ 0.
+                    debug_assert!(w + pi[m + j] >= pi[vu], "negative reduced cost on forward arc");
+                    let rc = w + pi[m + j] - pi[vu];
+                    relax(&mut dist, &mut parent, &mut stamp, &mut touched, version, &mut heap, v, m as u32 + j as u32, d + rc);
+                }
+            }
+        }
+
+        let Some((dt, t)) = target else {
+            return Err(TransportError::Infeasible { customer: s });
+        };
+
+        // Johnson potential update: π_v += δ(t) − min(δ(v), δ(t)).
+        for &v in &touched {
+            let dv = dist[v as usize];
+            if dv < dt {
+                pi[v as usize] += dt - dv;
+            }
+        }
+
+        // Augment along the parent chain, flipping assignments.
+        let mut node = t;
+        loop {
+            let prev = parent[node as usize];
+            if (node as usize) >= m {
+                // prev (customer) -> node (facility): use the edge.
+                let j = node as usize - m;
+                assigned[prev as usize] = j as u32;
+                holders[j].push(prev);
+            } else {
+                // prev (facility) -> node (customer): release the edge.
+                let j = prev as usize - m;
+                let pos = holders[j]
+                    .iter()
+                    .position(|&c| c == node)
+                    .expect("backward arc without held customer");
+                holders[j].swap_remove(pos);
+            }
+            node = prev;
+            if node as usize == s {
+                break;
+            }
+        }
+    }
+
+    let mut cost = 0u64;
+    let mut loads = vec![0u32; l];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..m {
+        let j = assigned[i] as usize;
+        debug_assert!(j < l, "customer left unassigned");
+        cost += p.cost(i, j);
+        loads[j] += 1;
+    }
+    Ok(TransportSolution { assignment: assigned, cost, loads })
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn relax(
+    dist: &mut [u64],
+    parent: &mut [u32],
+    stamp: &mut [u32],
+    touched: &mut Vec<u32>,
+    version: u32,
+    heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    from: u32,
+    to: u32,
+    nd: u64,
+) {
+    let tu = to as usize;
+    if stamp[tu] != version {
+        stamp[tu] = version;
+        dist[tu] = u64::MAX;
+        parent[tu] = u32::MAX;
+        touched.push(to);
+    }
+    if nd < dist[tu] {
+        dist[tu] = nd;
+        parent[tu] = from;
+        heap.push(Reverse((nd, to)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_min_cost_assignment;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_single_pair() {
+        let p = TransportProblem::from_rows(&[vec![7]], vec![1]);
+        let s = solve_transportation(&p).unwrap();
+        assert_eq!(s.cost, 7);
+        assert_eq!(s.assignment, vec![0]);
+        assert_eq!(s.loads, vec![1]);
+    }
+
+    #[test]
+    fn rewiring_is_required() {
+        // Customer 0 prefers facility 0 but must cede it to customer 1.
+        let p = TransportProblem::from_rows(
+            &[vec![1, 2], vec![1, 100]],
+            vec![1, 1],
+        );
+        let s = solve_transportation(&p).unwrap();
+        assert_eq!(s.cost, 3);
+        assert_eq!(s.assignment, vec![1, 0]);
+    }
+
+    #[test]
+    fn capacity_constrains_assignment() {
+        // Both customers want facility 0, but it holds only one.
+        let p = TransportProblem::from_rows(&[vec![1, 10], vec![2, 10]], vec![1, 5]);
+        let s = solve_transportation(&p).unwrap();
+        // Optimal: customer 0 keeps the cheap slot (1 + 10 < 2 + 10).
+        assert_eq!(s.cost, 11);
+        assert_eq!(s.loads, vec![1, 1]);
+    }
+
+    #[test]
+    fn insufficient_capacity_detected() {
+        let p = TransportProblem::from_rows(&[vec![1], vec![1]], vec![1]);
+        assert_eq!(
+            solve_transportation(&p).unwrap_err(),
+            TransportError::InsufficientCapacity { total_capacity: 1, customers: 2 }
+        );
+    }
+
+    #[test]
+    fn unreachable_customer_detected() {
+        let p = TransportProblem::from_rows(
+            &[vec![1, INF_COST], vec![INF_COST, INF_COST]],
+            vec![1, 1],
+        );
+        assert_eq!(
+            solve_transportation(&p).unwrap_err(),
+            TransportError::Infeasible { customer: 1 }
+        );
+    }
+
+    #[test]
+    fn forbidden_edges_force_detours() {
+        let p = TransportProblem::from_rows(
+            &[vec![1, 50], vec![2, INF_COST]],
+            vec![1, 1],
+        );
+        let s = solve_transportation(&p).unwrap();
+        assert_eq!(s.cost, 52);
+        assert_eq!(s.assignment, vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_customers() {
+        let p = TransportProblem::new(0, vec![], vec![3, 4]);
+        let s = solve_transportation(&p).unwrap();
+        assert_eq!(s.cost, 0);
+        assert!(s.assignment.is_empty());
+    }
+
+    #[test]
+    fn long_rewiring_chain() {
+        // A chain where each arrival displaces the previous optimum.
+        let p = TransportProblem::from_rows(
+            &[
+                vec![0, 1, 9, 9],
+                vec![0, 9, 1, 9],
+                vec![0, 9, 9, 1],
+                vec![0, 9, 9, 9],
+            ],
+            vec![1, 1, 1, 1],
+        );
+        let s = solve_transportation(&p).unwrap();
+        let brute = brute_min_cost_assignment(
+            &(0..4).map(|i| (0..4).map(|j| p.cost(i, j)).collect()).collect::<Vec<_>>(),
+            &[1, 1, 1, 1],
+            &[1, 1, 1, 1],
+        )
+        .unwrap();
+        assert_eq!(s.cost, brute);
+    }
+
+    proptest! {
+        /// SSPA matches exhaustive search on random dense instances.
+        #[test]
+        fn optimal_on_random_instances(
+            m in 1usize..6,
+            l in 1usize..5,
+            seed_costs in proptest::collection::vec(0u64..1000, 36),
+            caps in proptest::collection::vec(1u32..4, 5),
+        ) {
+            let rows: Vec<Vec<u64>> = (0..m)
+                .map(|i| (0..l).map(|j| seed_costs[(i * 6 + j) % 36]).collect())
+                .collect();
+            let capacities: Vec<u32> = caps[..l].to_vec();
+            let p = TransportProblem::from_rows(&rows, capacities.clone());
+            let got = solve_transportation(&p);
+            let want = brute_min_cost_assignment(&rows, &capacities, &vec![1u32; m]);
+            match (got, want) {
+                (Ok(sol), Some(best)) => {
+                    prop_assert_eq!(sol.cost, best);
+                    // The reported assignment is itself consistent.
+                    let recomputed: u64 = sol.assignment.iter().enumerate()
+                        .map(|(i, &j)| rows[i][j as usize]).sum();
+                    prop_assert_eq!(recomputed, sol.cost);
+                    for (j, &ld) in sol.loads.iter().enumerate() {
+                        prop_assert!(ld <= capacities[j]);
+                    }
+                }
+                (Err(_), None) => {}
+                (g, w) => prop_assert!(false, "solver/brute disagree: {:?} vs {:?}", g, w),
+            }
+        }
+
+        /// Random instances with forbidden pairs.
+        #[test]
+        fn optimal_with_forbidden_pairs(
+            m in 1usize..5,
+            l in 1usize..5,
+            costs in proptest::collection::vec(proptest::option::weighted(0.8, 0u64..100), 25),
+        ) {
+            let rows: Vec<Vec<u64>> = (0..m)
+                .map(|i| (0..l).map(|j| costs[(i * 5 + j) % 25].unwrap_or(INF_COST)).collect())
+                .collect();
+            let capacities = vec![1u32; l];
+            let p = TransportProblem::from_rows(&rows, capacities.clone());
+            let got = solve_transportation(&p).ok().map(|s| s.cost);
+            let want = brute_min_cost_assignment(&rows, &capacities, &vec![1u32; m]);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

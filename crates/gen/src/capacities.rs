@@ -1,0 +1,72 @@
+//! Capacity models used across the paper's experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sample_normal;
+
+/// Uniform capacities `c` for all `l` facilities (Figures 6a–c, 7, 9b…).
+pub fn uniform(l: usize, c: u32) -> Vec<u32> {
+    vec![c; l]
+}
+
+/// Independent uniform random capacities in `lo..=hi` — the paper's
+/// Figure 6d uses `U(1, 10)`.
+pub fn uniform_random(l: usize, lo: u32, hi: u32, seed: u64) -> Vec<u32> {
+    assert!(lo >= 1 && lo <= hi, "capacity range must be positive and ordered");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..l).map(|_| rng.random_range(lo..=hi)).collect()
+}
+
+/// Operational-hours capacities: `N(9, 3²)` clamped to `1..=24`, matching
+/// the venue model of Section VII-F1 (average 9 hours in both cities).
+pub fn operational_hours(l: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..l)
+        .map(|_| (9.0 + 3.0 * sample_normal(&mut rng)).round().clamp(1.0, 24.0) as u32)
+        .collect()
+}
+
+/// The paper's occupancy measure `o = m / (c̄ · k)` — how close a
+/// configuration sits to full capacity (feasible only when `o ≤ 1`).
+pub fn occupancy(m: usize, capacities: &[u32], k: usize) -> f64 {
+    let mean: f64 = capacities.iter().map(|&c| c as f64).sum::<f64>() / capacities.len() as f64;
+    m as f64 / (mean * k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fills() {
+        assert_eq!(uniform(4, 20), vec![20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn random_range_respected() {
+        let caps = uniform_random(1000, 1, 10, 3);
+        assert!(caps.iter().all(|&c| (1..=10).contains(&c)));
+        // All values appear with a healthy sample.
+        for v in 1..=10u32 {
+            assert!(caps.contains(&v), "capacity {v} never drawn");
+        }
+        assert_eq!(caps, uniform_random(1000, 1, 10, 3));
+    }
+
+    #[test]
+    fn hours_are_clamped_with_sane_mean() {
+        let caps = operational_hours(2000, 8);
+        assert!(caps.iter().all(|&c| (1..=24).contains(&c)));
+        let mean: f64 = caps.iter().map(|&c| c as f64).sum::<f64>() / 2000.0;
+        assert!((7.5..10.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn occupancy_matches_paper_examples() {
+        // Figure 6a: c = 20, k = 0.1 m ⇒ o = m / (20 · 0.1 m) = 0.5.
+        let caps = uniform(100, 20);
+        let o = occupancy(1000, &caps, 100);
+        assert!((o - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! Customer placement models.
+//!
+//! * [`uniform_customers`] — "we randomly assign customers to 10% of all
+//!   nodes" (Section VII-C): distinct nodes sampled uniformly.
+//! * [`sample_weighted`] — generic weighted sampling with replacement (used
+//!   by the venue and bike demand models; the paper's Figure 8c explicitly
+//!   allows "multiple customers per node").
+//! * [`district_population_model`] — the Copenhagen coworking model
+//!   (Section VII-F1b): "a customer distribution proportional to that of
+//!   district populations", realized as a network-Voronoi partition into
+//!   districts with heavy-tailed populations.
+
+use mcfs_graph::{multi_source_dijkstra, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::sample_normal;
+
+/// `m` customers on distinct uniformly chosen nodes.
+///
+/// Panics if `m > g.num_nodes()`.
+pub fn uniform_customers(g: &Graph, m: usize, seed: u64) -> Vec<NodeId> {
+    assert!(m <= g.num_nodes(), "cannot place {m} distinct customers on {} nodes", g.num_nodes());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(m);
+    nodes
+}
+
+/// `count` distinct uniformly chosen nodes — the paper's `F_p` sampling when
+/// `ℓ < n` (Figure 8a varies `|F_p|` from 40% to 100% of nodes).
+pub fn uniform_nodes(g: &Graph, count: usize, seed: u64) -> Vec<NodeId> {
+    uniform_customers(g, count, seed)
+}
+
+/// Sample `m` nodes (with replacement) proportionally to `weights`.
+/// Zero-weight nodes are never drawn; weights need not be normalized.
+pub fn sample_weighted(weights: &[f64], m: usize, seed: u64) -> Vec<NodeId> {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative distribution + binary search per draw.
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        debug_assert!(w >= 0.0, "negative weight");
+        acc += w;
+        cdf.push(acc);
+    }
+    (0..m)
+        .map(|_| {
+            let x = rng.random::<f64>() * total;
+            cdf.partition_point(|&c| c < x).min(weights.len() - 1) as NodeId
+        })
+        .collect()
+}
+
+/// Zero out the weights of nodes that cannot reach any of `anchors` — used
+/// to keep weighted customer draws feasible when the network is fragmented
+/// (a customer in a station-less island can never be served).
+pub fn mask_to_reachable(g: &Graph, weights: &[f64], anchors: &[NodeId]) -> Vec<f64> {
+    let (dist, _) = multi_source_dijkstra(g, anchors);
+    weights
+        .iter()
+        .zip(&dist)
+        .map(|(&w, &d)| if d == mcfs_graph::INF { 0.0 } else { w })
+        .collect()
+}
+
+/// Per-node weights for the district-population model: the network is split
+/// into `districts` network-Voronoi cells around random seeds; each district
+/// draws a log-normal population, spread evenly over its nodes.
+pub fn district_population_model(g: &Graph, districts: usize, seed: u64) -> Vec<f64> {
+    assert!(districts >= 1 && districts <= g.num_nodes());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = uniform_customers(g, districts, rng.random());
+    let (_, owner) = multi_source_dijkstra(g, &centers);
+    // Log-normal populations: median city-district ratios are heavy-tailed.
+    let pops: Vec<f64> = (0..districts)
+        .map(|_| (0.75 * sample_normal(&mut rng)).exp())
+        .collect();
+    let mut sizes = vec![0usize; districts];
+    for &o in &owner {
+        if o != usize::MAX {
+            sizes[o] += 1;
+        }
+    }
+    owner
+        .iter()
+        .map(|&o| if o == usize::MAX { 0.0 } else { pops[o] / sizes[o] as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::GraphBuilder;
+
+    fn grid(n: usize) -> Graph {
+        let side = (n as f64).sqrt() as usize;
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = (r * side + c) as NodeId;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 10);
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side as NodeId, 10);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_customers_are_distinct() {
+        let g = grid(400);
+        let cs = uniform_customers(&g, 40, 1);
+        assert_eq!(cs.len(), 40);
+        let mut sorted = cs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "no duplicates");
+        assert_eq!(cs, uniform_customers(&g, 40, 1), "seeded determinism");
+        assert_ne!(cs, uniform_customers(&g, 40, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct customers")]
+    fn too_many_customers_panics() {
+        let g = grid(9);
+        uniform_customers(&g, 100, 0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_zero_and_mass() {
+        let weights = vec![0.0, 1.0, 3.0, 0.0];
+        let draws = sample_weighted(&weights, 4000, 5);
+        assert!(draws.iter().all(|&v| v == 1 || v == 2));
+        let twos = draws.iter().filter(|&&v| v == 2).count();
+        // Expect ≈ 75%; allow generous slack.
+        assert!((2700..3300).contains(&twos), "got {twos} draws of node 2");
+    }
+
+    #[test]
+    fn district_model_is_a_distribution_over_the_graph() {
+        let g = grid(400);
+        let w = district_population_model(&g, 10, 7);
+        assert_eq!(w.len(), g.num_nodes());
+        assert!(w.iter().all(|&x| x >= 0.0));
+        assert!(w.iter().sum::<f64>() > 0.0);
+        // Districts differ: there must be meaningfully different weights.
+        let mut uniq: Vec<u64> = w.iter().map(|&x| (x * 1e9) as u64).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 5, "only {} distinct weight levels", uniq.len());
+    }
+
+    #[test]
+    fn mask_zeroes_unreachable_islands() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let w = mask_to_reachable(&g, &[1.0, 1.0, 1.0, 1.0], &[0]);
+        assert_eq!(w, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn district_model_feeds_weighted_sampling() {
+        let g = grid(100);
+        let w = district_population_model(&g, 4, 3);
+        let customers = sample_weighted(&w, 50, 9);
+        assert_eq!(customers.len(), 50);
+        assert!(customers.iter().all(|&c| (c as usize) < g.num_nodes()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Workload generators for the MCFS reproduction — every dataset the
+//! paper's evaluation (Section VII) draws on, rebuilt synthetically:
+//!
+//! * [`points`] — uniform and clustered point scatters on the
+//!   `10³ × 10³` square (paper Figure 5);
+//! * [`synthetic`] — the radius-graph construction over those scatters
+//!   ("connect pairs of points closer than `α/√n`", Section VII-B);
+//! * [`city`] — synthetic road networks calibrated to the Table III
+//!   statistics of the paper's four OSM cities (the OSM substitution);
+//! * [`customers`] — customer placement models: uniform node sampling and
+//!   the district-population model (Copenhagen, Section VII-F1b);
+//! * [`venues`] — venues with operational-hours capacities plus the
+//!   network-Voronoi occupancy-based customer distribution (the Yelp
+//!   substitution, Section VII-F1a);
+//! * [`bikes`] — a synthetic hourly bike-flow field, its divergence and the
+//!   variance-based docking-demand distribution (the bike-counter
+//!   substitution, Section VII-F2), plus docking-station generation;
+//! * [`capacities`] — capacity models: uniform, `U(1, 10)` (Figure 6d) and
+//!   operational-hours.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+pub mod bikes;
+pub mod capacities;
+pub mod city;
+pub mod customers;
+pub mod points;
+pub mod synthetic;
+pub mod venues;
+
+pub use city::{generate_city, CityStyle, CitySpec};
+pub use points::{clustered_points, uniform_points, PointDistribution};
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+
+/// Draw a standard-normal sample via Box–Muller (keeps the dependency set
+/// to plain `rand`).
+pub(crate) fn sample_normal(rng: &mut impl rand::Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}

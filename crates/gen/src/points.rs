@@ -1,0 +1,163 @@
+//! Point scatters on the generator plane (paper Section VII-B, Figure 5).
+//!
+//! "We create synthetic graphs by placing points on a `10³ × 10³` square. We
+//! use two distributions, uniform and clustered. In the clustered case, we
+//! place cluster centers uniformly at random. We then assign an equal number
+//! of points to each cluster, and form a Gaussian distribution for each
+//! cluster with the center as mean." The paper tunes the deviation "so that
+//! clusters cover the plane"; [`clustered_points`] exposes that tuning knob
+//! with a covering default.
+
+use mcfs_graph::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sample_normal;
+
+/// Side length of the paper's generator square.
+pub const DEFAULT_SIDE: f64 = 1000.0;
+
+/// Which scatter to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PointDistribution {
+    /// Uniform over the square.
+    Uniform,
+    /// Gaussian clusters around uniformly placed centers.
+    Clustered {
+        /// Number of clusters (paper uses 40, 20 and 5).
+        clusters: usize,
+    },
+}
+
+/// `n` points uniform on `[0, side]²`.
+pub fn uniform_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect()
+}
+
+/// Output of [`clustered_points`]: the scatter plus its cluster structure.
+#[derive(Clone, Debug)]
+pub struct ClusteredPoints {
+    /// All points; points of cluster `c` occupy the contiguous range
+    /// `ranges[c]`.
+    pub points: Vec<Point>,
+    /// Cluster centers (also appended as the *first* point of each range, so
+    /// centers are actual nodes, enabling the paper's center clique).
+    pub centers: Vec<Point>,
+    /// Index of each cluster's center point within `points`.
+    pub center_indices: Vec<usize>,
+}
+
+/// `n` points in `clusters` Gaussian clusters on `[0, side]²`.
+///
+/// `sigma` is the per-axis standard deviation; `None` uses the covering
+/// default `side / (2·√clusters)` (clusters tile the plane as the paper
+/// tunes them to). Samples falling outside the square are clamped to it.
+/// Every cluster contributes `n / clusters` points (±1 for the remainder),
+/// the first of which *is* the center.
+pub fn clustered_points(
+    n: usize,
+    clusters: usize,
+    side: f64,
+    sigma: Option<f64>,
+    seed: u64,
+) -> ClusteredPoints {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(n >= clusters, "need at least one point per cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = sigma.unwrap_or(side / (2.0 * (clusters as f64).sqrt()));
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+
+    let mut points = Vec::with_capacity(n);
+    let mut center_indices = Vec::with_capacity(clusters);
+    let base = n / clusters;
+    let extra = n % clusters;
+    for (c, &center) in centers.iter().enumerate() {
+        let count = base + usize::from(c < extra);
+        center_indices.push(points.len());
+        points.push(center); // the center is a real node
+        for _ in 1..count {
+            let x = (center.x + sigma * sample_normal(&mut rng)).clamp(0.0, side);
+            let y = (center.y + sigma * sample_normal(&mut rng)).clamp(0.0, side);
+            points.push(Point::new(x, y));
+        }
+    }
+    ClusteredPoints { points, centers, center_indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_square_and_is_seeded() {
+        let a = uniform_points(500, 1000.0, 7);
+        let b = uniform_points(500, 1000.0, 7);
+        let c = uniform_points(500, 1000.0, 8);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|p| (0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y)));
+        assert_eq!(a, b, "same seed, same scatter");
+        assert_ne!(a, c, "different seed, different scatter");
+    }
+
+    #[test]
+    fn uniform_covers_all_quadrants() {
+        let pts = uniform_points(2000, 1000.0, 3);
+        for (qx, qy) in [(false, false), (false, true), (true, false), (true, true)] {
+            let cnt = pts
+                .iter()
+                .filter(|p| (p.x > 500.0) == qx && (p.y > 500.0) == qy)
+                .count();
+            assert!(cnt > 300, "quadrant ({qx},{qy}) has {cnt} points");
+        }
+    }
+
+    #[test]
+    fn clusters_have_equal_sizes_and_real_centers() {
+        let cp = clustered_points(1003, 20, 1000.0, None, 42);
+        assert_eq!(cp.points.len(), 1003);
+        assert_eq!(cp.centers.len(), 20);
+        assert_eq!(cp.center_indices.len(), 20);
+        for (c, &ci) in cp.center_indices.iter().enumerate() {
+            assert_eq!(cp.points[ci], cp.centers[c]);
+        }
+        // Sizes differ by at most one.
+        let mut sizes = Vec::new();
+        for c in 0..20 {
+            let end = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            sizes.push(end - cp.center_indices[c]);
+        }
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn tight_sigma_concentrates_points() {
+        let cp = clustered_points(400, 4, 1000.0, Some(5.0), 9);
+        for c in 0..4 {
+            let lo = cp.center_indices[c];
+            let hi = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            let center = cp.centers[c];
+            let close = cp.points[lo..hi].iter().filter(|p| p.dist(&center) < 25.0).count();
+            assert!(
+                close as f64 > 0.95 * (hi - lo) as f64,
+                "cluster {c}: only {close}/{} points within 5σ",
+                hi - lo
+            );
+        }
+    }
+
+    #[test]
+    fn clamping_keeps_points_inside() {
+        // Huge sigma forces lots of clamping; all points must stay legal.
+        let cp = clustered_points(300, 3, 100.0, Some(500.0), 11);
+        assert!(cp
+            .points
+            .iter()
+            .all(|p| (0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y)));
+    }
+}

@@ -1,0 +1,265 @@
+//! ALT point-to-point shortest paths: A* with Landmarks and the Triangle
+//! inequality (Goldberg & Harrelson).
+//!
+//! The paper's algorithms run many *one-to-many* searches, which plain
+//! Dijkstra serves well; but a production deployment of facility selection
+//! also answers point-to-point questions constantly — "how far is customer
+//! s from facility f?" during verification, what-if probing, and dynamic
+//! reallocation (the repeated-solving scenario of the paper's
+//! introduction). ALT preprocesses a handful of landmark distance vectors
+//! and then goads A* with the lower bound
+//!
+//! ```text
+//! h(v) = max_L |d(L, t) − d(L, v)|
+//! ```
+//!
+//! which is admissible and consistent on undirected graphs, so A* settles
+//! a fraction of the nodes Dijkstra would while returning exact distances.
+//! Landmarks are chosen by the standard farthest-point sweep.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{dijkstra_all, Dist, Graph, NodeId, INF};
+
+/// Preprocessed landmark index for exact point-to-point queries.
+///
+/// ```
+/// use mcfs_graph::{AltIndex, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..3 { b.add_edge(i, i + 1, 5); }
+/// let g = b.build();
+/// let idx = AltIndex::build(&g, 2, 0);
+/// let (dist, _settled) = idx.query(&g, 0, 3).unwrap();
+/// assert_eq!(dist, 15);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AltIndex {
+    landmarks: Vec<NodeId>,
+    /// `dist[l][v]`: network distance from landmark `l` to node `v`.
+    dist: Vec<Vec<Dist>>,
+}
+
+impl AltIndex {
+    /// Build an index with up to `count` landmarks chosen by farthest-point
+    /// selection starting from `seed_node`. Preprocessing costs `count`
+    /// Dijkstra sweeps.
+    ///
+    /// On disconnected graphs every component containing `seed_node`'s
+    /// successive farthest points receives landmarks; pairs in landmark-less
+    /// components degrade gracefully to plain Dijkstra behaviour (the bound
+    /// is 0 there).
+    pub fn build(g: &Graph, count: usize, seed_node: NodeId) -> Self {
+        assert!((seed_node as usize) < g.num_nodes(), "seed node out of range");
+        let mut landmarks = Vec::with_capacity(count.max(1));
+        let mut dist: Vec<Vec<Dist>> = Vec::with_capacity(count.max(1));
+        // min over chosen landmarks of distance to each node (for farthest
+        // selection); unreachable stays INF and is skipped as a candidate.
+        let mut min_d: Vec<Dist> = vec![INF; g.num_nodes()];
+
+        let mut next = seed_node;
+        for _ in 0..count.max(1) {
+            landmarks.push(next);
+            let d = dijkstra_all(g, next);
+            for v in 0..g.num_nodes() {
+                if d[v] < min_d[v] {
+                    min_d[v] = d[v];
+                }
+            }
+            dist.push(d);
+            // Farthest reachable node from the current landmark set.
+            match (0..g.num_nodes())
+                .filter(|&v| min_d[v] != INF)
+                .max_by_key(|&v| min_d[v])
+            {
+                Some(v) if min_d[v] > 0 => next = v as NodeId,
+                _ => break, // graph exhausted (or single node)
+            }
+        }
+        Self { landmarks, dist }
+    }
+
+    /// The selected landmarks.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Admissible lower bound on `dist(u, v)` (0 when no landmark sees
+    /// both).
+    #[inline]
+    pub fn lower_bound(&self, u: NodeId, v: NodeId) -> Dist {
+        let mut best = 0;
+        for d in &self.dist {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du == INF || dv == INF {
+                continue;
+            }
+            let diff = du.abs_diff(dv);
+            if diff > best {
+                best = diff;
+            }
+        }
+        best
+    }
+
+    /// Exact shortest-path distance `s → t` via A*, or `None` if
+    /// unreachable. Returns the settled-node count alongside the distance
+    /// so callers (and benches) can observe the search effort.
+    pub fn query(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<(Dist, usize)> {
+        if s == t {
+            return Some((0, 1));
+        }
+        // Quick rejection: a landmark that reaches exactly one of the two
+        // endpoints proves nothing, but if some landmark reaches `s` and
+        // not `t` *within the same component sweep* they may still connect;
+        // correctness is preserved by running the search.
+        let n = g.num_nodes();
+        let mut dist = vec![INF; n];
+        let mut settled = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((self.lower_bound(s, t), s)));
+        let mut count = 0usize;
+        while let Some(Reverse((_, v))) = heap.pop() {
+            if settled[v as usize] {
+                continue;
+            }
+            settled[v as usize] = true;
+            count += 1;
+            if v == t {
+                return Some((dist[t as usize], count));
+            }
+            let dv = dist[v as usize];
+            for (u, w) in g.neighbors(v) {
+                let nd = dv + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    // Consistent heuristic: settle order remains correct.
+                    heap.push(Reverse((nd + self.lower_bound(u, t), u)));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn grid(side: usize, w: Dist) -> Graph {
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = (r * side + c) as NodeId;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, w);
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side as NodeId, w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exact_on_grid() {
+        let g = grid(12, 7);
+        let idx = AltIndex::build(&g, 4, 0);
+        assert!(idx.landmarks().len() >= 2);
+        for (s, t) in [(0u32, 143u32), (5, 77), (140, 3)] {
+            let want = dijkstra_all(&g, s)[t as usize];
+            let (got, _) = idx.query(&g, s, t).unwrap();
+            assert_eq!(got, want, "{s} -> {t}");
+        }
+    }
+
+    #[test]
+    fn settles_fewer_nodes_than_dijkstra() {
+        // Irregular weights break the uniform grid's shortest-path plateaus
+        // (on which *no* heuristic can prune).
+        let side = 20usize;
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = (r * side + c) as NodeId;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 3 + ((r * 7 + c * 3) % 5) as Dist);
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side as NodeId, 3 + ((r * 3 + c * 7) % 5) as Dist);
+                }
+            }
+        }
+        let g = b.build();
+        let idx = AltIndex::build(&g, 6, 0);
+        let (s, t) = (85u32, 94u32); // same row, mid-grid
+        let oracle = dijkstra_all(&g, s);
+        let (d, settled) = idx.query(&g, s, t).unwrap();
+        assert_eq!(d, oracle[t as usize]);
+        // Dijkstra settles every node closer than t before reaching it.
+        let dij_settled = oracle.iter().filter(|&&x| x <= d).count();
+        assert!(
+            settled * 2 < dij_settled,
+            "ALT settled {settled} vs Dijkstra's {dij_settled}"
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let idx = AltIndex::build(&g, 3, 0);
+        assert!(idx.query(&g, 0, 3).is_none());
+        assert_eq!(idx.query(&g, 0, 1).unwrap().0, 1);
+        // Cross-component bound is 0 (valid, vacuous).
+        assert_eq!(idx.lower_bound(0, 3), 0);
+    }
+
+    #[test]
+    fn self_query_is_zero() {
+        let g = grid(4, 2);
+        let idx = AltIndex::build(&g, 2, 5);
+        assert_eq!(idx.query(&g, 7, 7), Some((0, 1)));
+        assert_eq!(idx.lower_bound(7, 7), 0);
+    }
+
+    proptest! {
+        /// ALT distances equal Dijkstra on random graphs; bounds are
+        /// admissible.
+        #[test]
+        fn alt_matches_dijkstra(
+            n in 2usize..24,
+            edges in proptest::collection::vec((0u32..24, 0u32..24, 1u64..40), 0..60),
+            lm in 1usize..5,
+            s in 0u32..24,
+            t in 0u32..24,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let (s, t) = (s % n as u32, t % n as u32);
+            let idx = AltIndex::build(&g, lm, s % n as u32);
+            let oracle = dijkstra_all(&g, s);
+            match idx.query(&g, s, t) {
+                Some((d, _)) => prop_assert_eq!(d, oracle[t as usize]),
+                None => prop_assert_eq!(oracle[t as usize], INF),
+            }
+            // Admissibility of the bound against the true distance.
+            if oracle[t as usize] != INF {
+                prop_assert!(idx.lower_bound(s, t) <= oracle[t as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Brute-force all-pairs shortest paths — a test oracle.
+//!
+//! Used by property tests across the workspace to validate the optimized
+//! Dijkstra variants and, transitively, the matching and solver stacks.
+//! Intentionally simple (Bellman–Ford relaxation sweep) rather than fast.
+
+use crate::{Dist, Graph, INF};
+
+/// All-pairs shortest path matrix via repeated Bellman–Ford relaxations.
+/// `result[u][v]` is the distance from `u` to `v`, `INF` if unreachable.
+///
+/// O(n · n · |E|) worst case — only for small test graphs.
+pub fn apsp_reference(g: &Graph) -> Vec<Vec<Dist>> {
+    let n = g.num_nodes();
+    let mut out = Vec::with_capacity(n);
+    for s in 0..n as u32 {
+        let mut dist = vec![INF; n];
+        dist[s as usize] = 0;
+        // n-1 relaxation rounds suffice for nonnegative weights.
+        for _ in 0..n.saturating_sub(1) {
+            let mut changed = false;
+            for v in 0..n as u32 {
+                let dv = dist[v as usize];
+                if dv == INF {
+                    continue;
+                }
+                for (u, w) in g.neighbors(v) {
+                    if dv + w < dist[u as usize] {
+                        dist[u as usize] = dv + w;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        out.push(dist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra_all, GraphBuilder};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_hand_computed() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        b.add_edge(0, 2, 5);
+        let g = b.build();
+        let m = apsp_reference(&g);
+        assert_eq!(m[0][2], 4);
+        assert_eq!(m[2][0], 4);
+        assert_eq!(m[0][3], INF);
+        assert_eq!(m[3][3], 0);
+    }
+
+    proptest! {
+        /// Dijkstra agrees with the Bellman–Ford reference on random graphs.
+        #[test]
+        fn dijkstra_matches_reference(
+            n in 2usize..24,
+            edges in proptest::collection::vec((0u32..24, 0u32..24, 1u64..100), 0..60),
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let m = apsp_reference(&g);
+            for s in 0..n as u32 {
+                prop_assert_eq!(&dijkstra_all(&g, s), &m[s as usize]);
+            }
+        }
+    }
+}

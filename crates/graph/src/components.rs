@@ -1,0 +1,131 @@
+//! Connected components.
+//!
+//! Algorithm 5 of the paper (`CoverComponents`) reasons per connected
+//! component: each component must be granted enough facility capacity to
+//! cover its own customers, since no assignment can cross components. The
+//! Hilbert baseline likewise buckets customers per component. This module
+//! provides the component labelling both rely on.
+//!
+//! Components are computed on the *undirected closure*: the paper's road
+//! networks are undirected, and for directed inputs weak connectivity is the
+//! right notion for "could any facility here ever serve this customer" —
+//! a conservative prerequisite check.
+
+use crate::{Graph, NodeId};
+
+/// Component labelling of a graph.
+#[derive(Clone, Debug)]
+pub struct ComponentInfo {
+    /// `component[v]` is the component index of node `v` (0-based, dense).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Node count per component.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentInfo {
+    /// Component id of `v`.
+    #[inline]
+    pub fn of(&self, v: NodeId) -> u32 {
+        self.component[v as usize]
+    }
+
+    /// Group arbitrary node sets by component: returns for each component
+    /// the subset of `nodes` that lies in it (component index = Vec index).
+    pub fn group(&self, nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for &v in nodes {
+            groups[self.of(v) as usize].push(v);
+        }
+        groups
+    }
+}
+
+/// Label connected components via iterative BFS (no recursion, so arbitrarily
+/// deep path graphs are fine).
+pub fn connected_components(g: &Graph) -> ComponentInfo {
+    let n = g.num_nodes();
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = Vec::new();
+    let mut next = 0u32;
+    for start in 0..n as NodeId {
+        if component[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        component[start as usize] = next;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            size += 1;
+            for (u, _) in g.neighbors(v) {
+                if component[u as usize] == u32::MAX {
+                    component[u as usize] = next;
+                    queue.push(u);
+                }
+            }
+        }
+        sizes.push(size);
+        next += 1;
+    }
+    ComponentInfo { component, count: next as usize, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_components_plus_isolated() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        // 5 isolated
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3);
+        assert_eq!(cc.of(0), cc.of(2));
+        assert_ne!(cc.of(0), cc.of(3));
+        assert_ne!(cc.of(3), cc.of(5));
+        let mut sizes = cc.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grouping_nodes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let cc = connected_components(&g);
+        let groups = cc.group(&[0, 2, 3]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[cc.of(0) as usize], vec![0]);
+        assert_eq!(groups[cc.of(2) as usize], vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(connected_components(&g).count, 0);
+        let g = GraphBuilder::new(1).build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 1);
+        assert_eq!(cc.sizes, vec![1]);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let cc = connected_components(&b.build());
+        assert_eq!(cc.count, 1);
+        assert_eq!(cc.sizes, vec![5]);
+    }
+}

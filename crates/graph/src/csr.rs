@@ -1,0 +1,298 @@
+//! Compressed-sparse-row weighted graph.
+//!
+//! The paper's networks are large (up to millions of nodes) and sparse
+//! (average degree ≈ 2.2–2.4, Table III), and the algorithms traverse them
+//! with Dijkstra instances only — no mutation after construction. CSR is the
+//! canonical representation for that access pattern: adjacency of a node is a
+//! contiguous slice, no per-node allocation, cache-friendly scans.
+
+use crate::{Dist, Point};
+
+/// Node identifier. `u32` suffices for the paper's million-node networks and
+/// halves index memory versus `usize` (see the type-size guidance in the Rust
+/// Performance Book).
+pub type NodeId = u32;
+
+/// Index of a directed arc in the CSR arrays.
+pub type EdgeId = u32;
+
+/// A weighted graph in CSR form with optional planar node coordinates.
+///
+/// The graph stores *directed arcs*; [`GraphBuilder::add_edge`] inserts both
+/// directions for an undirected road segment, while
+/// [`GraphBuilder::add_arc`] inserts a one-way arc. Self-loops are rejected
+/// at build time, parallel arcs are kept (harmless for shortest paths).
+///
+/// ```
+/// use mcfs_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 120); // two-way street, 120 m
+/// b.add_arc(1, 2, 80);   // one-way street
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_arcs(), 3);
+/// assert_eq!(g.neighbors(1).count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for node `v`.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<Dist>,
+    /// Optional planar coordinates, used by generators, the Hilbert baseline
+    /// and geometry-aware heuristics. Algorithms never *require* them.
+    coords: Option<Vec<Point>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs (an undirected edge counts twice).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected edges assuming the graph was built undirected.
+    #[inline]
+    pub fn num_edges_undirected(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Out-neighbors of `v` as parallel `(target, weight)` slices.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Dist)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Planar coordinates, if the graph carries them.
+    #[inline]
+    pub fn coords(&self) -> Option<&[Point]> {
+        self.coords.as_deref()
+    }
+
+    /// Coordinate of one node; panics if the graph carries no coordinates.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Point {
+        self.coords.as_ref().expect("graph has no coordinates")[v as usize]
+    }
+
+    /// Mean out-degree — reported in Table III of the paper.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_arcs() as f64 / self.num_nodes() as f64
+    }
+
+    /// Maximum out-degree — reported in Table III of the paper.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean arc weight — "avg edge length" in Table III of the paper.
+    pub fn avg_edge_length(&self) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        self.weights.iter().map(|&w| w as f64).sum::<f64>() / self.weights.len() as f64
+    }
+
+    /// Iterate over all node ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects an edge list, then performs a single counting-sort pass into CSR.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    arcs: Vec<(NodeId, NodeId, Dist)>,
+    coords: Option<Vec<Point>>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `num_nodes` nodes and no coordinates.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes < u32::MAX as usize, "node count exceeds u32 id space");
+        Self { num_nodes, arcs: Vec::new(), coords: None }
+    }
+
+    /// Builder for a graph whose nodes carry the given planar coordinates.
+    pub fn with_coords(coords: Vec<Point>) -> Self {
+        let num_nodes = coords.len();
+        assert!(num_nodes < u32::MAX as usize, "node count exceeds u32 id space");
+        Self { num_nodes, arcs: Vec::new(), coords: Some(coords) }
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Add an undirected edge (two arcs) of positive weight `w`.
+    ///
+    /// Zero-weight edges are bumped to weight 1: the paper requires positive
+    /// integer weights and several pruning arguments rely on strictly
+    /// positive distances between distinct nodes.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Dist) {
+        self.add_arc(u, v, w);
+        self.add_arc(v, u, w);
+    }
+
+    /// Add a single directed arc of positive weight `w`.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, w: Dist) {
+        assert!((u as usize) < self.num_nodes, "arc source {u} out of range");
+        assert!((v as usize) < self.num_nodes, "arc target {v} out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.arcs.push((u, v, w.max(1)));
+    }
+
+    /// Number of arcs added so far.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Finalize into CSR form.
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let mut counts = vec![0u32; n + 1];
+        for &(u, _, _) in &self.arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let m = self.arcs.len();
+        let mut targets = vec![0 as NodeId; m];
+        let mut weights = vec![0 as Dist; m];
+        let mut cursor = counts;
+        for (u, v, w) in self.arcs {
+            let slot = cursor[u as usize] as usize;
+            targets[slot] = v;
+            weights[slot] = w;
+            cursor[u as usize] += 1;
+        }
+        Graph { offsets, targets, weights, coords: self.coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 - 1
+        // |   |
+        // 2 - 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5);
+        b.add_edge(0, 2, 3);
+        b.add_edge(1, 3, 2);
+        b.add_edge(2, 3, 7);
+        b.build()
+    }
+
+    #[test]
+    fn csr_counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.num_edges_undirected(), 4);
+    }
+
+    #[test]
+    fn neighbors_round_trip() {
+        let g = diamond();
+        let mut n0: Vec<_> = g.neighbors(0).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![(1, 5), (2, 3)]);
+        let mut n3: Vec<_> = g.neighbors(3).collect();
+        n3.sort_unstable();
+        assert_eq!(n3, vec![(1, 2), (2, 7)]);
+    }
+
+    #[test]
+    fn degrees_and_stats() {
+        let g = diamond();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-9);
+        // (5+3+2+7)*2 / 8 = 4.25
+        assert!((g.avg_edge_length() - 4.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directed_arcs_are_one_way() {
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 1, 4);
+        let g = b.build();
+        assert_eq!(g.neighbors(0).count(), 1);
+        assert_eq!(g.neighbors(1).count(), 0);
+    }
+
+    #[test]
+    fn zero_weight_bumped_to_one() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0).next(), Some((1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn coords_carried() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0)];
+        let mut b = GraphBuilder::with_coords(pts);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.coord(1), Point::new(1.0, 2.0));
+        assert_eq!(g.coords().unwrap().len(), 2);
+    }
+}

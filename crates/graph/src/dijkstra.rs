@@ -1,0 +1,279 @@
+//! One-shot Dijkstra variants.
+//!
+//! The MCFS algorithms use shortest paths in four patterns:
+//!
+//! * one-to-all ([`dijkstra_all`]) — reference searches and generators;
+//! * radius-bounded ([`dijkstra_bounded`]) — the BRNN baseline's truncated
+//!   attraction counting;
+//! * target-bounded ([`dijkstra_to_targets`]) — Algorithm 4's
+//!   "nearest unselected candidate facility from `s*`";
+//! * multi-source ([`multi_source_dijkstra`]) — network Voronoi partitions
+//!   (the Yelp customer model) and Algorithm 4's
+//!   `min_{f∈F} dist(s, f)` in a single sweep.
+//!
+//! The *resumable* per-customer stream lives in [`crate::lazy`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rustc_hash::FxHashSet;
+
+use crate::{Dist, Graph, NodeId, INF};
+
+/// Distances from `source` to every node; `INF` marks unreachable nodes.
+pub fn dijkstra_all(g: &Graph, source: NodeId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Distances from `source` to all nodes within network radius `radius`
+/// (inclusive), returned as `(node, dist)` pairs in nondecreasing distance
+/// order. Nodes farther than `radius` are neither settled nor reported.
+pub fn dijkstra_bounded(g: &Graph, source: NodeId, radius: Dist) -> Vec<(NodeId, Dist)> {
+    let mut dist = rustc_hash::FxHashMap::default();
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::new();
+    dist.insert(source, 0 as Dist);
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > *dist.get(&v).unwrap_or(&INF) {
+            continue;
+        }
+        out.push((v, d));
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd <= radius && nd < *dist.get(&u).unwrap_or(&INF) {
+                dist.insert(u, nd);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    out
+}
+
+/// Run Dijkstra from `source` until all of `targets` are settled (or proven
+/// unreachable); returns the distance to each target in the order given.
+///
+/// Stops early once every target is settled, so querying a handful of nearby
+/// targets on a million-node network touches only their neighborhood.
+pub fn dijkstra_to_targets(g: &Graph, source: NodeId, targets: &[NodeId]) -> Vec<Dist> {
+    let want: FxHashSet<NodeId> = targets.iter().copied().collect();
+    let mut remaining = want.len();
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        if want.contains(&v) {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    targets.iter().map(|&t| dist[t as usize]).collect()
+}
+
+/// Multi-source Dijkstra: for every node, the distance to its nearest source
+/// and that source's index in `sources`. Unreachable nodes get `(INF, usize::MAX)`.
+///
+/// This computes a *network Voronoi partition* of the graph with `sources`
+/// as the cell centers — the construction behind both the paper's adapted
+/// Yelp customer model (Section VII-F1a) and Algorithm 4's farthest-customer
+/// query.
+pub fn multi_source_dijkstra(g: &Graph, sources: &[NodeId]) -> (Vec<Dist>, Vec<usize>) {
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut owner = vec![usize::MAX; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        // If the same node appears twice the first occurrence wins.
+        if dist[s as usize] == INF {
+            dist[s as usize] = 0;
+            owner[s as usize] = i;
+            heap.push(Reverse((0 as Dist, s)));
+        }
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                owner[u as usize] = owner[v as usize];
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, owner)
+}
+
+/// For every node, its two nearest sources: `[(source index, dist); ≤2]`
+/// encoded as `[primary, secondary]` with `(usize::MAX, INF)` filling
+/// missing entries.
+///
+/// This powers the network-Voronoi *triangle* analogue of the paper's Yelp
+/// customer model (Section VII-F1a): the primary owner defines the cell, the
+/// secondary defines which neighboring cell a node "leans" toward.
+pub fn two_nearest_sources(g: &Graph, sources: &[NodeId]) -> Vec<[(usize, Dist); 2]> {
+    const NONE: (usize, Dist) = (usize::MAX, INF);
+    let n = g.num_nodes();
+    let mut best = vec![[NONE, NONE]; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, u32, NodeId)>> = BinaryHeap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        heap.push(Reverse((0, i as u32, s)));
+    }
+    while let Some(Reverse((d, src, v))) = heap.pop() {
+        let slots = &mut best[v as usize];
+        // Accept if this source is new to the node and a slot is free/worse.
+        if slots[0].0 == src as usize || slots[1].0 == src as usize {
+            continue;
+        }
+        let slot = if slots[0].1 == INF {
+            0
+        } else if slots[1].1 == INF {
+            1
+        } else {
+            continue; // both slots settled with nearer sources
+        };
+        slots[slot] = (src as usize, d);
+        // Only the two nearest labels per node propagate, so each node is
+        // relaxed at most twice per neighbor.
+        for (u, w) in g.neighbors(v) {
+            let existing = &best[u as usize];
+            if existing[1].1 == INF && existing[0].0 != src as usize {
+                heap.push(Reverse((d + w, src, u)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path 0 -5- 1 -1- 2 -1- 3, plus shortcut 0 -4- 2; node 4 isolated.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 2, 4);
+        b.build()
+    }
+
+    #[test]
+    fn all_distances() {
+        let d = dijkstra_all(&sample(), 0);
+        assert_eq!(d, vec![0, 5, 4, 5, INF]);
+    }
+
+    #[test]
+    fn bounded_respects_radius() {
+        let got = dijkstra_bounded(&sample(), 0, 4);
+        assert_eq!(got, vec![(0, 0), (2, 4)]);
+        // Order is nondecreasing in distance.
+        let all = dijkstra_bounded(&sample(), 0, 100);
+        let ds: Vec<_> = all.iter().map(|&(_, d)| d).collect();
+        let mut sorted = ds.clone();
+        sorted.sort_unstable();
+        assert_eq!(ds, sorted);
+        assert_eq!(all.len(), 4); // node 4 unreachable
+    }
+
+    #[test]
+    fn targets_early_exit() {
+        let d = dijkstra_to_targets(&sample(), 0, &[3, 1]);
+        assert_eq!(d, vec![5, 5]);
+        let d = dijkstra_to_targets(&sample(), 0, &[4]);
+        assert_eq!(d, vec![INF]);
+    }
+
+    #[test]
+    fn multi_source_partition() {
+        let (d, owner) = multi_source_dijkstra(&sample(), &[0, 3]);
+        assert_eq!(d, vec![0, 2, 1, 0, INF]);
+        assert_eq!(owner, vec![0, 1, 1, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn multi_source_duplicate_sources() {
+        let (d, owner) = multi_source_dijkstra(&sample(), &[2, 2]);
+        assert_eq!(d[2], 0);
+        assert_eq!(owner[2], 0);
+    }
+
+    #[test]
+    fn two_nearest_labels() {
+        // Path 0-1-2-3-4 (unit weights), sources at 0 and 4.
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let labels = two_nearest_sources(&g, &[0, 4]);
+        assert_eq!(labels[0], [(0, 0), (1, 4)]);
+        assert_eq!(labels[1], [(0, 1), (1, 3)]);
+        assert_eq!(labels[2], [(0, 2), (1, 2)]);
+        assert_eq!(labels[4], [(1, 0), (0, 4)]);
+    }
+
+    #[test]
+    fn two_nearest_with_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        // 2,3 disconnected from the sources.
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let labels = two_nearest_sources(&g, &[0, 1]);
+        assert_eq!(labels[0][0], (0, 0));
+        assert_eq!(labels[0][1], (1, 1));
+        assert_eq!(labels[2], [(usize::MAX, INF), (usize::MAX, INF)]);
+    }
+
+    #[test]
+    fn two_nearest_single_source() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        let g = b.build();
+        let labels = two_nearest_sources(&g, &[1]);
+        assert_eq!(labels[0], [(0, 2), (usize::MAX, INF)]);
+        assert_eq!(labels[1], [(0, 0), (usize::MAX, INF)]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = GraphBuilder::new(1).build();
+        assert_eq!(dijkstra_all(&g, 0), vec![0]);
+        assert_eq!(dijkstra_bounded(&g, 0, 10), vec![(0, 0)]);
+    }
+}

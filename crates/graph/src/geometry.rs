@@ -1,0 +1,298 @@
+//! Planar geometry helpers: points and a grid-bucket neighbor index.
+//!
+//! The synthetic-network generators of Section VII-B connect "pairs of points
+//! with an edge if they are closer than `α/√n`" — a radius query over up to
+//! millions of points. The Hilbert baseline snaps bucket centroids to the
+//! nearest candidate facility in *Euclidean* space. Both are served by
+//! [`GridIndex`], a uniform-grid bucket index (simple, allocation-light, and
+//! ideal for the near-uniform point densities these workloads produce).
+
+/// A planar point. Coordinates are abstract "meters" on the generator plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (meters on the generator plane).
+    pub x: f64,
+    /// Vertical coordinate (meters on the generator plane).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when comparing radii).
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+}
+
+/// Uniform-grid bucket index over a fixed point set.
+///
+/// Cell size is chosen by the caller (typically the query radius), making
+/// radius queries inspect at most 9 cells' worth of candidates in the
+/// expected case.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR-style bucket layout: `starts[c]..starts[c+1]` slices `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Build an index with the given cell size (> 0). Typical choice: the
+    /// radius of subsequent [`Self::within_radius`] queries.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if points.is_empty() {
+            min_x = 0.0;
+            min_y = 0.0;
+            max_x = 0.0;
+            max_y = 0.0;
+        }
+        let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+        let ncells = cols * rows;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - min_x) / cell).floor() as usize).min(cols - 1);
+            let cy = (((p.y - min_y) / cell).floor() as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut items = vec![0u32; points.len()];
+        let mut cursor = counts;
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        Self { cell, min_x, min_y, cols, rows, starts, items, points: points.to_vec() }
+    }
+
+    #[inline]
+    fn bucket(&self, cx: usize, cy: usize) -> &[u32] {
+        let c = cy * self.cols + cx;
+        let lo = self.starts[c] as usize;
+        let hi = self.starts[c + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Indices of all points within `radius` of `q` (inclusive), in arbitrary
+    /// order.
+    pub fn within_radius(&self, q: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let r2 = radius * radius;
+        let lo_cx = (((q.x - radius - self.min_x) / self.cell).floor().max(0.0)) as usize;
+        let lo_cy = (((q.y - radius - self.min_y) / self.cell).floor().max(0.0)) as usize;
+        let hi_cx = ((((q.x + radius - self.min_x) / self.cell).floor()).max(0.0) as usize).min(self.cols - 1);
+        let hi_cy = ((((q.y + radius - self.min_y) / self.cell).floor()).max(0.0) as usize).min(self.rows - 1);
+        for cy in lo_cy.min(self.rows - 1)..=hi_cy {
+            for cx in lo_cx.min(self.cols - 1)..=hi_cx {
+                for &i in self.bucket(cx, cy) {
+                    if self.points[i as usize].dist2(&q) <= r2 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the nearest point to `q`, or `None` on an empty index.
+    /// Expands the search ring by ring, so it is fast when a neighbor is
+    /// nearby and still correct when the index is sparse.
+    pub fn nearest(&self, q: Point) -> Option<u32> {
+        self.nearest_where(q, |_| true)
+    }
+
+    /// Index of the nearest point satisfying `pred`, or `None` when no such
+    /// point exists. Used by the Hilbert baseline to snap bucket centroids to
+    /// the nearest *not-yet-chosen* candidate facility.
+    pub fn nearest_where(&self, q: Point, pred: impl Fn(u32) -> bool) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut radius = self.cell;
+        loop {
+            let best = self
+                .within_radius(q, radius)
+                .into_iter()
+                .filter(|&i| pred(i))
+                .min_by(|&a, &b| {
+                    self.points[a as usize]
+                        .dist2(&q)
+                        .total_cmp(&self.points[b as usize].dist2(&q))
+                });
+            if best.is_some() {
+                return best;
+            }
+            radius *= 2.0;
+            // Guaranteed to terminate: eventually the ring covers the box.
+            if radius > 4.0 * self.span() + 4.0 * self.cell {
+                // Fall back to a linear scan (degenerate geometry or a very
+                // selective predicate).
+                return (0..self.points.len() as u32).filter(|&i| pred(i)).min_by(|&a, &b| {
+                    self.points[a as usize]
+                        .dist2(&q)
+                        .total_cmp(&self.points[b as usize].dist2(&q))
+                });
+            }
+        }
+    }
+
+    fn span(&self) -> f64 {
+        (self.cols.max(self.rows) as f64) * self.cell
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        pts
+    }
+
+    proptest::proptest! {
+        /// Radius queries and filtered nearest match a linear scan on random
+        /// point clouds.
+        #[test]
+        fn index_matches_scan(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60),
+            q in (-20.0f64..120.0, -20.0f64..120.0),
+            radius in 0.5f64..50.0,
+            cell in 0.5f64..20.0,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let idx = GridIndex::build(&points, cell);
+            let q = Point::new(q.0, q.1);
+            let mut got = idx.within_radius(q, radius);
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..points.len() as u32)
+                .filter(|&i| points[i as usize].dist(&q) <= radius)
+                .collect();
+            want.sort_unstable();
+            proptest::prop_assert_eq!(got, want);
+
+            // Filtered nearest (even indices only) vs scan.
+            let got = idx.nearest_where(q, |i| i % 2 == 0);
+            let want = (0..points.len() as u32)
+                .filter(|&i| i % 2 == 0)
+                .min_by(|&a, &b| points[a as usize].dist2(&q).total_cmp(&points[b as usize].dist2(&q)));
+            match (got, want) {
+                (Some(a), Some(b)) => proptest::prop_assert!(
+                    (points[a as usize].dist2(&q) - points[b as usize].dist2(&q)).abs() < 1e-9
+                ),
+                (None, None) => {}
+                other => proptest::prop_assert!(false, "disagree: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn radius_query_matches_scan() {
+        let pts = grid_points(10);
+        let idx = GridIndex::build(&pts, 1.5);
+        let q = Point::new(4.3, 4.7);
+        for radius in [0.5, 1.0, 2.5, 20.0] {
+            let mut got = idx.within_radius(q, radius);
+            got.sort_unstable();
+            let mut want: Vec<u32> = (0..pts.len() as u32)
+                .filter(|&i| pts[i as usize].dist(&q) <= radius)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_scan() {
+        let pts = grid_points(7);
+        let idx = GridIndex::build(&pts, 0.8);
+        for q in [Point::new(3.2, 2.9), Point::new(-5.0, -5.0), Point::new(100.0, 0.0)] {
+            let got = idx.nearest(q).unwrap();
+            let want = (0..pts.len() as u32)
+                .min_by(|&a, &b| pts[a as usize].dist2(&q).total_cmp(&pts[b as usize].dist2(&q)))
+                .unwrap();
+            assert_eq!(
+                pts[got as usize].dist2(&q),
+                pts[want as usize].dist2(&q),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.nearest(Point::new(0.0, 0.0)).is_none());
+        assert!(idx.within_radius(Point::new(0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(&[Point::new(5.0, 5.0)], 1.0);
+        assert_eq!(idx.nearest(Point::new(-100.0, 40.0)), Some(0));
+    }
+
+    #[test]
+    fn coincident_points() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.within_radius(Point::new(1.0, 1.0), 0.0).len(), 5);
+    }
+}

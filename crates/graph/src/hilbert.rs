@@ -1,0 +1,179 @@
+//! Hilbert space-filling curve.
+//!
+//! The paper's strongest scalable baseline orders customers "using the
+//! spatial order defined by a Hilbert space-filling curve" (Section VII-A,
+//! citing Kamel & Faloutsos's Hilbert R-tree). We implement the standard
+//! iterative index/point conversions on a `2^order × 2^order` grid plus a
+//! helper that maps arbitrary planar points into curve indices.
+
+use crate::geometry::Point;
+
+/// Convert a Hilbert curve index `d` to grid coordinates on a
+/// `2^order × 2^order` grid. Inverse of [`hilbert_xy2d`].
+pub fn hilbert_d2xy(order: u32, d: u64) -> (u32, u32) {
+    assert!((1..=31).contains(&order), "order must be in 1..=31");
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < (1u64 << order) {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Convert grid coordinates to the Hilbert curve index on a
+/// `2^order × 2^order` grid. Inverse of [`hilbert_d2xy`].
+pub fn hilbert_xy2d(order: u32, x: u32, y: u32) -> u64 {
+    assert!((1..=31).contains(&order), "order must be in 1..=31");
+    let side = 1u64 << order;
+    assert!((x as u64) < side && (y as u64) < side, "coordinates outside grid");
+    let (mut x, mut y) = (x as u64, y as u64);
+    let mut d = 0u64;
+    let mut s = side / 2;
+    while s > 0 {
+        let rx = if (x & s) > 0 { 1 } else { 0 };
+        let ry = if (y & s) > 0 { 1 } else { 0 };
+        d += s * s * ((3 * rx) ^ ry);
+        rot(s, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+/// Quadrant rotation used by both conversions.
+#[inline]
+fn rot(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Map arbitrary planar points onto Hilbert indices of a `2^order` grid
+/// spanning their bounding box. Points then sorted by the returned key are in
+/// Hilbert order — the customer ordering the Hilbert baseline needs.
+///
+/// Degenerate boxes (all points equal, or a vertical/horizontal line) are
+/// handled by collapsing the degenerate axis to cell 0.
+pub fn hilbert_keys(points: &[Point], order: u32) -> Vec<u64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let side = (1u64 << order) as f64;
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    points
+        .iter()
+        .map(|p| {
+            let gx = (((p.x - min_x) / span_x) * (side - 1.0)).round() as u32;
+            let gy = (((p.y - min_y) / span_y) * (side - 1.0)).round() as u32;
+            hilbert_xy2d(order, gx, gy)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest::proptest! {
+        /// d2xy/xy2d are inverse for random indices at random orders.
+        #[test]
+        fn random_round_trips(order in 1u32..16, d in 0u64..u32::MAX as u64) {
+            let d = d % (1u64 << (2 * order));
+            let (x, y) = hilbert_d2xy(order, d);
+            proptest::prop_assert_eq!(hilbert_xy2d(order, x, y), d);
+        }
+    }
+
+    #[test]
+    fn order_one_curve() {
+        // The 2x2 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        let pts: Vec<_> = (0..4).map(|d| hilbert_d2xy(1, d)).collect();
+        assert_eq!(pts, vec![(0, 0), (0, 1), (1, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn bijection_small_orders() {
+        for order in 1..=5u32 {
+            let n = 1u64 << (2 * order);
+            let mut seen = vec![false; n as usize];
+            for d in 0..n {
+                let (x, y) = hilbert_d2xy(order, d);
+                assert_eq!(hilbert_xy2d(order, x, y), d, "round trip at order {order}");
+                let idx = (x as u64 * (1 << order) + y as u64) as usize;
+                assert!(!seen[idx], "cell visited twice");
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "curve covers the grid");
+        }
+    }
+
+    #[test]
+    fn adjacency_property() {
+        // Consecutive curve positions are grid neighbors (locality).
+        let order = 6;
+        let n = 1u64 << (2 * order);
+        let mut prev = hilbert_d2xy(order, 0);
+        for d in 1..n {
+            let cur = hilbert_d2xy(order, d);
+            let dx = (cur.0 as i64 - prev.0 as i64).abs();
+            let dy = (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(dx + dy, 1, "steps move one cell at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn keys_sort_spatially() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.05),
+            Point::new(10.0, 10.0),
+            Point::new(9.9, 10.1),
+        ];
+        let keys = hilbert_keys(&pts, 16);
+        // The two near-origin points are adjacent in curve order, as are the
+        // two far points.
+        let mut idx: Vec<usize> = (0..4).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        let pos = |i: usize| idx.iter().position(|&j| j == i).unwrap();
+        assert_eq!((pos(0) as i64 - pos(1) as i64).abs(), 1);
+        assert_eq!((pos(2) as i64 - pos(3) as i64).abs(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(hilbert_keys(&[], 8).is_empty());
+        // All-equal points collapse to one key without NaN/panic.
+        let keys = hilbert_keys(&[Point::new(1.0, 1.0); 3], 8);
+        assert!(keys.iter().all(|&k| k == keys[0]));
+        // Collinear (vertical) points produce monotone keys along the line.
+        let pts: Vec<_> = (0..8).map(|i| Point::new(0.0, i as f64)).collect();
+        let keys = hilbert_keys(&pts, 4);
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn xy2d_bounds_checked() {
+        hilbert_xy2d(2, 4, 0);
+    }
+}

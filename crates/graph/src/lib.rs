@@ -1,0 +1,55 @@
+//! Network substrate for the MCFS reproduction.
+//!
+//! This crate provides everything the Wide Matching Algorithm and its
+//! baselines need from the underlying road network:
+//!
+//! * [`Graph`] — a compressed-sparse-row weighted graph with optional node
+//!   coordinates, the representation of the paper's network `G = (V, E, W)`.
+//! * [`dijkstra`] — one-to-all, radius-bounded, target-bounded and
+//!   multi-source shortest path searches.
+//! * [`LazyDijkstra`] — a *resumable* Dijkstra that yields settled nodes in
+//!   nondecreasing distance order. This is the per-customer nearest-neighbor
+//!   stream the paper's `FindPair` routine consumes (Algorithm 2, line 6).
+//! * [`components`] — connected components, needed by Algorithm 5
+//!   (`CoverComponents`) and by the component-aware Hilbert baseline.
+//! * [`hilbert`] — the Hilbert space-filling curve used by the Hilbert
+//!   baseline (Section VII-A of the paper).
+//! * [`geometry`] — planar points and a grid-bucket nearest-neighbor index
+//!   used by generators and the Hilbert baseline's centroid snapping.
+//! * [`apsp`] — a brute-force all-pairs-shortest-paths oracle used only by
+//!   tests.
+//!
+//! Distances are integer (`u64`) edge weights, matching the paper's
+//! "positive integer weights that model road segment lengths" and keeping the
+//! whole solver stack deterministic across platforms.
+
+#![warn(missing_docs)]
+
+pub mod alt;
+pub mod apsp;
+pub mod components;
+pub mod csr;
+pub mod dijkstra;
+pub mod geometry;
+pub mod hilbert;
+pub mod lazy;
+pub mod paths;
+
+pub use alt::AltIndex;
+pub use components::{connected_components, ComponentInfo};
+pub use csr::{Graph, GraphBuilder, NodeId, EdgeId};
+pub use dijkstra::{
+    dijkstra_all, dijkstra_bounded, dijkstra_to_targets, multi_source_dijkstra,
+    two_nearest_sources,
+};
+pub use geometry::{GridIndex, Point};
+pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
+pub use lazy::LazyDijkstra;
+pub use paths::{dijkstra_with_parents, route_from_parents, routes_from_hub, shortest_route};
+
+/// Shortest-path distance type. `u64` accommodates sums over million-node
+/// networks of meter-valued edges without overflow.
+pub type Dist = u64;
+
+/// Sentinel for "unreachable".
+pub const INF: Dist = u64::MAX;

@@ -1,0 +1,180 @@
+//! Shortest-path *route* extraction.
+//!
+//! The solver stack works with distances only, but the application layer —
+//! "show the coworker the walk to their venue", "give the bike van its
+//! collection route" — needs the actual node sequences. This module adds
+//! predecessor tracking to Dijkstra and reconstructs routes, including the
+//! batched form the assignment use-case wants: one facility, many assigned
+//! customers, one search.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Dist, Graph, NodeId, INF};
+
+/// Dijkstra from `source` with predecessor tracking.
+///
+/// Returns `(dist, parent)` where `parent[v]` is the previous node on a
+/// shortest path from `source` to `v` (`u32::MAX` for the source itself and
+/// for unreachable nodes). Ties are broken by settle order, so routes are
+/// deterministic for a given graph.
+pub fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<Dist>, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                parent[u as usize] = v;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstruct the route `source → target` from a parent array produced by
+/// [`dijkstra_with_parents`] rooted at `source`. Returns `None` when the
+/// target is unreachable.
+pub fn route_from_parents(
+    parent: &[NodeId],
+    source: NodeId,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    if parent[target as usize] == u32::MAX {
+        return None;
+    }
+    let mut route = vec![target];
+    let mut v = target;
+    while v != source {
+        v = parent[v as usize];
+        route.push(v);
+        debug_assert!(route.len() <= parent.len(), "parent array contains a cycle");
+    }
+    route.reverse();
+    Some(route)
+}
+
+/// One shortest route `s → t` with its length, or `None` if unreachable.
+pub fn shortest_route(g: &Graph, s: NodeId, t: NodeId) -> Option<(Vec<NodeId>, Dist)> {
+    let (dist, parent) = dijkstra_with_parents(g, s);
+    let route = route_from_parents(&parent, s, t)?;
+    Some((route, dist[t as usize]))
+}
+
+/// Batched routes from one `hub` to many `targets` with a single search —
+/// the shape of "one facility, all its assigned customers". Entries are
+/// `None` for unreachable targets. (On the undirected road networks of the
+/// paper these routes read equally well in either direction.)
+pub fn routes_from_hub(
+    g: &Graph,
+    hub: NodeId,
+    targets: &[NodeId],
+) -> Vec<Option<(Vec<NodeId>, Dist)>> {
+    let (dist, parent) = dijkstra_with_parents(g, hub);
+    targets
+        .iter()
+        .map(|&t| route_from_parents(&parent, hub, t).map(|r| (r, dist[t as usize])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra_all, GraphBuilder};
+    use proptest::prelude::*;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(0, 2, 5);
+        b.add_edge(2, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn takes_the_short_side() {
+        let (route, d) = shortest_route(&diamond(), 0, 3).unwrap();
+        assert_eq!(route, vec![0, 1, 3]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn self_route() {
+        let (route, d) = shortest_route(&diamond(), 2, 2).unwrap();
+        assert_eq!(route, vec![2]);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert!(shortest_route(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn hub_batch_matches_singles() {
+        let g = diamond();
+        let batch = routes_from_hub(&g, 0, &[1, 2, 3]);
+        for (i, &t) in [1u32, 2, 3].iter().enumerate() {
+            assert_eq!(batch[i], shortest_route(&g, 0, t));
+        }
+    }
+
+    proptest! {
+        /// Routes are valid walks whose edge-weight sum equals the Dijkstra
+        /// distance, on random graphs.
+        #[test]
+        fn routes_are_consistent(
+            n in 2usize..18,
+            edges in proptest::collection::vec((0u32..18, 0u32..18, 1u64..30), 1..50),
+            s in 0u32..18,
+            t in 0u32..18,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let (s, t) = (s % n as u32, t % n as u32);
+            let oracle = dijkstra_all(&g, s)[t as usize];
+            match shortest_route(&g, s, t) {
+                None => prop_assert_eq!(oracle, INF),
+                Some((route, d)) => {
+                    prop_assert_eq!(d, oracle);
+                    prop_assert_eq!(route[0], s);
+                    prop_assert_eq!(*route.last().unwrap(), t);
+                    // Each hop is a real edge; weights sum to the distance.
+                    let mut total = 0;
+                    for w in route.windows(2) {
+                        let hop = g
+                            .neighbors(w[0])
+                            .filter(|&(u, _)| u == w[1])
+                            .map(|(_, wt)| wt)
+                            .min();
+                        prop_assert!(hop.is_some(), "missing edge {}->{}", w[0], w[1]);
+                        total += hop.unwrap();
+                    }
+                    prop_assert_eq!(total, d);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Reading and writing problem instances.
+
+use std::io::{self, BufRead, Write};
+
+use mcfs::{Facility, InstanceError, McfsInstance};
+use mcfs_graph::{Graph, GraphBuilder, NodeId, Point};
+
+/// An instance that owns its graph (unlike [`McfsInstance`], which borrows);
+/// the natural shape for data loaded from disk.
+#[derive(Clone, Debug)]
+pub struct OwnedInstance {
+    /// The network.
+    pub graph: Graph,
+    /// Customer locations.
+    pub customers: Vec<NodeId>,
+    /// Candidate facilities.
+    pub facilities: Vec<Facility>,
+    /// Selection budget.
+    pub k: usize,
+}
+
+impl OwnedInstance {
+    /// Borrow as a solvable [`McfsInstance`].
+    pub fn instance(&self) -> Result<McfsInstance<'_>, InstanceError> {
+        McfsInstance::builder(&self.graph)
+            .customers(self.customers.iter().copied())
+            .facilities(self.facilities.iter().copied())
+            .k(self.k)
+            .build()
+    }
+}
+
+/// Why a file failed to parse.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural violation, with the 1-based line number and a message.
+    Malformed {
+        /// Line where the problem was detected.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Malformed { line, message: message.into() }
+}
+
+/// Serialize an instance. The graph is written as directed arcs, so
+/// directed and undirected inputs both round-trip exactly.
+pub fn write_instance(mut w: impl Write, inst: &McfsInstance) -> io::Result<()> {
+    let g = inst.graph();
+    writeln!(w, "mcfs-instance v1")?;
+    match g.coords() {
+        Some(coords) => {
+            writeln!(w, "nodes {} coords", g.num_nodes())?;
+            for (v, p) in coords.iter().enumerate() {
+                writeln!(w, "node {v} {:?} {:?}", p.x, p.y)?;
+            }
+        }
+        None => writeln!(w, "nodes {}", g.num_nodes())?,
+    }
+    for v in g.nodes() {
+        for (u, dist) in g.neighbors(v) {
+            writeln!(w, "arc {v} {u} {dist}")?;
+        }
+    }
+    for &c in inst.customers() {
+        writeln!(w, "customer {c}")?;
+    }
+    for f in inst.facilities() {
+        writeln!(w, "facility {} {}", f.node, f.capacity)?;
+    }
+    writeln!(w, "k {}", inst.k())?;
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Parse an instance written by [`write_instance`].
+pub fn read_instance(r: impl BufRead) -> Result<OwnedInstance, ParseError> {
+    let mut lines = r.lines().enumerate();
+    let mut next = || -> Result<Option<(usize, String)>, ParseError> {
+        match lines.next() {
+            Some((i, l)) => Ok(Some((i + 1, l?))),
+            None => Ok(None),
+        }
+    };
+
+    let (ln, header) = next()?.ok_or_else(|| malformed(1, "empty file"))?;
+    if header.trim() != "mcfs-instance v1" {
+        return Err(malformed(ln, format!("bad header {header:?}")));
+    }
+    let (ln, nodes_line) = next()?.ok_or_else(|| malformed(2, "missing nodes line"))?;
+    let parts: Vec<&str> = nodes_line.split_whitespace().collect();
+    let (n, with_coords) = match parts.as_slice() {
+        ["nodes", n] => (parse_num::<usize>(ln, n)?, false),
+        ["nodes", n, "coords"] => (parse_num::<usize>(ln, n)?, true),
+        _ => return Err(malformed(ln, format!("bad nodes line {nodes_line:?}"))),
+    };
+
+    let mut builder = if with_coords {
+        let mut coords = vec![Point::new(0.0, 0.0); n];
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let (ln, line) = next()?.ok_or_else(|| malformed(0, "truncated node list"))?;
+            let p: Vec<&str> = line.split_whitespace().collect();
+            match p.as_slice() {
+                ["node", v, x, y] => {
+                    let v = parse_num::<usize>(ln, v)?;
+                    if v >= n {
+                        return Err(malformed(ln, format!("node id {v} out of range")));
+                    }
+                    if std::mem::replace(&mut seen[v], true) {
+                        return Err(malformed(ln, format!("duplicate node {v}")));
+                    }
+                    coords[v] = Point::new(parse_num(ln, x)?, parse_num(ln, y)?);
+                }
+                _ => return Err(malformed(ln, format!("expected node line, got {line:?}"))),
+            }
+        }
+        GraphBuilder::with_coords(coords)
+    } else {
+        GraphBuilder::new(n)
+    };
+
+    let mut customers = Vec::new();
+    let mut facilities = Vec::new();
+    let mut k: Option<usize> = None;
+    let mut ended = false;
+    while let Some((ln, line)) = next()? {
+        let p: Vec<&str> = line.split_whitespace().collect();
+        match p.as_slice() {
+            [] => continue,
+            ["arc", u, v, w] => {
+                let (u, v) = (parse_num::<NodeId>(ln, u)?, parse_num::<NodeId>(ln, v)?);
+                if (u as usize) >= n || (v as usize) >= n {
+                    return Err(malformed(ln, "arc endpoint out of range"));
+                }
+                if u == v {
+                    return Err(malformed(ln, "self-loop arc"));
+                }
+                builder.add_arc(u, v, parse_num(ln, w)?);
+            }
+            ["customer", c] => customers.push(parse_num::<NodeId>(ln, c)?),
+            ["facility", node, cap] => facilities.push(Facility {
+                node: parse_num(ln, node)?,
+                capacity: parse_num(ln, cap)?,
+            }),
+            ["k", val] => k = Some(parse_num(ln, val)?),
+            ["end"] => {
+                ended = true;
+                break;
+            }
+            _ => return Err(malformed(ln, format!("unknown directive {line:?}"))),
+        }
+    }
+    if !ended {
+        return Err(malformed(0, "missing `end` terminator (truncated file?)"));
+    }
+    let k = k.ok_or_else(|| malformed(0, "missing `k` directive"))?;
+    Ok(OwnedInstance { graph: builder.build(), customers, facilities, k })
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, s: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| malformed(line, format!("cannot parse {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs_graph::GraphBuilder;
+
+    fn sample() -> (Graph, Vec<NodeId>, Vec<Facility>, usize) {
+        let coords = vec![
+            Point::new(0.5, 1.25),
+            Point::new(10.0, -3.5),
+            Point::new(2.0, 2.0),
+            Point::new(7.75, 0.125),
+        ];
+        let mut b = GraphBuilder::with_coords(coords);
+        b.add_edge(0, 1, 100);
+        b.add_edge(1, 2, 50);
+        b.add_arc(3, 0, 25); // a one-way street
+        let g = b.build();
+        (
+            g,
+            vec![0, 2, 2],
+            vec![Facility { node: 1, capacity: 3 }, Facility { node: 3, capacity: 1 }],
+            1,
+        )
+    }
+
+    fn round_trip(g: &Graph, customers: &[NodeId], facilities: &[Facility], k: usize) -> OwnedInstance {
+        let inst = McfsInstance::builder(g)
+            .customers(customers.iter().copied())
+            .facilities(facilities.iter().copied())
+            .k(k)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_instance(&mut buf, &inst).unwrap();
+        read_instance(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let (g, customers, facilities, k) = sample();
+        let back = round_trip(&g, &customers, &facilities, k);
+        assert_eq!(back.graph.num_nodes(), g.num_nodes());
+        assert_eq!(back.graph.num_arcs(), g.num_arcs());
+        assert_eq!(back.graph.coords(), g.coords());
+        for v in g.nodes() {
+            let mut a: Vec<_> = g.neighbors(v).collect();
+            let mut b: Vec<_> = back.graph.neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "adjacency of {v}");
+        }
+        assert_eq!(back.customers, customers);
+        assert_eq!(back.facilities, facilities);
+        assert_eq!(back.k, k);
+        back.instance().unwrap();
+    }
+
+    #[test]
+    fn no_coords_round_trip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 2, 9);
+        let g = b.build();
+        let back = round_trip(&g, &[0], &[Facility { node: 2, capacity: 1 }], 1);
+        assert!(back.graph.coords().is_none());
+        assert_eq!(back.graph.num_arcs(), 4);
+    }
+
+    #[test]
+    fn solving_a_loaded_instance() {
+        use mcfs::{Solver, Wma};
+        let (g, customers, facilities, k) = sample();
+        let back = round_trip(&g, &customers, &facilities, k);
+        let inst = back.instance().unwrap();
+        let sol = Wma::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("mcfs-instance v2\n", "bad header"),
+            ("mcfs-instance v1\nnodes x\n", "cannot parse"),
+            ("mcfs-instance v1\nnodes 2\narc 0 5 1\nk 1\nend\n", "out of range"),
+            ("mcfs-instance v1\nnodes 2\narc 0 0 1\nk 1\nend\n", "self-loop"),
+            ("mcfs-instance v1\nnodes 2\nwat 1\n", "unknown directive"),
+            ("mcfs-instance v1\nnodes 2\narc 0 1 1\nk 1\n", "missing `end`"),
+            ("mcfs-instance v1\nnodes 2\narc 0 1 1\nend\n", "missing `k`"),
+            ("mcfs-instance v1\nnodes 2 coords\nnode 0 0.0 0.0\nnode 0 1.0 1.0\nk 1\nend\n", "duplicate node"),
+        ] {
+            let err = read_instance(text.as_bytes()).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text:?} => {err}");
+        }
+    }
+
+    #[test]
+    fn generated_city_round_trips() {
+        use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+        use mcfs_gen::customers::uniform_customers;
+        let g = generate_city(&CitySpec {
+            name: "IoCity",
+            target_nodes: 800,
+            style: CityStyle::Grid,
+            avg_edge_len: 40.0,
+            seed: 0x10,
+        });
+        let customers = uniform_customers(&g, 40, 1);
+        let facilities: Vec<Facility> =
+            g.nodes().step_by(9).map(|node| Facility { node, capacity: 4 }).collect();
+        let back = round_trip(&g, &customers, &facilities, 12);
+        assert_eq!(back.graph.num_arcs(), g.num_arcs());
+        assert_eq!(back.customers, customers);
+        // Solutions on original and reloaded instances agree exactly.
+        use mcfs::{Solver, Wma};
+        let orig = McfsInstance::builder(&g)
+            .customers(customers.iter().copied())
+            .facilities(facilities.iter().copied())
+            .k(12)
+            .build()
+            .unwrap();
+        let a = Wma::new().solve(&orig).unwrap();
+        let b = Wma::new().solve(&back.instance().unwrap()).unwrap();
+        assert_eq!(a, b, "round-trip must not perturb solver behaviour");
+    }
+
+    proptest::proptest! {
+        /// Random instances round-trip exactly.
+        #[test]
+        fn random_round_trips(
+            n in 2usize..16,
+            edges in proptest::collection::vec((0u32..16, 0u32..16, 1u64..1000), 0..40),
+            cust in proptest::collection::vec(0u32..16, 1..6),
+            fac in proptest::collection::vec((0u32..16, 1u32..9), 1..6),
+            with_coords in proptest::bool::ANY,
+        ) {
+            let mut b = if with_coords {
+                GraphBuilder::with_coords(
+                    (0..n).map(|i| Point::new(i as f64 * 1.5, -(i as f64))).collect())
+            } else {
+                GraphBuilder::new(n)
+            };
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_arc(u, v, w);
+                }
+            }
+            let g = b.build();
+            let customers: Vec<NodeId> = cust.iter().map(|&c| c % n as u32).collect();
+            let facilities: Vec<Facility> = fac
+                .iter()
+                .map(|&(v, c)| Facility { node: v % n as u32, capacity: c })
+                .collect();
+            let back = round_trip(&g, &customers, &facilities, 1);
+            proptest::prop_assert_eq!(back.graph.num_arcs(), g.num_arcs());
+            proptest::prop_assert_eq!(back.graph.coords(), g.coords());
+            proptest::prop_assert_eq!(&back.customers, &customers);
+            proptest::prop_assert_eq!(&back.facilities, &facilities);
+        }
+    }
+
+    #[test]
+    fn float_coordinates_survive() {
+        let coords = vec![Point::new(0.1 + 0.2, 1e-300), Point::new(-0.0, 12345.678901234567)];
+        let mut b = GraphBuilder::with_coords(coords.clone());
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let back = round_trip(&g, &[0], &[Facility { node: 1, capacity: 1 }], 1);
+        let rc = back.graph.coords().unwrap();
+        assert_eq!(rc[0].x, coords[0].x);
+        assert_eq!(rc[0].y, coords[0].y);
+        assert_eq!(rc[1].y, coords[1].y);
+    }
+}

@@ -1,0 +1,33 @@
+//! Plain-text persistence for MCFS data — networks, problem instances, and
+//! solutions.
+//!
+//! The paper's pipeline starts from files (OpenStreetMap extracts, Yelp
+//! dumps, municipal CSVs); a deployable reproduction needs the same
+//! affordance: generate a workload once, save it, re-solve it many times,
+//! and archive solutions next to the instances that produced them. The
+//! format is a line-oriented, human-inspectable text file:
+//!
+//! ```text
+//! mcfs-instance v1
+//! nodes 4 coords
+//! node 0 0.0 0.0
+//! ...
+//! arc 0 1 100
+//! customer 0
+//! facility 1 2
+//! k 1
+//! end
+//! ```
+//!
+//! Deterministic output (fields in fixed order), exact round-trips
+//! (coordinates use Rust's shortest-round-trip float formatting), and
+//! strict parsing (unknown directives, wrong counts, and missing `end` are
+//! errors — silent truncation is how benchmark data rots).
+
+#![warn(missing_docs)]
+
+pub mod instance;
+pub mod solution;
+
+pub use instance::{read_instance, write_instance, OwnedInstance, ParseError};
+pub use solution::{read_solution, write_solution};

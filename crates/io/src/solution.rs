@@ -1,0 +1,144 @@
+//! Reading and writing solutions.
+//!
+//! A solution file references the instance it solves only implicitly (by
+//! index), so callers should archive the two side by side; on load,
+//! [`McfsInstance::verify`](mcfs::McfsInstance::verify) confirms the pair
+//! still matches.
+
+use std::io::{self, BufRead, Write};
+
+use mcfs::Solution;
+
+use crate::instance::ParseError;
+
+/// Serialize a solution:
+///
+/// ```text
+/// mcfs-solution v1
+/// objective 1234
+/// select 7
+/// ...
+/// assign 0 0
+/// ...
+/// end
+/// ```
+///
+/// `select` lines list the chosen facility indices (instance order);
+/// `assign i p` sends customer `i` to the `p`-th selected facility.
+pub fn write_solution(mut w: impl Write, sol: &Solution) -> io::Result<()> {
+    writeln!(w, "mcfs-solution v1")?;
+    writeln!(w, "objective {}", sol.objective)?;
+    for &j in &sol.facilities {
+        writeln!(w, "select {j}")?;
+    }
+    for (i, &p) in sol.assignment.iter().enumerate() {
+        writeln!(w, "assign {i} {p}")?;
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Parse a solution written by [`write_solution`].
+pub fn read_solution(r: impl BufRead) -> Result<Solution, ParseError> {
+    let mut facilities = Vec::new();
+    let mut assignment: Vec<(usize, u32)> = Vec::new();
+    let mut objective: Option<u64> = None;
+    let mut ended = false;
+    for (i, line) in r.lines().enumerate() {
+        let ln = i + 1;
+        let line = line?;
+        let p: Vec<&str> = line.split_whitespace().collect();
+        match (ln, p.as_slice()) {
+            (1, ["mcfs-solution", "v1"]) => {}
+            (1, _) => return Err(bad(ln, format!("bad header {line:?}"))),
+            (_, []) => {}
+            (_, ["objective", v]) => objective = Some(num(ln, v)?),
+            (_, ["select", j]) => facilities.push(num(ln, j)?),
+            (_, ["assign", i, p_]) => assignment.push((num(ln, i)?, num(ln, p_)?)),
+            (_, ["end"]) => {
+                ended = true;
+                break;
+            }
+            _ => return Err(bad(ln, format!("unknown directive {line:?}"))),
+        }
+    }
+    if !ended {
+        return Err(bad(0, "missing `end` terminator"));
+    }
+    let objective = objective.ok_or_else(|| bad(0, "missing `objective`"))?;
+    // Assignments must form a dense 0..m prefix.
+    let mut dense = vec![u32::MAX; assignment.len()];
+    for (i, p) in assignment {
+        if i >= dense.len() || dense[i] != u32::MAX {
+            return Err(bad(0, format!("assignment for customer {i} missing or duplicated")));
+        }
+        dense[i] = p;
+    }
+    Ok(Solution { facilities, assignment: dense, objective })
+}
+
+fn bad(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Malformed { line, message: message.into() }
+}
+
+fn num<T: std::str::FromStr>(line: usize, s: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| bad(line, format!("cannot parse {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let sol = Solution { facilities: vec![4, 9, 2], assignment: vec![0, 2, 1, 0], objective: 777 };
+        let mut buf = Vec::new();
+        write_solution(&mut buf, &sol).unwrap();
+        let back = read_solution(buf.as_slice()).unwrap();
+        assert_eq!(back, sol);
+    }
+
+    #[test]
+    fn end_to_end_with_verification() {
+        use mcfs::{McfsInstance, Solver, Wma};
+        use mcfs_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_edge(i, i + 1, 10);
+        }
+        let g = b.build();
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 4])
+            .facility(1, 1)
+            .facility(3, 1)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = Wma::new().solve(&inst).unwrap();
+        let mut buf = Vec::new();
+        write_solution(&mut buf, &sol).unwrap();
+        let back = read_solution(buf.as_slice()).unwrap();
+        inst.verify(&back).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for (text, needle) in [
+            ("nope\n", "bad header"),
+            ("mcfs-solution v1\nwat\n", "unknown directive"),
+            ("mcfs-solution v1\nobjective 1\n", "missing `end`"),
+            ("mcfs-solution v1\nend\n", "missing `objective`"),
+            (
+                "mcfs-solution v1\nobjective 1\nassign 0 0\nassign 0 1\nend\n",
+                "duplicated",
+            ),
+            (
+                "mcfs-solution v1\nobjective 1\nassign 1 0\nend\n",
+                "missing or duplicated",
+            ),
+        ] {
+            let err = read_solution(text.as_bytes()).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text:?} => {err}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Persistence workflow: generate a workload once, archive it, re-solve it
+//! later, and verify a stored solution against the stored instance.
+//!
+//! This is the shape of a production deployment: planning teams exchange
+//! instance files, solvers run out-of-band, and solutions are audited
+//! against the instances that produced them.
+//!
+//! ```text
+//! cargo run --release --example save_load
+//! ```
+
+use std::io::BufReader;
+
+use mcfs_repro::core::{Facility, Solver};
+use mcfs_repro::gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_repro::gen::customers::uniform_customers;
+use mcfs_repro::io::{read_instance, read_solution, write_instance, write_solution};
+use mcfs_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("mcfs-save-load-demo");
+    std::fs::create_dir_all(&dir)?;
+    let inst_path = dir.join("district.mcfs");
+    let sol_path = dir.join("district.solution");
+
+    // --- Planning team: build and archive the instance. ---
+    {
+        let graph = generate_city(&CitySpec {
+            name: "Archive",
+            target_nodes: 2_000,
+            style: CityStyle::Organic,
+            avg_edge_len: 30.0,
+            seed: 0x10ad,
+        });
+        let customers = uniform_customers(&graph, 120, 0x5eed);
+        let instance = McfsInstance::builder(&graph)
+            .customers(customers)
+            .facilities(graph.nodes().step_by(7).map(|node| Facility { node, capacity: 6 }))
+            .k(30)
+            .build()?;
+        let mut file = std::fs::File::create(&inst_path)?;
+        write_instance(&mut file, &instance)?;
+        println!(
+            "archived instance: {} ({} nodes, {} customers, {} candidates)",
+            inst_path.display(),
+            graph.num_nodes(),
+            instance.num_customers(),
+            instance.num_facilities()
+        );
+    }
+
+    // --- Solver run: load, solve, archive the solution. ---
+    {
+        let owned = read_instance(BufReader::new(std::fs::File::open(&inst_path)?))?;
+        let instance = owned.instance()?;
+        let solution = Wma::new().solve(&instance)?;
+        instance.verify(&solution)?;
+        let mut file = std::fs::File::create(&sol_path)?;
+        write_solution(&mut file, &solution)?;
+        println!(
+            "solved and archived: objective {} with {} facilities -> {}",
+            solution.objective,
+            solution.facilities.len(),
+            sol_path.display()
+        );
+    }
+
+    // --- Auditor: load both and verify the pair. ---
+    {
+        let owned = read_instance(BufReader::new(std::fs::File::open(&inst_path)?))?;
+        let instance = owned.instance()?;
+        let solution = read_solution(BufReader::new(std::fs::File::open(&sol_path)?))?;
+        instance.verify(&solution)?;
+        println!("audit: stored solution verifies against stored instance ✓");
+
+        // Tamper detection: inflate the claimed objective.
+        let mut tampered = solution.clone();
+        tampered.objective += 1;
+        assert!(instance.verify(&tampered).is_err());
+        println!("audit: tampered objective rejected ✓");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

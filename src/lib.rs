@@ -1,0 +1,67 @@
+//! # mcfs-repro
+//!
+//! Facade crate for the reproduction of *Multicapacity Facility Selection in
+//! Networks* (Logins, Karras, Jensen — ICDE 2019). It re-exports the public
+//! API of every workspace crate so that examples and downstream users need a
+//! single dependency:
+//!
+//! * [`graph`] — network substrate (CSR graphs, Dijkstra variants, Hilbert
+//!   curves, components).
+//! * [`flow`] — min-cost-flow substrate (SSPA, transportation solver,
+//!   incremental bipartite matching).
+//! * [`core`] — the Wide Matching Algorithm (WMA), WMA-Naïve and the
+//!   Uniform-First variant; problem instances and solutions.
+//! * [`baselines`] — Hilbert-curve bucketing and iterative BRNN baselines.
+//! * [`exact`] — exact branch-and-bound solver (the paper's Gurobi stand-in).
+//! * [`gen`] — workload generators for every experiment in the paper.
+//! * [`io`] — plain-text persistence for instances and solutions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcfs_repro::prelude::*;
+//!
+//! // A tiny 3x3 grid network with unit edge lengths.
+//! let mut b = GraphBuilder::new(9);
+//! for r in 0..3u32 {
+//!     for c in 0..3u32 {
+//!         let v = r * 3 + c;
+//!         if c < 2 { b.add_edge(v, v + 1, 100); }
+//!         if r < 2 { b.add_edge(v, v + 3, 100); }
+//!     }
+//! }
+//! let g = b.build();
+//!
+//! // Four customers, three candidate facilities with capacities, budget 2.
+//! let instance = McfsInstance::builder(&g)
+//!     .customers(vec![0, 2, 6, 8])
+//!     .facility(4, 2)
+//!     .facility(1, 2)
+//!     .facility(7, 2)
+//!     .k(2)
+//!     .build()
+//!     .unwrap();
+//!
+//! let solution = Wma::new().solve(&instance).unwrap();
+//! assert!(solution.facilities.len() <= 2);
+//! assert_eq!(solution.assignment.len(), 4);
+//! instance.verify(&solution).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcfs as core;
+pub use mcfs_baselines as baselines;
+pub use mcfs_exact as exact;
+pub use mcfs_flow as flow;
+pub use mcfs_gen as gen;
+pub use mcfs_graph as graph;
+pub use mcfs_io as io;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use mcfs::{McfsInstance, Solution, Solver, UniformFirst, Wma, WmaNaive};
+    pub use mcfs_baselines::{BrnnBaseline, HilbertBaseline};
+    pub use mcfs_exact::BranchAndBound;
+    pub use mcfs_graph::{Graph, GraphBuilder, NodeId, Point};
+}
