@@ -13,30 +13,68 @@
 //!
 //! The final assignment runs the optimal capacitated matching ("it then runs
 //! SIA to produce a final assignment"), after a capacity repair pass.
+//!
+//! With a [`DistanceOracle`] (`threads > 1` or an explicit oracle) the
+//! per-customer searches become cached row queries: the 1-median scan
+//! prefetches every customer row in one batched parallel query, NLR
+//! attraction counting scans those cached rows instead of re-running
+//! bounded Dijkstras each step, and the per-step Voronoi update reuses the
+//! cached selected-site rows. Results are identical on every path.
 
-use mcfs::assign::optimal_assignment;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcfs::assign::optimal_assignment_with;
 use mcfs::components::{capacity_suffices, cover_components};
 use mcfs::greedy_add::select_greedy;
-use mcfs::{McfsInstance, SolveError, Solution, Solver};
-use mcfs_graph::{dijkstra_all, dijkstra_bounded, multi_source_dijkstra, NodeId, INF};
+use mcfs::parallel::resolve_oracle;
+use mcfs::stats::SolveStats;
+use mcfs::{McfsInstance, Solution, SolveError, Solver};
+use mcfs_graph::{
+    dijkstra_all, dijkstra_bounded, multi_source_dijkstra, Dist, DistanceOracle, NodeId, INF,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// The iterative BRNN / MaxSum baseline.
 #[derive(Clone, Debug, Default)]
-pub struct BrnnBaseline;
+pub struct BrnnBaseline {
+    /// Distance-substrate worker threads (`0` = auto, `1` = the legacy
+    /// search-per-query path); see [`mcfs::parallel`].
+    pub threads: usize,
+    /// Explicitly shared distance oracle.
+    pub oracle: Option<Arc<DistanceOracle>>,
+}
 
 impl BrnnBaseline {
     /// Construct the baseline.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
-}
 
-impl Solver for BrnnBaseline {
-    fn solve(&self, inst: &McfsInstance) -> Result<Solution, SolveError> {
+    /// Set the distance-substrate worker count (`0` = auto, `1` = legacy
+    /// sequential path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle (and its row cache) with this
+    /// baseline.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Solve and return the solution together with the substrate
+    /// instrumentation (per-phase wall times, oracle cache hits/misses).
+    pub fn run(&self, inst: &McfsInstance) -> Result<(Solution, SolveStats), SolveError> {
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
         let g = inst.graph();
         let k = inst.k();
+
+        let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
+        let mut stats = SolveStats::for_threads(oracle.as_ref().map_or(1, |o| o.threads()));
+        let oracle_before = oracle.as_ref().map(|o| o.stats());
 
         // Candidate lookup: node -> candidate indices (largest capacity
         // first so node-level picks take the most capable twin).
@@ -45,16 +83,36 @@ impl Solver for BrnnBaseline {
             cand_at.entry(f.node).or_default().push(j as u32);
         }
         for list in cand_at.values_mut() {
-            list.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.facilities()[j as usize].capacity));
+            list.sort_unstable_by_key(|&j| {
+                std::cmp::Reverse(inst.facilities()[j as usize].capacity)
+            });
         }
+        let cand_nodes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = cand_at.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
 
         // --- First facility: the 1-median over candidate nodes (MaxSum with
-        // no existing facility degenerates to minimizing total distance). ---
+        // no existing facility degenerates to minimizing total distance).
+        // With an oracle this is one batched parallel query that also primes
+        // the row cache for the NLR scans below. ---
+        let t_median = Instant::now();
         let n = g.num_nodes();
         let mut sums = vec![0u64; n];
         let mut reach = vec![0u32; n];
-        for &s in inst.customers() {
-            let d = dijkstra_all(g, s);
+        let customer_rows: Option<Vec<Arc<Vec<Dist>>>> = oracle
+            .as_ref()
+            .map(|o| o.distances_for_sources(g, inst.customers()));
+        for (i, &s) in inst.customers().iter().enumerate() {
+            let owned;
+            let d: &[Dist] = match &customer_rows {
+                Some(rows) => &rows[i],
+                None => {
+                    owned = dijkstra_all(g, s);
+                    &owned
+                }
+            };
             for v in 0..n {
                 if d[v] != INF {
                     sums[v] += d[v];
@@ -66,30 +124,65 @@ impl Solver for BrnnBaseline {
         let first_node = cand_at
             .keys()
             .copied()
-            .max_by_key(|&v| (reach[v as usize], std::cmp::Reverse(sums[v as usize]), std::cmp::Reverse(v)))
+            .max_by_key(|&v| {
+                (
+                    reach[v as usize],
+                    std::cmp::Reverse(sums[v as usize]),
+                    std::cmp::Reverse(v),
+                )
+            })
             .expect("instances have at least one candidate");
         let first = cand_at[&first_node][0];
         taken.insert(first);
         let mut selection = vec![first];
+        stats.add_phase("median", t_median.elapsed());
 
         // --- Iterative MaxSum additions with fresh NLRs per step. ---
+        let t_nlr = Instant::now();
         while selection.len() < k {
-            let sel_nodes: Vec<NodeId> =
-                selection.iter().map(|&j| inst.facilities()[j as usize].node).collect();
-            let (to_sel, _) = multi_source_dijkstra(g, &sel_nodes);
+            let sel_nodes: Vec<NodeId> = selection
+                .iter()
+                .map(|&j| inst.facilities()[j as usize].node)
+                .collect();
+            let (to_sel, _) = match &oracle {
+                // Cached: each iteration adds one new selected-site row; the
+                // earlier sites' rows are reused from the cache.
+                Some(o) => o.multi_source(g, &sel_nodes),
+                None => multi_source_dijkstra(g, &sel_nodes),
+            };
 
             // Attraction count per candidate node: customers that would be
             // strictly closer to it than to their current nearest facility.
+            // Oracle path: scan the customer's cached row over candidate
+            // nodes — the same set a bounded Dijkstra from the customer
+            // reports, since `{v : d(s, v) <= bound}` does not depend on how
+            // it is enumerated.
             let mut attraction: FxHashMap<NodeId, u32> = FxHashMap::default();
-            for &s in inst.customers() {
+            for (i, &s) in inst.customers().iter().enumerate() {
                 let radius = to_sel[s as usize];
                 if radius == 0 {
                     continue; // already colocated with a facility
                 }
                 let bound = if radius == INF { INF } else { radius - 1 };
-                for (v, _) in dijkstra_bounded(g, s, bound) {
-                    if cand_at.contains_key(&v) {
-                        *attraction.entry(v).or_insert(0) += 1;
+                match &customer_rows {
+                    Some(rows) => {
+                        let row = &rows[i];
+                        for &v in &cand_nodes {
+                            // The INF guard matters when bound == INF: a
+                            // bounded Dijkstra never settles unreachable
+                            // nodes, so neither may the row scan count them.
+                            let d = row[v as usize];
+                            if d != INF && d <= bound {
+                                *attraction.entry(v).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    None => {
+                        for (v, _) in dijkstra_bounded(g, s, bound) {
+                            if cand_at.contains_key(&v) {
+                                *attraction.entry(v).or_insert(0) += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -100,7 +193,10 @@ impl Solver for BrnnBaseline {
             let best = attraction
                 .iter()
                 .filter_map(|(&v, &a)| {
-                    cand_at[&v].iter().find(|&&j| !taken.contains(&j)).map(|&j| (a, v, j))
+                    cand_at[&v]
+                        .iter()
+                        .find(|&&j| !taken.contains(&j))
+                        .map(|&j| (a, v, j))
                 })
                 .max_by_key(|&(a, v, _)| (a, std::cmp::Reverse(v)));
             match best {
@@ -111,17 +207,40 @@ impl Solver for BrnnBaseline {
                 None => break, // nobody attracts anyone anymore
             }
         }
+        stats.add_phase("nlr", t_nlr.elapsed());
 
         // Spend any leftover budget deterministically, repair capacity, and
         // match optimally.
+        let t_prov = Instant::now();
         if selection.len() < k {
             select_greedy(inst, &mut selection);
         }
         if !capacity_suffices(inst, &selection, &feas.components) {
             selection = cover_components(inst, selection, &feas.components)?;
         }
-        let (assignment, objective) = optimal_assignment(inst, &selection)?;
-        Ok(Solution { facilities: selection, assignment, objective })
+        stats.add_phase("provisions", t_prov.elapsed());
+
+        let t_assign = Instant::now();
+        let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
+        stats.add_phase("assignment", t_assign.elapsed());
+
+        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
+            stats.record_oracle(before, &o.stats());
+        }
+        Ok((
+            Solution {
+                facilities: selection,
+                assignment,
+                objective,
+            },
+            stats,
+        ))
+    }
+}
+
+impl Solver for BrnnBaseline {
+    fn solve(&self, inst: &McfsInstance) -> Result<Solution, SolveError> {
+        self.run(inst).map(|(sol, _)| sol)
     }
 
     fn name(&self) -> &'static str {
@@ -148,7 +267,10 @@ mod tests {
         let g = path(7, 10);
         let inst = McfsInstance::builder(&g)
             .customers([0, 3, 6])
-            .facilities((0..7).map(|v| Facility { node: v, capacity: 3 }))
+            .facilities((0..7).map(|v| Facility {
+                node: v,
+                capacity: 3,
+            }))
             .k(1)
             .build()
             .unwrap();
@@ -167,21 +289,30 @@ mod tests {
         // flank) is strictly better.
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 2, 7, 8, 9])
-            .facilities((0..10).map(|v| Facility { node: v, capacity: 3 }))
+            .facilities((0..10).map(|v| Facility {
+                node: v,
+                capacity: 3,
+            }))
             .k(2)
             .build()
             .unwrap();
         let sol = BrnnBaseline::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let mut nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let mut nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         nodes.sort_unstable();
         assert!(
             (nodes[1] as i64 - nodes[0] as i64).abs() <= 2,
             "MaxSum picks stay central/adjacent: {nodes:?}"
         );
         let wma = mcfs::Wma::new().solve(&inst).unwrap();
-        assert!(sol.objective > wma.objective, "the pathology costs real distance");
+        assert!(
+            sol.objective > wma.objective,
+            "the pathology costs real distance"
+        );
     }
 
     #[test]
@@ -218,8 +349,11 @@ mod tests {
             .unwrap();
         let sol = BrnnBaseline::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         assert!(nodes.contains(&1) && nodes.contains(&4));
     }
 
@@ -232,7 +366,10 @@ mod tests {
         let g = path(12, 10);
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 10, 11])
-            .facilities((0..12).map(|v| Facility { node: v, capacity: 2 }))
+            .facilities((0..12).map(|v| Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
@@ -240,5 +377,34 @@ mod tests {
         let wma = Wma::new().solve(&inst).unwrap();
         inst.verify(&brnn).unwrap();
         assert!(brnn.objective >= wma.objective);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_solution_and_stats_are_recorded() {
+        let g = path(10, 10);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 2, 7, 8, 9])
+            .facilities((0..10).map(|v| Facility {
+                node: v,
+                capacity: 3,
+            }))
+            .k(3)
+            .build()
+            .unwrap();
+        let (legacy, legacy_stats) = BrnnBaseline::new().threads(1).run(&inst).unwrap();
+        assert_eq!(legacy_stats.threads, 1);
+        assert_eq!(legacy_stats.cache_misses, 0);
+        for n in [2, 4] {
+            let (par, par_stats) = BrnnBaseline::new().threads(n).run(&inst).unwrap();
+            assert_eq!(legacy, par, "threads {n}");
+            assert_eq!(par_stats.threads, n);
+            // 6 customer rows + selected-site rows; everything after the
+            // prefetch hits the cache.
+            assert!(par_stats.cache_misses >= 6);
+            assert!(par_stats.cache_hits > 0);
+            for phase in ["median", "nlr", "provisions", "assignment"] {
+                assert!(par_stats.phase(phase).is_some(), "missing {phase}");
+            }
+        }
     }
 }

@@ -19,20 +19,43 @@
 //! to collect per-candidate savings, then one full Dijkstra from the newly
 //! added site updates the distances — `O(k · (m · ball + E log n))` overall.
 
-use mcfs::assign::optimal_assignment;
+use std::sync::Arc;
+
+use mcfs::assign::optimal_assignment_with;
 use mcfs::components::{capacity_suffices, cover_components};
-use mcfs::{McfsInstance, SolveError, Solution, Solver};
-use mcfs_graph::{dijkstra_bounded, NodeId, INF};
+use mcfs::parallel::resolve_oracle;
+use mcfs::{McfsInstance, Solution, SolveError, Solver};
+use mcfs_graph::{dijkstra_bounded, Dist, DistanceOracle, NodeId, INF};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// The greedy-addition baseline.
 #[derive(Clone, Debug, Default)]
-pub struct GreedyAddition;
+pub struct GreedyAddition {
+    /// Distance-substrate worker threads (`0` = auto, `1` = the legacy
+    /// search-per-query path); see [`mcfs::parallel`].
+    pub threads: usize,
+    /// Explicitly shared distance oracle.
+    pub oracle: Option<Arc<DistanceOracle>>,
+}
 
 impl GreedyAddition {
     /// Construct the baseline.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Set the distance-substrate worker count (`0` = auto, `1` = legacy
+    /// sequential path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle (and its row cache) with this
+    /// baseline.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
     }
 }
 
@@ -42,14 +65,29 @@ impl Solver for GreedyAddition {
         let g = inst.graph();
         let k = inst.k();
 
+        // With an oracle the per-round candidate-gain sweep reads cached
+        // customer rows (one batched parallel prefetch) instead of running
+        // a bounded Dijkstra per customer per round; results are identical.
+        let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
+
         // node -> candidate indices (largest capacity first).
         let mut cand_at: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
         for (j, f) in inst.facilities().iter().enumerate() {
             cand_at.entry(f.node).or_default().push(j as u32);
         }
         for list in cand_at.values_mut() {
-            list.sort_unstable_by_key(|&j| std::cmp::Reverse(inst.facilities()[j as usize].capacity));
+            list.sort_unstable_by_key(|&j| {
+                std::cmp::Reverse(inst.facilities()[j as usize].capacity)
+            });
         }
+        let cand_nodes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = cand_at.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let customer_rows: Option<Vec<Arc<Vec<Dist>>>> = oracle
+            .as_ref()
+            .map(|o| o.distances_for_sources(g, inst.customers()));
 
         let mut taken: FxHashSet<u32> = FxHashSet::default();
         let mut selection: Vec<u32> = Vec::with_capacity(k);
@@ -73,17 +111,34 @@ impl Solver for GreedyAddition {
                 // whole component (bounded by INF) — the first round is the
                 // expensive, exact 1-median evaluation.
                 let bound = if radius == INF { INF } else { radius - 1 };
-                for (v, d) in dijkstra_bounded(g, s, bound) {
-                    if cand_at.contains_key(&v) {
-                        let saving = if radius == INF {
-                            // Use "distance avoided" as the gain proxy so the
-                            // first round picks the 1-median: bigger is
-                            // better when measured as (D_max − d).
-                            u32::MAX as u64 - d
-                        } else {
-                            radius - d
-                        };
-                        *gain.entry(v).or_insert(0) += saving;
+                let saving_of = |d: u64| {
+                    if radius == INF {
+                        // Use "distance avoided" as the gain proxy so the
+                        // first round picks the 1-median: bigger is
+                        // better when measured as (D_max − d).
+                        u32::MAX as u64 - d
+                    } else {
+                        radius - d
+                    }
+                };
+                match &customer_rows {
+                    Some(rows) => {
+                        let row = &rows[i];
+                        for &v in &cand_nodes {
+                            // INF guard: a bounded Dijkstra never settles
+                            // unreachable nodes, so neither may the row scan.
+                            let d = row[v as usize];
+                            if d != INF && d <= bound {
+                                *gain.entry(v).or_insert(0) += saving_of(d);
+                            }
+                        }
+                    }
+                    None => {
+                        for (v, d) in dijkstra_bounded(g, s, bound) {
+                            if cand_at.contains_key(&v) {
+                                *gain.entry(v).or_insert(0) += saving_of(d);
+                            }
+                        }
                     }
                 }
             }
@@ -91,7 +146,10 @@ impl Solver for GreedyAddition {
             let best = gain
                 .iter()
                 .filter_map(|(&v, &sv)| {
-                    cand_at[&v].iter().find(|&&j| !taken.contains(&j)).map(|&j| (sv, v, j))
+                    cand_at[&v]
+                        .iter()
+                        .find(|&&j| !taken.contains(&j))
+                        .map(|&j| (sv, v, j))
                 })
                 .max_by_key(|&(sv, v, _)| (sv, std::cmp::Reverse(v)));
             let Some((_, node, j)) = best else {
@@ -100,8 +158,20 @@ impl Solver for GreedyAddition {
             taken.insert(j);
             selection.push(j);
             // Update per-customer nearest-selected distances with one
-            // single-source sweep from the new site.
-            let d_new = mcfs_graph::dijkstra_all(g, node);
+            // single-source sweep from the new site (cached when an oracle
+            // is active).
+            let cached;
+            let computed;
+            let d_new: &[Dist] = match &oracle {
+                Some(o) => {
+                    cached = o.row(g, node);
+                    &cached
+                }
+                None => {
+                    computed = mcfs_graph::dijkstra_all(g, node);
+                    &computed
+                }
+            };
             for (i, &s) in inst.customers().iter().enumerate() {
                 let d = d_new[s as usize];
                 if d < current[i] {
@@ -120,8 +190,12 @@ impl Solver for GreedyAddition {
         if !capacity_suffices(inst, &selection, &feas.components) {
             selection = cover_components(inst, selection, &feas.components)?;
         }
-        let (assignment, objective) = optimal_assignment(inst, &selection)?;
-        Ok(Solution { facilities: selection, assignment, objective })
+        let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
+        Ok(Solution {
+            facilities: selection,
+            assignment,
+            objective,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -148,7 +222,10 @@ mod tests {
         let g = path(9, 10);
         let inst = McfsInstance::builder(&g)
             .customers([0, 4, 8])
-            .facilities((0..9).map(|v| Facility { node: v, capacity: 3 }))
+            .facilities((0..9).map(|v| Facility {
+                node: v,
+                capacity: 3,
+            }))
             .k(1)
             .build()
             .unwrap();
@@ -162,16 +239,25 @@ mod tests {
         let g = path(12, 10);
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 10, 11])
-            .facilities((0..12).map(|v| Facility { node: v, capacity: 2 }))
+            .facilities((0..12).map(|v| Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
         let sol = GreedyAddition::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let mut nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let mut nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         nodes.sort_unstable();
-        assert!(nodes[0] <= 1 && nodes[1] >= 10, "one site per flank: {nodes:?}");
+        assert!(
+            nodes[0] <= 1 && nodes[1] >= 10,
+            "one site per flank: {nodes:?}"
+        );
         // That is also the capacitated optimum here.
         assert_eq!(sol.objective, 20);
     }
@@ -212,9 +298,31 @@ mod tests {
             .unwrap();
         let sol = GreedyAddition::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         assert!(nodes.contains(&1) && nodes.contains(&4));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_solution() {
+        let g = path(12, 10);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 10, 11])
+            .facilities((0..12).map(|v| Facility {
+                node: v,
+                capacity: 2,
+            }))
+            .k(3)
+            .build()
+            .unwrap();
+        let legacy = GreedyAddition::new().threads(1).solve(&inst).unwrap();
+        for n in [2, 4] {
+            let par = GreedyAddition::new().threads(n).solve(&inst).unwrap();
+            assert_eq!(legacy, par, "threads {n}");
+        }
     }
 
     #[test]

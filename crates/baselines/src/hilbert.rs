@@ -20,7 +20,7 @@
 
 use mcfs::assign::optimal_assignment;
 use mcfs::components::{capacity_suffices, cover_components};
-use mcfs::{McfsInstance, SolveError, Solution, Solver};
+use mcfs::{McfsInstance, Solution, SolveError, Solver};
 use mcfs_graph::{hilbert::hilbert_keys, GridIndex, Point};
 use rustc_hash::FxHashSet;
 
@@ -66,7 +66,13 @@ impl Solver for HilbertBaseline {
             cand_per[cc.of(f.node) as usize].push(j as u32);
         }
         let mut alloc: Vec<usize> = (0..cc.count)
-            .map(|g| if cust_per[g].is_empty() { 0 } else { feas.min_counts[g].max(1) })
+            .map(|g| {
+                if cust_per[g].is_empty() {
+                    0
+                } else {
+                    feas.min_counts[g].max(1)
+                }
+            })
             .collect();
         let mut spent: usize = alloc.iter().sum();
         // Largest-share-first distribution of the remaining budget.
@@ -139,7 +145,11 @@ impl Solver for HilbertBaseline {
             selection = cover_components(inst, selection, cc)?;
         }
         let (assignment, objective) = optimal_assignment(inst, &selection)?;
-        Ok(Solution { facilities: selection, assignment, objective })
+        Ok(Solution {
+            facilities: selection,
+            assignment,
+            objective,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -171,7 +181,9 @@ mod tests {
 
     /// A 1-D "road" with coordinates matching node positions.
     fn line(n: usize, spacing: f64) -> Graph {
-        let pts: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
         let mut b = GraphBuilder::with_coords(pts);
         for i in 0..n - 1 {
             b.add_edge(i as NodeId, i as NodeId + 1, spacing as u64);
@@ -186,17 +198,32 @@ mod tests {
         // facility near each end.
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 8, 9])
-            .facilities((0..10).map(|v| mcfs::Facility { node: v, capacity: 2 }))
+            .facilities((0..10).map(|v| mcfs::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
         let sol = HilbertBaseline::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
-        assert!(nodes.iter().any(|&v| v <= 2), "left cluster served locally: {nodes:?}");
-        assert!(nodes.iter().any(|&v| v >= 7), "right cluster served locally: {nodes:?}");
-        assert_eq!(sol.objective, 200, "each end pays one hop for its second customer");
+        let nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
+        assert!(
+            nodes.iter().any(|&v| v <= 2),
+            "left cluster served locally: {nodes:?}"
+        );
+        assert!(
+            nodes.iter().any(|&v| v >= 7),
+            "right cluster served locally: {nodes:?}"
+        );
+        assert_eq!(
+            sol.objective, 200,
+            "each end pays one hop for its second customer"
+        );
     }
 
     #[test]
@@ -224,8 +251,11 @@ mod tests {
             .unwrap();
         let sol = HilbertBaseline::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
-        let nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         assert!(nodes.contains(&4), "island B gets its facility: {nodes:?}");
     }
 
@@ -251,7 +281,10 @@ mod tests {
         let g = line(5, 10.0);
         let inst = McfsInstance::builder(&g)
             .customers([0, 2, 4])
-            .facilities((0..5).map(|v| mcfs::Facility { node: v, capacity: 3 }))
+            .facilities((0..5).map(|v| mcfs::Facility {
+                node: v,
+                capacity: 3,
+            }))
             .k(1)
             .build()
             .unwrap();

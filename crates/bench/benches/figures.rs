@@ -31,14 +31,23 @@ fn cfg<'c>(
     name: &str,
 ) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
-    g.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
     g
 }
 
 fn uniform_workload(alpha: f64, m_frac: f64, k_of_m: f64, caps: CapSpec) -> Workload {
     let m = ((N as f64) * m_frac) as usize;
     let k = ((m as f64 * k_of_m) as usize).max(2);
-    synthetic_workload(&SyntheticConfig::uniform(N, alpha, 0xBE6C), m, None, k, caps, 0xBE6C)
+    synthetic_workload(
+        &SyntheticConfig::uniform(N, alpha, 0xBE6C),
+        m,
+        None,
+        k,
+        caps,
+        0xBE6C,
+    )
 }
 
 fn clustered_workload(clusters: usize, m_frac: f64, k_of_m: f64, cap: u32) -> Workload {
@@ -58,7 +67,9 @@ fn bench_solvers(c: &mut Criterion, name: &str, w: &Workload, solvers: &[&dyn So
     let mut g = cfg(c, name);
     let inst = w.instance();
     for s in solvers {
-        g.bench_function(s.name(), |b| b.iter(|| s.solve(&inst).expect("bench instance solvable")));
+        g.bench_function(s.name(), |b| {
+            b.iter(|| s.solve(&inst).expect("bench instance solvable"))
+        });
     }
     g.finish();
 }
@@ -68,12 +79,32 @@ fn fig6(c: &mut Criterion) {
     let naive = WmaNaive::new();
     let hilbert = HilbertBaseline::new();
     let lineup: [&dyn Solver; 3] = [&wma, &naive, &hilbert];
-    bench_solvers(c, "fig6a_uniform_o05", &uniform_workload(2.0, 0.1, 0.1, CapSpec::Uniform(20)), &lineup);
-    bench_solvers(c, "fig6b_uniform_dense", &uniform_workload(2.0, 0.2, 0.5, CapSpec::Uniform(4)), &lineup);
-    bench_solvers(c, "fig6c_uniform_sparse", &uniform_workload(1.2, 0.1, 0.5, CapSpec::Uniform(10)), &lineup);
+    bench_solvers(
+        c,
+        "fig6a_uniform_o05",
+        &uniform_workload(2.0, 0.1, 0.1, CapSpec::Uniform(20)),
+        &lineup,
+    );
+    bench_solvers(
+        c,
+        "fig6b_uniform_dense",
+        &uniform_workload(2.0, 0.2, 0.5, CapSpec::Uniform(4)),
+        &lineup,
+    );
+    bench_solvers(
+        c,
+        "fig6c_uniform_sparse",
+        &uniform_workload(1.2, 0.1, 0.5, CapSpec::Uniform(10)),
+        &lineup,
+    );
     let uf = UniformFirst::new();
     let lineup_d: [&dyn Solver; 2] = [&wma, &uf];
-    bench_solvers(c, "fig6d_nonuniform_caps", &uniform_workload(1.2, 0.1, 0.5, CapSpec::Random(1, 10)), &lineup_d);
+    bench_solvers(
+        c,
+        "fig6d_nonuniform_caps",
+        &uniform_workload(1.2, 0.1, 0.5, CapSpec::Random(1, 10)),
+        &lineup_d,
+    );
 }
 
 fn fig7(c: &mut Criterion) {
@@ -84,10 +115,30 @@ fn fig7(c: &mut Criterion) {
     let small = clustered_workload(20, 0.05, 0.2, 20);
     bench_solvers(c, "fig7a_clustered20_brnn", &small, &[&brnn]);
     let lineup: [&dyn Solver; 3] = [&wma, &naive, &hilbert];
-    bench_solvers(c, "fig7a_clustered20", &clustered_workload(20, 0.2, 0.1, 20), &lineup);
-    bench_solvers(c, "fig7b_clustered20_tight", &clustered_workload(20, 0.1, 0.5, 4), &lineup);
-    bench_solvers(c, "fig7c_clustered20_loose", &clustered_workload(20, 0.1, 1.0, 10), &lineup);
-    bench_solvers(c, "fig7d_clustered5", &clustered_workload(5, 0.1, 0.1, 20), &lineup);
+    bench_solvers(
+        c,
+        "fig7a_clustered20",
+        &clustered_workload(20, 0.2, 0.1, 20),
+        &lineup,
+    );
+    bench_solvers(
+        c,
+        "fig7b_clustered20_tight",
+        &clustered_workload(20, 0.1, 0.5, 4),
+        &lineup,
+    );
+    bench_solvers(
+        c,
+        "fig7c_clustered20_loose",
+        &clustered_workload(20, 0.1, 1.0, 10),
+        &lineup,
+    );
+    bench_solvers(
+        c,
+        "fig7d_clustered5",
+        &clustered_workload(5, 0.1, 0.1, 20),
+        &lineup,
+    );
 }
 
 fn fig8(c: &mut Criterion) {
@@ -106,9 +157,19 @@ fn fig8(c: &mut Criterion) {
     );
     bench_solvers(c, "fig8a_small_lp", &w, &lineup);
     // 8b/8c: heavy demand.
-    bench_solvers(c, "fig8bc_many_customers", &clustered_workload(20, 0.3, 0.1, 20), &lineup);
+    bench_solvers(
+        c,
+        "fig8bc_many_customers",
+        &clustered_workload(20, 0.3, 0.1, 20),
+        &lineup,
+    );
     // 8d: large k.
-    bench_solvers(c, "fig8d_large_k", &clustered_workload(20, 0.1, 0.5, 20), &lineup);
+    bench_solvers(
+        c,
+        "fig8d_large_k",
+        &clustered_workload(20, 0.1, 0.5, 20),
+        &lineup,
+    );
 }
 
 fn fig9(c: &mut Criterion) {
@@ -175,8 +236,10 @@ fn tables_and_fig10(c: &mut Criterion) {
     // Table IV / Fig 10: the city comparison at bench size.
     let g = city_graph();
     let customers = uniform_customers(&g, 128, 0x7AB4);
-    let facilities: Vec<mcfs::Facility> =
-        g.nodes().map(|node| mcfs::Facility { node, capacity: 20 }).collect();
+    let facilities: Vec<mcfs::Facility> = g
+        .nodes()
+        .map(|node| mcfs::Facility { node, capacity: 20 })
+        .collect();
     let inst = mcfs::McfsInstance::builder(&g)
         .customers(customers)
         .facilities(facilities)
@@ -199,8 +262,13 @@ fn fig12_13(c: &mut Criterion) {
     let venues = generate_venues(&g, 150, 0x12B);
     let weights = venue_customer_weights(&g, &venues, 0.5);
     let customers = sample_weighted(&weights, 200, 0x12C);
-    let facilities: Vec<mcfs::Facility> =
-        venues.iter().map(|v| mcfs::Facility { node: v.node, capacity: v.hours }).collect();
+    let facilities: Vec<mcfs::Facility> = venues
+        .iter()
+        .map(|v| mcfs::Facility {
+            node: v.node,
+            capacity: v.hours,
+        })
+        .collect();
     let inst = mcfs::McfsInstance::builder(&g)
         .customers(customers)
         .facilities(facilities)
@@ -216,7 +284,9 @@ fn fig12_13(c: &mut Criterion) {
     // The exact solver is benched via its `run` (which always returns its
     // incumbent, proven or not) so a budget exhaustion cannot panic.
     let bb = BranchAndBound::with_budget(Duration::from_secs(2));
-    grp.bench_function("Exact-BB-budgeted", |b| b.iter(|| bb.run(&inst).unwrap().solution.objective));
+    grp.bench_function("Exact-BB-budgeted", |b| {
+        b.iter(|| bb.run(&inst).unwrap().solution.objective)
+    });
     // Fig 12b: the instrumented run.
     grp.bench_function("WMA-instrumented", |b| {
         b.iter(|| Wma::new().with_stats().run(&inst).unwrap())
@@ -235,15 +305,22 @@ fn fig12_13(c: &mut Criterion) {
     let demand = docking_demand(&g, &field);
     let bikes = sample_weighted(&demand, 200, 0x140);
     let stations = mcfs_gen::bikes::generate_stations(&g, 300, 0x13E);
-    let st_facs: Vec<mcfs::Facility> =
-        stations.iter().map(|s| mcfs::Facility { node: s.node, capacity: s.capacity }).collect();
+    let st_facs: Vec<mcfs::Facility> = stations
+        .iter()
+        .map(|s| mcfs::Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
     let inst = mcfs::McfsInstance::builder(&g)
         .customers(bikes)
         .facilities(st_facs)
         .k(120)
         .build()
         .unwrap();
-    grp.bench_function("WMA-bike-docking", |b| b.iter(|| Wma::new().solve(&inst).unwrap()));
+    grp.bench_function("WMA-bike-docking", |b| {
+        b.iter(|| Wma::new().solve(&inst).unwrap())
+    });
     grp.finish();
 }
 
@@ -255,5 +332,14 @@ fn fig5(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig5, fig6, fig7, fig8, fig9, tables_and_fig10, fig12_13);
+criterion_group!(
+    benches,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    tables_and_fig10,
+    fig12_13
+);
 criterion_main!(benches);

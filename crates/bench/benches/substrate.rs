@@ -8,10 +8,12 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mcfs::{Facility, McfsInstance, Solver, Wma};
+use mcfs_baselines::BrnnBaseline;
 use mcfs_flow::{solve_transportation, Matcher, TransportProblem, VecStream};
 use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
 use mcfs_gen::customers::uniform_customers;
-use mcfs_graph::{dijkstra_all, AltIndex, Graph};
+use mcfs_gen::synthetic::{generate_synthetic, SyntheticConfig};
+use mcfs_graph::{dijkstra_all, AltIndex, DistanceOracle, Graph};
 use mcfs_io::{read_instance, write_instance};
 
 fn city() -> Graph {
@@ -43,8 +45,12 @@ fn shortest_paths(c: &mut Criterion) {
     let idx = AltIndex::build(&g, 8, s);
     let mut grp = grp(c, "substrate_shortest_paths");
     grp.bench_function("dijkstra_one_to_all", |b| b.iter(|| dijkstra_all(&g, s)));
-    grp.bench_function("alt_point_to_point", |b| b.iter(|| idx.query(&g, s, t).unwrap()));
-    grp.bench_function("alt_preprocess_8_landmarks", |b| b.iter(|| AltIndex::build(&g, 8, s)));
+    grp.bench_function("alt_point_to_point", |b| {
+        b.iter(|| idx.query(&g, s, t).unwrap())
+    });
+    grp.bench_function("alt_preprocess_8_landmarks", |b| {
+        b.iter(|| AltIndex::build(&g, 8, s))
+    });
     grp.finish();
 }
 
@@ -52,7 +58,11 @@ fn shortest_paths(c: &mut Criterion) {
 fn matching(c: &mut Criterion) {
     let (m, l) = (200usize, 120usize);
     let rows: Vec<Vec<u64>> = (0..m)
-        .map(|i| (0..l).map(|j| ((i * 37 + j * 101) % 1000) as u64 + 1).collect())
+        .map(|i| {
+            (0..l)
+                .map(|j| ((i * 37 + j * 101) % 1000) as u64 + 1)
+                .collect()
+        })
         .collect();
     let caps = vec![3u32; l];
     let mut grp = grp(c, "substrate_matching");
@@ -79,7 +89,11 @@ fn io_and_refine(c: &mut Criterion) {
     let customers = uniform_customers(&g, 100, 3);
     let inst = McfsInstance::builder(&g)
         .customers(customers)
-        .facilities(g.nodes().step_by(5).map(|node| Facility { node, capacity: 5 }))
+        .facilities(
+            g.nodes()
+                .step_by(5)
+                .map(|node| Facility { node, capacity: 5 }),
+        )
         .k(25)
         .build()
         .unwrap();
@@ -93,13 +107,80 @@ fn io_and_refine(c: &mut Criterion) {
     });
     let mut buf = Vec::new();
     write_instance(&mut buf, &inst).unwrap();
-    grp.bench_function("read_instance", |b| b.iter(|| read_instance(buf.as_slice()).unwrap()));
+    grp.bench_function("read_instance", |b| {
+        b.iter(|| read_instance(buf.as_slice()).unwrap())
+    });
     let base = Wma::new().solve(&inst).unwrap();
     grp.bench_function("local_search_refine", |b| {
-        b.iter(|| mcfs::refine::LocalSearch::default().refine(&inst, &base).unwrap())
+        b.iter(|| {
+            mcfs::refine::LocalSearch::default()
+                .refine(&inst, &base)
+                .unwrap()
+        })
     });
     grp.finish();
 }
 
-criterion_group!(benches, shortest_paths, matching, io_and_refine);
+/// The parallel distance substrate on the Fig. 6 synthetic workload
+/// (400-node uniform network, 40 customers, facilities everywhere):
+/// 1-thread vs. N-thread batched oracle row queries, and end-to-end WMA on
+/// the legacy lazy path vs. the oracle path. Solutions are asserted
+/// identical across substrates — the thread knob may only move wall time.
+fn oracle_substrate(c: &mut Criterion) {
+    let g = generate_synthetic(&SyntheticConfig::uniform(400, 2.0, 11));
+    let customers = uniform_customers(&g, 40, 3);
+    let inst = McfsInstance::builder(&g)
+        .customers(customers.iter().copied())
+        .facilities(g.nodes().map(|node| Facility { node, capacity: 5 }))
+        .k(10)
+        .build()
+        .unwrap();
+
+    let reference = Wma::new().threads(1).solve(&inst).unwrap();
+    for threads in [2usize, 4] {
+        let sol = Wma::new().threads(threads).solve(&inst).unwrap();
+        assert_eq!(reference, sol, "threads must not change the solution");
+    }
+
+    let mut grp = grp(c, "substrate_oracle");
+    // Fresh oracle per iteration: measures the batched fan-out itself
+    // (40 independent Dijkstra expansions), not cache hits.
+    for threads in [1usize, 4] {
+        grp.bench_function(&format!("rows_cold_{threads}_threads"), |b| {
+            b.iter(|| {
+                let oracle = DistanceOracle::new().with_threads(threads);
+                oracle.distances_for_sources(&g, &customers)
+            })
+        });
+    }
+    // Warm oracle: the per-iteration cost once WMA/refine/baselines share
+    // the cache.
+    let warm = DistanceOracle::new().with_threads(4);
+    warm.distances_for_sources(&g, &customers);
+    grp.bench_function("rows_warm_cached", |b| {
+        b.iter(|| warm.distances_for_sources(&g, &customers))
+    });
+    // End-to-end solver wall time on both substrates.
+    grp.bench_function("wma_legacy_1_thread", |b| {
+        b.iter(|| Wma::new().threads(1).solve(&inst).unwrap())
+    });
+    grp.bench_function("wma_oracle_4_threads", |b| {
+        b.iter(|| Wma::new().threads(4).solve(&inst).unwrap())
+    });
+    grp.bench_function("brnn_legacy_1_thread", |b| {
+        b.iter(|| BrnnBaseline::new().threads(1).solve(&inst).unwrap())
+    });
+    grp.bench_function("brnn_oracle_4_threads", |b| {
+        b.iter(|| BrnnBaseline::new().threads(4).solve(&inst).unwrap())
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    shortest_paths,
+    matching,
+    io_and_refine,
+    oracle_substrate
+);
 criterion_main!(benches);

@@ -48,13 +48,16 @@ fn solve_file(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("solve needs an instance file")?;
-    let solver = solver_by_name(&solver_name)
-        .ok_or_else(|| format!("unknown solver {solver_name:?} (wma|wma-ls|naive|uf|hilbert|brnn|exact)"))?;
+    let solver = solver_by_name(&solver_name).ok_or_else(|| {
+        format!("unknown solver {solver_name:?} (wma|wma-ls|naive|uf|hilbert|brnn|exact)")
+    })?;
 
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let owned = mcfs_io::read_instance(std::io::BufReader::new(file))
         .map_err(|e| format!("cannot parse {path}: {e}"))?;
-    let inst = owned.instance().map_err(|e| format!("invalid instance: {e}"))?;
+    let inst = owned
+        .instance()
+        .map_err(|e| format!("invalid instance: {e}"))?;
     eprintln!(
         "instance: {} nodes, {} customers, {} candidates, k={}",
         inst.graph().num_nodes(),
@@ -63,9 +66,12 @@ fn solve_file(args: &[String]) -> Result<(), String> {
         inst.k()
     );
     let t0 = std::time::Instant::now();
-    let sol = solver.solve(&inst).map_err(|e| format!("{} failed: {e}", solver.name()))?;
+    let sol = solver
+        .solve(&inst)
+        .map_err(|e| format!("{} failed: {e}", solver.name()))?;
     let dt = t0.elapsed();
-    inst.verify(&sol).map_err(|e| format!("solution failed verification: {e:?}"))?;
+    inst.verify(&sol)
+        .map_err(|e| format!("solution failed verification: {e:?}"))?;
     println!(
         "{}: objective {} with {} facilities in {dt:.2?} (verified)",
         solver.name(),

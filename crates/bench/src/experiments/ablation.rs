@@ -41,9 +41,27 @@ pub fn run(scale: f64) -> Report {
 
     let variants: Vec<(&'static str, Wma)> = vec![
         ("default", Wma::new()),
-        ("demand=all", Wma { demand_policy: DemandPolicy::All, ..Wma::new() }),
-        ("tiebreak=index", Wma { tie_break: TieBreak::IndexOnly, ..Wma::new() }),
-        ("pruning=tau-max", Wma { pruning: PruningRule::GlobalTauMax, ..Wma::new() }),
+        (
+            "demand=all",
+            Wma {
+                demand_policy: DemandPolicy::All,
+                ..Wma::new()
+            },
+        ),
+        (
+            "tiebreak=index",
+            Wma {
+                tie_break: TieBreak::IndexOnly,
+                ..Wma::new()
+            },
+        ),
+        (
+            "pruning=tau-max",
+            Wma {
+                pruning: PruningRule::GlobalTauMax,
+                ..Wma::new()
+            },
+        ),
     ];
     for (i, (name, solver)) in variants.into_iter().enumerate() {
         let instrumented = solver.clone().with_stats();
@@ -51,7 +69,8 @@ pub fn run(scale: f64) -> Report {
         match instrumented.run(&inst) {
             Ok(run) => {
                 let dt = t0.elapsed();
-                inst.verify(&run.solution).expect("ablation variant must stay correct");
+                inst.verify(&run.solution)
+                    .expect("ablation variant must stay correct");
                 let last = run.stats.iterations.last();
                 report.push(
                     "WMA",
@@ -71,11 +90,31 @@ pub fn run(scale: f64) -> Report {
     }
     // The matching-layer ablation the paper itself benchmarks.
     let (obj, dt, err) = run_solver(&WmaNaive::new(), &inst);
-    report.push("WMA-Naive", 4.0, obj, dt, if err.is_empty() { "matching=greedy".into() } else { err });
+    report.push(
+        "WMA-Naive",
+        4.0,
+        obj,
+        dt,
+        if err.is_empty() {
+            "matching=greedy".into()
+        } else {
+            err
+        },
+    );
     // Our extension: swap-based local search on top of the default WMA.
     let ls = LocalSearch::default().wrap(Wma::new());
     let (obj, dt, err) = run_solver(&ls, &inst);
-    report.push("WMA+LS", 5.0, obj, dt, if err.is_empty() { "post-optimizer".into() } else { err });
+    report.push(
+        "WMA+LS",
+        5.0,
+        obj,
+        dt,
+        if err.is_empty() {
+            "post-optimizer".into()
+        } else {
+            err
+        },
+    );
     report
 }
 
@@ -96,7 +135,10 @@ mod tests {
             assert!(naive >= default, "naive {naive} beat default {default}");
         }
         if let Some(ls) = r.objective_of("WMA+LS", 5.0) {
-            assert!(ls <= default, "local search must not worsen: {ls} vs {default}");
+            assert!(
+                ls <= default,
+                "local search must not worsen: {ls} vs {default}"
+            );
         }
     }
 
@@ -104,7 +146,11 @@ mod tests {
     fn tau_max_pulls_at_least_as_many_edges() {
         let r = run(0.05);
         let edges = |x: f64| -> u64 {
-            let row = r.rows.iter().find(|row| row.algorithm == "WMA" && row.x == x).unwrap();
+            let row = r
+                .rows
+                .iter()
+                .find(|row| row.algorithm == "WMA" && row.x == x)
+                .unwrap();
             row.note
                 .split("|E'|=")
                 .nth(1)

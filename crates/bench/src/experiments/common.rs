@@ -88,7 +88,13 @@ pub fn synthetic_workload(
 
     let m = m.min(graph.num_nodes());
     let customers = uniform_customers(&graph, m, seed ^ 0xC057);
-    let mut w = Workload { graph, customers, facilities, k, restricted: false };
+    let mut w = Workload {
+        graph,
+        customers,
+        facilities,
+        k,
+        restricted: false,
+    };
     if w.instance().check_feasibility().is_ok() {
         return w;
     }
@@ -100,8 +106,11 @@ pub fn synthetic_workload(
         fac_comp_size[cc.of(f.node) as usize] = cc.sizes[cc.of(f.node) as usize];
     }
     let giant = (0..cc.count).max_by_key(|&g| fac_comp_size[g]).unwrap_or(0);
-    let pool: Vec<NodeId> =
-        w.graph.nodes().filter(|&v| cc.of(v) as usize == giant).collect();
+    let pool: Vec<NodeId> = w
+        .graph
+        .nodes()
+        .filter(|&v| cc.of(v) as usize == giant)
+        .collect();
     // Deterministic subsample of the pool.
     let weights: Vec<f64> = vec![1.0; pool.len()];
     let picks = sample_weighted(&weights, m.min(pool.len()), seed ^ 0x91A17);

@@ -33,7 +33,13 @@ fn coworking_lineup() -> Vec<Box<dyn Solver>> {
 }
 
 fn city(style: CityStyle, nodes: usize, name: &'static str, seed: u64) -> Graph {
-    generate_city(&CitySpec { name, target_nodes: nodes, style, avg_edge_len: 40.0, seed })
+    generate_city(&CitySpec {
+        name,
+        target_nodes: nodes,
+        style,
+        avg_edge_len: 40.0,
+        seed,
+    })
 }
 
 /// Coworking instance: venues as facilities (hours = capacities), customers
@@ -61,13 +67,27 @@ fn las_vegas_coworking(scale: f64) -> Coworking {
     let venues = generate_venues(&graph, scaled(800, scale, 60), 0x12B);
     let weights = venue_customer_weights(&graph, &venues, 0.5);
     let customers = sample_weighted(&weights, scaled(1000, scale, 60), 0x12C);
-    let facilities =
-        venues.iter().map(|v| Facility { node: v.node, capacity: v.hours }).collect();
-    Coworking { graph, customers, facilities }
+    let facilities = venues
+        .iter()
+        .map(|v| Facility {
+            node: v.node,
+            capacity: v.hours,
+        })
+        .collect();
+    Coworking {
+        graph,
+        customers,
+        facilities,
+    }
 }
 
 fn copenhagen_coworking(scale: f64) -> Coworking {
-    let graph = city(CityStyle::Organic, scaled(6000, scale, 800), "Copenhagen", 0x13A);
+    let graph = city(
+        CityStyle::Organic,
+        scaled(6000, scale, 800),
+        "Copenhagen",
+        0x13A,
+    );
     let venues = generate_venues(&graph, scaled(164, scale, 40), 0x13B);
     let venue_nodes: Vec<_> = venues.iter().map(|v| v.node).collect();
     let weights = mask_to_reachable(
@@ -76,9 +96,18 @@ fn copenhagen_coworking(scale: f64) -> Coworking {
         &venue_nodes,
     );
     let customers = sample_weighted(&weights, scaled(200, scale, 40), 0x13D);
-    let facilities =
-        venues.iter().map(|v| Facility { node: v.node, capacity: v.hours }).collect();
-    Coworking { graph, customers, facilities }
+    let facilities = venues
+        .iter()
+        .map(|v| Facility {
+            node: v.node,
+            capacity: v.hours,
+        })
+        .collect();
+    Coworking {
+        graph,
+        customers,
+        facilities,
+    }
 }
 
 fn sweep_k(report: &mut Report, cw: &Coworking, fractions: &[f64]) {
@@ -103,15 +132,24 @@ fn sweep_k(report: &mut Report, cw: &Coworking, fractions: &[f64]) {
         // Unconditional quality certificate (see mcfs-exact::bound).
         let t_lb = std::time::Instant::now();
         if let Ok(lb) = mcfs_exact::relaxation_lower_bound(&inst) {
-            report.push("LB(relax)", k as f64, Some(lb), t_lb.elapsed(), "transportation relaxation");
+            report.push(
+                "LB(relax)",
+                k as f64,
+                Some(lb),
+                t_lb.elapsed(),
+                "transportation relaxation",
+            );
         }
     }
 }
 
 /// Figure 12a: Las Vegas coworking, objective/runtime vs `k`.
 pub fn run_12a(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig12a", "Las Vegas coworking: venues with hour-capacities, k sweep", "k");
+    let mut report = Report::new(
+        "fig12a",
+        "Las Vegas coworking: venues with hour-capacities, k sweep",
+        "k",
+    );
     let cw = las_vegas_coworking(scale);
     sweep_k(&mut report, &cw, &[0.3, 0.5, 0.75, 1.0]);
     report
@@ -131,7 +169,10 @@ pub fn run_12b(scale: f64) -> Report {
     // enough that coverage takes several exploration rounds.
     let k = ((cw.facilities.len() as f64 * 0.15) as usize).clamp(2, cw.facilities.len());
     let inst = cw.instance(k);
-    let run = Wma::new().with_stats().run(&inst).expect("coworking instance solvable");
+    let run = Wma::new()
+        .with_stats()
+        .run(&inst)
+        .expect("coworking instance solvable");
     for s in &run.stats.iterations {
         report.push(
             "WMA",
@@ -152,8 +193,11 @@ pub fn run_12b(scale: f64) -> Report {
 
 /// Figure 13a: Copenhagen coworking, objective/runtime vs `k`.
 pub fn run_13a(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig13a", "Copenhagen coworking: venues with hour-capacities, k sweep", "k");
+    let mut report = Report::new(
+        "fig13a",
+        "Copenhagen coworking: venues with hour-capacities, k sweep",
+        "k",
+    );
     let cw = copenhagen_coworking(scale);
     sweep_k(&mut report, &cw, &[0.3, 0.5, 0.75, 1.0]);
     report
@@ -162,33 +206,63 @@ pub fn run_13a(scale: f64) -> Report {
 /// Figure 13b: Copenhagen dockless bikes — stations as facilities, bikes
 /// placed by the flow-divergence demand model.
 pub fn run_13b(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig13b", "Copenhagen bike docking: stations, divergence-model bikes", "k");
-    let graph = city(CityStyle::Organic, scaled(6000, scale, 800), "Copenhagen", 0x13A);
+    let mut report = Report::new(
+        "fig13b",
+        "Copenhagen bike docking: stations, divergence-model bikes",
+        "k",
+    );
+    let graph = city(
+        CityStyle::Organic,
+        scaled(6000, scale, 800),
+        "Copenhagen",
+        0x13A,
+    );
     let stations = generate_stations(&graph, scaled(1500, scale, 80), 0x13E);
     let field = generate_flow_field(&graph, 0x13F);
     let station_nodes: Vec<_> = stations.iter().map(|s| s.node).collect();
-    let demand =
-        mask_to_reachable(&graph, &docking_demand(&graph, &field), &station_nodes);
+    let demand = mask_to_reachable(&graph, &docking_demand(&graph, &field), &station_nodes);
     let customers = sample_weighted(&demand, scaled(1000, scale, 60), 0x140);
-    let facilities: Vec<Facility> =
-        stations.iter().map(|s| Facility { node: s.node, capacity: s.capacity }).collect();
-    let cw = Coworking { graph, customers, facilities };
+    let facilities: Vec<Facility> = stations
+        .iter()
+        .map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
+    let cw = Coworking {
+        graph,
+        customers,
+        facilities,
+    };
     sweep_k(&mut report, &cw, &[0.2, 0.4, 0.7, 1.0]);
     report
 }
 
 /// Figure 15 analogue: bike-flow field summary statistics.
 pub fn run_fig15(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig15", "Synthetic bike-flow field statistics (Figure 14/15 analogue)", "hour");
-    let graph = city(CityStyle::Organic, scaled(4000, scale, 400), "Copenhagen", 0x13A);
+    let mut report = Report::new(
+        "fig15",
+        "Synthetic bike-flow field statistics (Figure 14/15 analogue)",
+        "hour",
+    );
+    let graph = city(
+        CityStyle::Organic,
+        scaled(4000, scale, 400),
+        "Copenhagen",
+        0x13A,
+    );
     let t0 = std::time::Instant::now();
     let field = generate_flow_field(&graph, 0x13F);
     let s = summarize(&field);
     let dt = t0.elapsed();
     for (h, mag) in s.hourly_magnitude.iter().enumerate() {
-        report.push("flow_magnitude", h as f64, Some(mag.round() as u64), dt / 24, "");
+        report.push(
+            "flow_magnitude",
+            h as f64,
+            Some(mag.round() as u64),
+            dt / 24,
+            "",
+        );
     }
     report.push(
         "inbound_fraction",
@@ -221,19 +295,30 @@ mod tests {
         let r = run_12b(0.12);
         let last = r.rows.last().expect("stats recorded");
         let m = r.rows.iter().filter_map(|x| x.objective).max().unwrap();
-        assert_eq!(last.objective, Some(m), "last iteration covers the most customers");
+        assert_eq!(
+            last.objective,
+            Some(m),
+            "last iteration covers the most customers"
+        );
     }
 
     #[test]
     fn fig13b_runs_bike_pipeline() {
         let r = run_13b(0.1);
-        assert!(r.rows.iter().any(|row| row.algorithm == "WMA" && row.objective.is_some()));
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.algorithm == "WMA" && row.objective.is_some()));
     }
 
     #[test]
     fn fig15_emits_24_hours() {
         let r = run_fig15(0.2);
-        let hours = r.rows.iter().filter(|x| x.algorithm == "flow_magnitude").count();
+        let hours = r
+            .rows
+            .iter()
+            .filter(|x| x.algorithm == "flow_magnitude")
+            .count();
         assert_eq!(hours, 24);
     }
 }

@@ -22,8 +22,11 @@ fn coverage(points: &[Point], side: f64) -> f64 {
 
 /// Regenerate the Figure 5 panel statistics.
 pub fn run(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig5", "Scatter statistics: 10⁴ points, 40/20/5 clusters + uniform", "clusters");
+    let mut report = Report::new(
+        "fig5",
+        "Scatter statistics: 10⁴ points, 40/20/5 clusters + uniform",
+        "clusters",
+    );
     let n = scaled(10_000, scale, 500);
     let side = 1000.0;
     for clusters in [40usize, 20, 5] {
@@ -33,7 +36,11 @@ pub fn run(scale: f64) -> Report {
         // Mean distance of a point to its cluster center.
         let mut total = 0.0;
         for (c, &lo) in cp.center_indices.iter().enumerate() {
-            let hi = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            let hi = cp
+                .center_indices
+                .get(c + 1)
+                .copied()
+                .unwrap_or(cp.points.len());
             for p in &cp.points[lo..hi] {
                 total += p.dist(&cp.centers[c]);
             }

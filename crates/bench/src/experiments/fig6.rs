@@ -84,7 +84,11 @@ fn run_panel(panel: &Panel, scale: f64) -> Report {
         let cfg = SyntheticConfig::uniform(n, panel.alpha, 0x6A + si as u64);
         let w = synthetic_workload(&cfg, m, None, k, panel.caps, 0x6A + si as u64);
         let inst = w.instance();
-        let note = if w.restricted { "giant-component customers" } else { "" };
+        let note = if w.restricted {
+            "giant-component customers"
+        } else {
+            ""
+        };
 
         let mut lineup: Vec<Box<dyn Solver>> = vec![
             Box::new(Wma::new()),
@@ -105,13 +109,23 @@ fn run_panel(panel: &Panel, scale: f64) -> Report {
 
         for solver in &lineup {
             let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
-            let note = if err.is_empty() { note.to_string() } else { err };
+            let note = if err.is_empty() {
+                note.to_string()
+            } else {
+                err
+            };
             report.push(solver.name(), n as f64, obj, dt, note);
         }
         // Unconditional quality certificate (see mcfs-exact::bound).
         let t_lb = std::time::Instant::now();
         if let Ok(lb) = mcfs_exact::relaxation_lower_bound(&inst) {
-            report.push("LB(relax)", n as f64, Some(lb), t_lb.elapsed(), "transportation relaxation");
+            report.push(
+                "LB(relax)",
+                n as f64,
+                Some(lb),
+                t_lb.elapsed(),
+                "transportation relaxation",
+            );
         }
     }
     report
@@ -119,7 +133,10 @@ fn run_panel(panel: &Panel, scale: f64) -> Report {
 
 /// Regenerate one of the four panels.
 pub fn run(panel_id: &str, scale: f64) -> Report {
-    let panel = PANELS.iter().find(|p| p.id == panel_id).expect("unknown fig6 panel");
+    let panel = PANELS
+        .iter()
+        .find(|p| p.id == panel_id)
+        .expect("unknown fig6 panel");
     run_panel(panel, scale)
 }
 
@@ -134,7 +151,9 @@ mod tests {
         assert!(r.xs().len() >= 3);
         for alg in ["WMA", "WMA-Naive", "Hilbert"] {
             assert!(
-                r.rows.iter().any(|row| row.algorithm == alg && row.objective.is_some()),
+                r.rows
+                    .iter()
+                    .any(|row| row.algorithm == alg && row.objective.is_some()),
                 "{alg} missing or failed"
             );
         }

@@ -69,17 +69,30 @@ const SIZES: [usize; 5] = [512, 1024, 2048, 4096, 8192];
 
 /// Regenerate one of the four panels.
 pub fn run(panel_id: &str, scale: f64) -> Report {
-    let panel = PANELS.iter().find(|p| p.id == panel_id).expect("unknown fig7 panel");
+    let panel = PANELS
+        .iter()
+        .find(|p| p.id == panel_id)
+        .expect("unknown fig7 panel");
     let mut report = Report::new(panel.id, panel.title, "n");
     for (si, &base_n) in SIZES.iter().enumerate() {
         let n = scaled(base_n, scale, 128);
         let m = scaled((base_n as f64 * panel.m_frac) as usize, scale, 8);
         let k = ((m as f64 * panel.k_of_m).round() as usize).clamp(2, m);
         let cfg = SyntheticConfig::clustered(n, panel.clusters.min(n / 8), 1.5, 0x7A + si as u64);
-        let w =
-            synthetic_workload(&cfg, m, None, k, CapSpec::Uniform(panel.cap), 0x7A + si as u64);
+        let w = synthetic_workload(
+            &cfg,
+            m,
+            None,
+            k,
+            CapSpec::Uniform(panel.cap),
+            0x7A + si as u64,
+        );
         let inst = w.instance();
-        let note = if w.restricted { "giant-component customers" } else { "" };
+        let note = if w.restricted {
+            "giant-component customers"
+        } else {
+            ""
+        };
 
         let mut lineup: Vec<Box<dyn Solver>> = vec![
             Box::new(Wma::new()),
@@ -94,13 +107,23 @@ pub fn run(panel_id: &str, scale: f64) -> Report {
         }
         for solver in &lineup {
             let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
-            let note = if err.is_empty() { note.to_string() } else { err };
+            let note = if err.is_empty() {
+                note.to_string()
+            } else {
+                err
+            };
             report.push(solver.name(), n as f64, obj, dt, note);
         }
         // Unconditional quality certificate (see mcfs-exact::bound).
         let t_lb = std::time::Instant::now();
         if let Ok(lb) = mcfs_exact::relaxation_lower_bound(&inst) {
-            report.push("LB(relax)", n as f64, Some(lb), t_lb.elapsed(), "transportation relaxation");
+            report.push(
+                "LB(relax)",
+                n as f64,
+                Some(lb),
+                t_lb.elapsed(),
+                "transportation relaxation",
+            );
         }
     }
     report
@@ -126,7 +149,10 @@ mod tests {
     #[test]
     fn tiny_fig7d_runs() {
         let r = run("fig7d", 0.04);
-        assert!(r.rows.iter().any(|row| row.algorithm == "Hilbert" && row.objective.is_some()));
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.algorithm == "Hilbert" && row.objective.is_some()));
     }
 }
 
@@ -159,7 +185,11 @@ mod diagnostics {
             run.solution.facilities.len()
         );
         let hil = mcfs_baselines::HilbertBaseline::new().solve(&inst).unwrap();
-        eprintln!("Hilbert: obj={} |F|={}", hil.objective, hil.facilities.len());
+        eprintln!(
+            "Hilbert: obj={} |F|={}",
+            hil.objective,
+            hil.facilities.len()
+        );
 
         // Cross-evaluate: optimal assignment onto each selection.
         let (_, wma_f) = optimal_assignment(&inst, &run.solution.facilities).unwrap();
@@ -168,9 +198,15 @@ mod diagnostics {
 
         // How many facilities per iteration trace.
         for s in run.stats.iterations.iter().take(5) {
-            eprintln!("  iter {}: covered={} demand={}", s.iteration, s.covered_customers, s.total_demand);
+            eprintln!(
+                "  iter {}: covered={} demand={}",
+                s.iteration, s.covered_customers, s.total_demand
+            );
         }
         let last = run.stats.iterations.last().unwrap();
-        eprintln!("  last iter {}: covered={} demand={}", last.iteration, last.covered_customers, last.total_demand);
+        eprintln!(
+            "  last iter {}: covered={} demand={}",
+            last.iteration, last.covered_customers, last.total_demand
+        );
     }
 }

@@ -39,8 +39,11 @@ fn lineup(include_exact: bool) -> Vec<Box<dyn Solver>> {
 /// an exact solver; heuristics should stay stable, which is the claim under
 /// test).
 pub fn run_8a(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig8a", "Variable ℓ (40–100% of n, nested pools), m=0.2n, k=0.1m, c=20", "l_frac");
+    let mut report = Report::new(
+        "fig8a",
+        "Variable ℓ (40–100% of n, nested pools), m=0.2n, k=0.1m, c=20",
+        "l_frac",
+    );
     let n = scaled(BASE_N, scale, 256);
     let m = scaled(BASE_N / 5, scale, 16);
     let k = (m / 10).max(2);
@@ -58,8 +61,10 @@ pub fn run_8a(scale: f64) -> Report {
 
     for frac in [0.4, 0.6, 0.8, 1.0] {
         let l = (n as f64 * frac) as usize;
-        let facilities: Vec<Facility> =
-            pool[..l.min(pool.len())].iter().map(|&node| Facility { node, capacity: 20 }).collect();
+        let facilities: Vec<Facility> = pool[..l.min(pool.len())]
+            .iter()
+            .map(|&node| Facility { node, capacity: 20 })
+            .collect();
         let inst = McfsInstance::builder(&base.graph)
             .customers(base.customers.iter().copied())
             .facilities(facilities)
@@ -99,8 +104,11 @@ pub fn run_8b(scale: f64) -> Report {
 /// 8c: scaled-up customers, multiple per node, occupancy 0.1
 /// (`c = 100`, `k = 0.1 m`).
 pub fn run_8c(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig8c", "Scaled-up m (multiple customers per node), o=0.1", "m");
+    let mut report = Report::new(
+        "fig8c",
+        "Scaled-up m (multiple customers per node), o=0.1",
+        "m",
+    );
     let n = scaled(BASE_N, scale, 256);
     let cfg = SyntheticConfig::clustered(n, 20.min(n / 8), 1.5, 0x8C);
     let graph = generate_synthetic(&cfg);
@@ -109,8 +117,13 @@ pub fn run_8c(scale: f64) -> Report {
         let m = ((n as f64 * m_frac) as usize).max(32);
         let customers = sample_weighted(&weights, m, 0x8C + i as u64);
         let k = (m / 10).max(2);
-        let facilities: Vec<Facility> =
-            graph.nodes().map(|node| Facility { node, capacity: 100 }).collect();
+        let facilities: Vec<Facility> = graph
+            .nodes()
+            .map(|node| Facility {
+                node,
+                capacity: 100,
+            })
+            .collect();
         let inst = McfsInstance::builder(&graph)
             .customers(customers)
             .facilities(facilities)
@@ -118,7 +131,13 @@ pub fn run_8c(scale: f64) -> Report {
             .build()
             .unwrap();
         if inst.check_feasibility().is_err() {
-            report.push("WMA", m as f64, None, std::time::Duration::ZERO, "infeasible draw");
+            report.push(
+                "WMA",
+                m as f64,
+                None,
+                std::time::Duration::ZERO,
+                "infeasible draw",
+            );
             continue;
         }
         for solver in lineup(i == 0) {
@@ -193,9 +212,10 @@ mod tests {
     fn fig8d_objective_falls_with_k() {
         let r = run_8d(0.04);
         let xs = r.xs();
-        if let (Some(a), Some(b)) =
-            (r.objective_of("WMA", xs[0]), r.objective_of("WMA", *xs.last().unwrap()))
-        {
+        if let (Some(a), Some(b)) = (
+            r.objective_of("WMA", xs[0]),
+            r.objective_of("WMA", *xs.last().unwrap()),
+        ) {
             assert!(b <= a, "objective must not grow with k: {a} -> {b}");
         }
     }

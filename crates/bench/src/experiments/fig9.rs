@@ -22,8 +22,11 @@ const BASE_N: usize = 6_000;
 
 /// 9a: density sweep; x = measured average degree.
 pub fn run_9a(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig9a", "Density sweep (5 clusters, c=10, o=0.2); x = avg degree", "avg_deg");
+    let mut report = Report::new(
+        "fig9a",
+        "Density sweep (5 clusters, c=10, o=0.2); x = avg degree",
+        "avg_deg",
+    );
     let n = scaled(BASE_N, scale, 256);
     let m = (n / 10).max(16);
     let k = (m / 2).max(2);
@@ -86,8 +89,14 @@ mod tests {
         // x values are degrees, not alphas: all within a road-network band
         // and increasing.
         let xs = r.xs();
-        assert!(xs.windows(2).all(|w| w[1] >= w[0]), "degrees increase with α: {xs:?}");
-        assert!(xs.iter().all(|&d| d > 0.5 && d < 64.0), "degree range: {xs:?}");
+        assert!(
+            xs.windows(2).all(|w| w[1] >= w[0]),
+            "degrees increase with α: {xs:?}"
+        );
+        assert!(
+            xs.iter().all(|&d| d > 0.5 && d < 64.0),
+            "degree range: {xs:?}"
+        );
     }
 
     #[test]

@@ -57,10 +57,30 @@ mod tests {
             assert!(
                 matches!(
                     id,
-                    "fig5" | "fig6a" | "fig6b" | "fig6c" | "fig6d" | "fig7a" | "fig7b" | "fig7c"
-                        | "fig7d" | "fig8a" | "fig8b" | "fig8c" | "fig8d" | "fig9a" | "fig9b"
-                        | "table3" | "table4" | "fig10" | "fig12a" | "fig12b" | "fig13a"
-                        | "fig13b" | "fig15" | "ablation"
+                    "fig5"
+                        | "fig6a"
+                        | "fig6b"
+                        | "fig6c"
+                        | "fig6d"
+                        | "fig7a"
+                        | "fig7b"
+                        | "fig7c"
+                        | "fig7d"
+                        | "fig8a"
+                        | "fig8b"
+                        | "fig8c"
+                        | "fig8d"
+                        | "fig9a"
+                        | "fig9b"
+                        | "table3"
+                        | "table4"
+                        | "fig10"
+                        | "fig12a"
+                        | "fig12b"
+                        | "fig13a"
+                        | "fig13b"
+                        | "fig15"
+                        | "ablation"
                 ),
                 "{id} not dispatchable"
             );

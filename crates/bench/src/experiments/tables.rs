@@ -22,8 +22,11 @@ const CITY_BASE_SCALE: f64 = 0.02;
 
 /// Table III: statistics of the generated city networks.
 pub fn run_table3(scale: f64) -> Report {
-    let mut report =
-        Report::new("table3", "Synthetic city networks vs Table III statistics", "nodes");
+    let mut report = Report::new(
+        "table3",
+        "Synthetic city networks vs Table III statistics",
+        "nodes",
+    );
     for spec in CitySpec::paper_cities(CITY_BASE_SCALE * scale) {
         let t0 = std::time::Instant::now();
         let g = generate_city(&spec);
@@ -43,7 +46,10 @@ pub fn run_table3(scale: f64) -> Report {
 
 fn city_instance(g: &Graph, m: usize, k: usize, c: u32, seed: u64) -> McfsInstance<'_> {
     let customers = uniform_customers(g, m.min(g.num_nodes() / 2), seed);
-    let facilities: Vec<Facility> = g.nodes().map(|node| Facility { node, capacity: c }).collect();
+    let facilities: Vec<Facility> = g
+        .nodes()
+        .map(|node| Facility { node, capacity: c })
+        .collect();
     McfsInstance::builder(g)
         .customers(customers)
         .facilities(facilities)
@@ -57,10 +63,17 @@ fn city_instance(g: &Graph, m: usize, k: usize, c: u32, seed: u64) -> McfsInstan
 /// solver is absent — the paper's Gurobi "did not terminate within one
 /// week" here.)
 pub fn run_table4(scale: f64) -> Report {
-    let mut report = Report::new("table4", "Real-data substitute, m=512, k=51, c=20, ℓ=n", "city");
+    let mut report = Report::new(
+        "table4",
+        "Real-data substitute, m=512, k=51, c=20, ℓ=n",
+        "city",
+    );
     let m = scaled(512, scale.max(0.05), 32);
     let k = (m / 10).max(2);
-    for (ci, spec) in CitySpec::paper_cities(CITY_BASE_SCALE * scale).into_iter().enumerate() {
+    for (ci, spec) in CitySpec::paper_cities(CITY_BASE_SCALE * scale)
+        .into_iter()
+        .enumerate()
+    {
         let g = generate_city(&spec);
         let inst = city_instance(&g, m, k, 20, 0x7AB4 + ci as u64);
         if inst.check_feasibility().is_err() {
@@ -74,7 +87,11 @@ pub fn run_table4(scale: f64) -> Report {
         ];
         for solver in &solvers {
             let (obj, dt, err) = run_solver(solver.as_ref(), &inst);
-            let note = if err.is_empty() { spec.name.to_string() } else { format!("{}: {err}", spec.name) };
+            let note = if err.is_empty() {
+                spec.name.to_string()
+            } else {
+                format!("{}: {err}", spec.name)
+            };
             report.push(solver.name(), ci as f64, obj, dt, note);
         }
     }
@@ -85,8 +102,11 @@ pub fn run_table4(scale: f64) -> Report {
 /// `o = 0.5`, `ℓ = n`. BRNN included (its objective "grows rapidly"); the
 /// exact solver is attempted and fails, as Gurobi does in the paper.
 pub fn run_fig10(scale: f64) -> Report {
-    let mut report =
-        Report::new("fig10", "Aalborg substitute scalability, k=0.1m, c=20, o=0.5", "m");
+    let mut report = Report::new(
+        "fig10",
+        "Aalborg substitute scalability, k=0.1m, c=20, o=0.5",
+        "m",
+    );
     let spec = CitySpec::paper_cities(CITY_BASE_SCALE * scale).remove(0);
     let g = generate_city(&spec);
     for (i, base_m) in [64usize, 128, 256, 512].into_iter().enumerate() {

@@ -54,7 +54,12 @@ pub struct Report {
 impl Report {
     /// New empty report.
     pub fn new(id: &'static str, title: impl Into<String>, x_label: &'static str) -> Self {
-        Self { id, title: title.into(), x_label, rows: Vec::new() }
+        Self {
+            id,
+            title: title.into(),
+            x_label,
+            rows: Vec::new(),
+        }
     }
 
     /// Record one measurement.
@@ -66,14 +71,23 @@ impl Report {
         runtime: Duration,
         note: impl Into<String>,
     ) {
-        self.rows.push(Measurement { algorithm, x, objective, runtime, note: note.into() });
+        self.rows.push(Measurement {
+            algorithm,
+            x,
+            objective,
+            runtime,
+            note: note.into(),
+        });
     }
 
     /// Render as a markdown table (the shape EXPERIMENTS.md embeds).
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
-        out.push_str(&format!("| {} | algorithm | objective | runtime | note |\n", self.x_label));
+        out.push_str(&format!(
+            "| {} | algorithm | objective | runtime | note |\n",
+            self.x_label
+        ));
         out.push_str("|---:|---|---:|---:|---|\n");
         for r in &self.rows {
             let obj = r.objective.map_or("fail".to_string(), |o| o.to_string());
@@ -97,8 +111,10 @@ impl Report {
     /// Render as CSV (one row per measurement; runtime in microseconds) —
     /// the shape plotting scripts want.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("x,algorithm,objective,runtime_us,note
-");
+        let mut out = String::from(
+            "x,algorithm,objective,runtime_us,note
+",
+        );
         for r in &self.rows {
             let obj = r.objective.map_or(String::new(), |o| o.to_string());
             out.push_str(&format!(
@@ -185,7 +201,13 @@ mod tests {
         let mut r = Report::new("figX", "demo", "n");
         r.push("WMA", 512.0, Some(100), Duration::from_millis(5), "");
         r.push("Hilbert", 512.0, Some(140), Duration::from_millis(2), "");
-        r.push("Gurobi", 1024.0, None, Duration::from_secs(1), "budget exhausted");
+        r.push(
+            "Gurobi",
+            1024.0,
+            None,
+            Duration::from_secs(1),
+            "budget exhausted",
+        );
         assert_eq!(r.objective_of("WMA", 512.0), Some(100));
         assert_eq!(r.objective_of("Gurobi", 1024.0), None);
         assert_eq!(r.xs(), vec![512.0, 1024.0]);
@@ -198,7 +220,13 @@ mod tests {
     fn csv_render() {
         let mut r = Report::new("figX", "demo", "n");
         r.push("WMA", 512.0, Some(100), Duration::from_millis(5), "a,b");
-        r.push("Exact", 512.0, None, Duration::from_secs(1), "budget exhausted");
+        r.push(
+            "Exact",
+            512.0,
+            None,
+            Duration::from_secs(1),
+            "budget exhausted",
+        );
         let csv = r.to_csv();
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("x,algorithm,objective,runtime_us,note"));

@@ -9,11 +9,11 @@
 use std::rc::Rc;
 
 use mcfs_flow::{EdgeStream, Matcher};
-use mcfs_graph::NodeId;
+use mcfs_graph::{DistanceOracle, NodeId};
 use rustc_hash::FxHashMap;
 
 use crate::instance::McfsInstance;
-use crate::streams::NetworkStream;
+use crate::streams::{CustomerStream, NetworkStream};
 use crate::SolveError;
 
 /// Map node → positions-within-`selection` for the selected facilities.
@@ -37,12 +37,24 @@ pub fn optimal_assignment(
     inst: &McfsInstance,
     selection: &[u32],
 ) -> Result<(Vec<u32>, u64), SolveError> {
+    optimal_assignment_with(inst, selection, None)
+}
+
+/// [`optimal_assignment`] over an explicit distance substrate: `Some`
+/// oracle serves the customer rows from its shared cache (a large win for
+/// callers that re-assign repeatedly, like the refine pass); `None` runs
+/// the legacy per-customer lazy searches. Both produce identical results.
+pub fn optimal_assignment_with(
+    inst: &McfsInstance,
+    selection: &[u32],
+    oracle: Option<&DistanceOracle>,
+) -> Result<(Vec<u32>, u64), SolveError> {
     let caps: Vec<u32> = selection
         .iter()
         .map(|&j| inst.facilities()[j as usize].capacity)
         .collect();
     let map = selection_map(inst, selection);
-    let streams = NetworkStream::for_customers(inst.graph(), inst.customers(), map);
+    let streams = CustomerStream::for_customers(inst.graph(), inst.customers(), map, oracle);
     let mut matcher = Matcher::new(streams, caps);
     for i in 0..inst.num_customers() {
         matcher
@@ -77,8 +89,7 @@ pub fn greedy_assignment(
     let mut assignment = vec![u32::MAX; inst.num_customers()];
     let mut objective = 0u64;
     for &i in order {
-        let mut stream =
-            NetworkStream::new(inst.graph(), inst.customers()[i], Rc::clone(&map));
+        let mut stream = NetworkStream::new(inst.graph(), inst.customers()[i], Rc::clone(&map));
         let mut placed = false;
         while let Some((pos, dist)) = stream.next_edge() {
             if loads[pos as usize] < caps[pos as usize] {

@@ -44,8 +44,7 @@ pub fn cover_components(
     cc: &ComponentInfo,
 ) -> Result<Vec<u32>, SolveError> {
     let facs = inst.facilities();
-    let comp_of_fac: Vec<usize> =
-        facs.iter().map(|f| cc.of(f.node) as usize).collect();
+    let comp_of_fac: Vec<usize> = facs.iter().map(|f| cc.of(f.node) as usize).collect();
 
     let mut customers_per = vec![0i64; cc.count];
     for &s in inst.customers() {
@@ -66,7 +65,9 @@ pub fn cover_components(
     let mut swaps = 0usize;
     #[allow(clippy::while_let_loop)]
     loop {
-        let Some(g_min) = (0..cc.count).filter(|&g| surplus[g] < 0).min_by_key(|&g| surplus[g])
+        let Some(g_min) = (0..cc.count)
+            .filter(|&g| surplus[g] < 0)
+            .min_by_key(|&g| surplus[g])
         else {
             break; // every component satisfied
         };
@@ -120,7 +121,10 @@ pub fn cover_components(
         // Perform the swap and update the bookkeeping (paper lines 7–9).
         chosen.remove(&outgoing);
         chosen.insert(incoming);
-        let pos = selection.iter().position(|&j| j == outgoing).expect("selected");
+        let pos = selection
+            .iter()
+            .position(|&j| j == outgoing)
+            .expect("selected");
         selection[pos] = incoming;
         surplus[g_max] -= facs[outgoing as usize].capacity as i64;
         surplus[g_min] += facs[incoming as usize].capacity as i64;
@@ -148,9 +152,7 @@ fn rebuild(
     let mut selection = Vec::with_capacity(old.len());
     let mut leftovers: Vec<u32> = Vec::new();
     for g in 0..cc.count {
-        per_comp[g].sort_unstable_by_key(|&j| {
-            (std::cmp::Reverse(facs[j as usize].capacity), j)
-        });
+        per_comp[g].sort_unstable_by_key(|&j| (std::cmp::Reverse(facs[j as usize].capacity), j));
         let mut need = customers_per[g];
         for &j in &per_comp[g] {
             if need > 0 {
@@ -171,10 +173,12 @@ fn rebuild(
         }
     }
     if selection.len() > old.len() {
-        return Err(SolveError::Infeasible(crate::instance::Infeasibility::BudgetTooSmall {
-            required: selection.len(),
-            k: old.len(),
-        }));
+        return Err(SolveError::Infeasible(
+            crate::instance::Infeasibility::BudgetTooSmall {
+                required: selection.len(),
+                k: old.len(),
+            },
+        ));
     }
     // Spend remaining slots: previously selected candidates first, then by
     // capacity.
@@ -226,7 +230,10 @@ mod tests {
         let fixed = cover_components(&inst, vec![0, 1], &cc).unwrap();
         assert_eq!(fixed.len(), 2);
         // One A-facility swapped for the big B-facility (idx 2).
-        assert!(fixed.contains(&2), "starving island gets its biggest candidate: {fixed:?}");
+        assert!(
+            fixed.contains(&2),
+            "starving island gets its biggest candidate: {fixed:?}"
+        );
         let a_caps: i64 = fixed
             .iter()
             .filter(|&&j| inst.facilities()[j as usize].node <= 2)
@@ -291,13 +298,20 @@ mod tests {
         assert_eq!(fixed.len(), 3);
         // Each component with customers must end up with surplus ≥ 0.
         for comp in 0..cc.count {
-            let cust = inst.customers().iter().filter(|&&s| cc.of(s) as usize == comp).count() as i64;
+            let cust = inst
+                .customers()
+                .iter()
+                .filter(|&&s| cc.of(s) as usize == comp)
+                .count() as i64;
             let cap: i64 = fixed
                 .iter()
                 .filter(|&&j| cc.of(inst.facilities()[j as usize].node) as usize == comp)
                 .map(|&j| inst.facilities()[j as usize].capacity as i64)
                 .sum();
-            assert!(cap >= cust, "component {comp}: cap {cap} < customers {cust}");
+            assert!(
+                cap >= cust,
+                "component {comp}: cap {cap} < customers {cust}"
+            );
         }
     }
 
@@ -322,6 +336,9 @@ mod tests {
         let customers_per = vec![3i64, 3];
         let sel = rebuild(&inst, vec![1, 3], &cc, &comp_of_fac, &customers_per).unwrap();
         assert_eq!(sel.len(), 2);
-        assert!(sel.contains(&0) && sel.contains(&2), "top-capacity per island: {sel:?}");
+        assert!(
+            sel.contains(&0) && sel.contains(&2),
+            "top-capacity per island: {sel:?}"
+        );
     }
 }

@@ -59,8 +59,13 @@ pub fn check_cover(
         .collect();
 
     while selected.len() < k {
-        let Some((cached, ts, Reverse(j))) = heap.pop() else { break };
-        let fresh = sigma[j as usize].iter().filter(|&&c| !covered[c as usize]).count() as u64;
+        let Some((cached, ts, Reverse(j))) = heap.pop() else {
+            break;
+        };
+        let fresh = sigma[j as usize]
+            .iter()
+            .filter(|&&c| !covered[c as usize])
+            .count() as u64;
         if fresh == 0 {
             continue; // nothing left to gain from this facility
         }
@@ -75,7 +80,11 @@ pub fn check_cover(
     }
 
     let all_covered = covered.iter().all(|&b| b);
-    CoverOutcome { selected, covered, all_covered }
+    CoverOutcome {
+        selected,
+        covered,
+        all_covered,
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +125,11 @@ mod tests {
         // Facility 1 duplicates facility 0's coverage entirely.
         let sigma = vec![vec![0, 1], vec![0, 1], vec![]];
         let out = check_cover(&sigma, 2, 3, &[0, 0, 0]);
-        assert_eq!(out.selected, vec![0], "duplicate and empty facilities skipped");
+        assert_eq!(
+            out.selected,
+            vec![0],
+            "duplicate and empty facilities skipped"
+        );
         assert!(out.all_covered);
     }
 

@@ -38,8 +38,10 @@ pub fn select_greedy(inst: &McfsInstance, selection: &mut Vec<u32>) {
             // Degenerate start: any customer anchors the first pick.
             inst.customers()[0]
         } else {
-            let nodes: Vec<NodeId> =
-                selection.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+            let nodes: Vec<NodeId> = selection
+                .iter()
+                .map(|&j| inst.facilities()[j as usize].node)
+                .collect();
             let (dist, _) = multi_source_dijkstra(inst.graph(), &nodes);
             *inst
                 .customers()

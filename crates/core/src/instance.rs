@@ -116,7 +116,10 @@ impl<'g> InstanceBuilder<'g> {
             return Err(InstanceError::NoCustomers);
         }
         if self.k == 0 || self.k > self.facilities.len() {
-            return Err(InstanceError::BadBudget { k: self.k, num_facilities: self.facilities.len() });
+            return Err(InstanceError::BadBudget {
+                k: self.k,
+                num_facilities: self.facilities.len(),
+            });
         }
         Ok(McfsInstance {
             graph: self.graph,
@@ -130,7 +133,12 @@ impl<'g> InstanceBuilder<'g> {
 impl<'g> McfsInstance<'g> {
     /// Start building an instance over `graph`.
     pub fn builder(graph: &'g Graph) -> InstanceBuilder<'g> {
-        InstanceBuilder { graph, customers: Vec::new(), facilities: Vec::new(), k: 0 }
+        InstanceBuilder {
+            graph,
+            customers: Vec::new(),
+            facilities: Vec::new(),
+            k: 0,
+        }
     }
 
     /// The underlying network.
@@ -223,9 +231,15 @@ impl<'g> McfsInstance<'g> {
             total += cnt;
         }
         if total > self.k {
-            return Err(Infeasibility::BudgetTooSmall { required: total, k: self.k });
+            return Err(Infeasibility::BudgetTooSmall {
+                required: total,
+                k: self.k,
+            });
         }
-        Ok(FeasibilityReport { components: cc, min_counts })
+        Ok(FeasibilityReport {
+            components: cc,
+            min_counts,
+        })
     }
 }
 
@@ -264,12 +278,19 @@ pub enum Infeasibility {
 impl std::fmt::Display for Infeasibility {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Infeasibility::ComponentCapacity { component, customers, capacity } => write!(
+            Infeasibility::ComponentCapacity {
+                component,
+                customers,
+                capacity,
+            } => write!(
                 f,
                 "component {component} has {customers} customers but only capacity {capacity}"
             ),
             Infeasibility::BudgetTooSmall { required, k } => {
-                write!(f, "covering all components requires {required} facilities but k={k}")
+                write!(
+                    f,
+                    "covering all components requires {required} facilities but k={k}"
+                )
             }
         }
     }
@@ -391,7 +412,10 @@ impl McfsInstance<'_> {
     /// symmetric distances of the paper's undirected road networks).
     pub fn verify(&self, sol: &Solution) -> Result<(), VerifyError> {
         if sol.facilities.len() > self.k {
-            return Err(VerifyError::TooManyFacilities { selected: sol.facilities.len(), k: self.k });
+            return Err(VerifyError::TooManyFacilities {
+                selected: sol.facilities.len(),
+                k: self.k,
+            });
         }
         let mut seen = rustc_hash::FxHashSet::default();
         for &j in &sol.facilities {
@@ -408,7 +432,10 @@ impl McfsInstance<'_> {
         let mut loads = vec![0u64; sol.facilities.len()];
         for (i, &a) in sol.assignment.iter().enumerate() {
             if a as usize >= sol.facilities.len() {
-                return Err(VerifyError::BadAssignmentIndex { customer: i, index: a });
+                return Err(VerifyError::BadAssignmentIndex {
+                    customer: i,
+                    index: a,
+                });
             }
             loads[a as usize] += 1;
         }
@@ -430,14 +457,20 @@ impl McfsInstance<'_> {
                 if a as usize == fi {
                     let d = dist[self.customers[i] as usize];
                     if d == INF {
-                        return Err(VerifyError::Unreachable { customer: i, facility: j });
+                        return Err(VerifyError::Unreachable {
+                            customer: i,
+                            facility: j,
+                        });
                     }
                     actual += d;
                 }
             }
         }
         if actual != sol.objective {
-            return Err(VerifyError::ObjectiveMismatch { reported: sol.objective, actual });
+            return Err(VerifyError::ObjectiveMismatch {
+                reported: sol.objective,
+                actual,
+            });
         }
         Ok(())
     }
@@ -460,18 +493,40 @@ mod tests {
     fn builder_validates() {
         let g = path_graph(4);
         assert_eq!(
-            McfsInstance::builder(&g).customer(9).facility(0, 1).k(1).build().unwrap_err(),
+            McfsInstance::builder(&g)
+                .customer(9)
+                .facility(0, 1)
+                .k(1)
+                .build()
+                .unwrap_err(),
             InstanceError::NodeOutOfRange { node: 9 }
         );
         assert_eq!(
-            McfsInstance::builder(&g).customer(0).facility(1, 1).k(2).build().unwrap_err(),
-            InstanceError::BadBudget { k: 2, num_facilities: 1 }
+            McfsInstance::builder(&g)
+                .customer(0)
+                .facility(1, 1)
+                .k(2)
+                .build()
+                .unwrap_err(),
+            InstanceError::BadBudget {
+                k: 2,
+                num_facilities: 1
+            }
         );
         assert_eq!(
-            McfsInstance::builder(&g).facility(1, 1).k(1).build().unwrap_err(),
+            McfsInstance::builder(&g)
+                .facility(1, 1)
+                .k(1)
+                .build()
+                .unwrap_err(),
             InstanceError::NoCustomers
         );
-        let inst = McfsInstance::builder(&g).customer(0).facility(1, 1).k(1).build().unwrap();
+        let inst = McfsInstance::builder(&g)
+            .customer(0)
+            .facility(1, 1)
+            .k(1)
+            .build()
+            .unwrap();
         assert_eq!(inst.num_customers(), 1);
         assert_eq!(inst.num_facilities(), 1);
     }
@@ -501,7 +556,11 @@ mod tests {
             .unwrap();
         assert!(matches!(
             inst.check_feasibility().unwrap_err(),
-            Infeasibility::ComponentCapacity { customers: 3, capacity: 2, .. }
+            Infeasibility::ComponentCapacity {
+                customers: 3,
+                capacity: 2,
+                ..
+            }
         ));
     }
 
@@ -535,7 +594,11 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        let sol = Solution { facilities: vec![0, 1], assignment: vec![0, 1], objective: 20 };
+        let sol = Solution {
+            facilities: vec![0, 1],
+            assignment: vec![0, 1],
+            objective: 20,
+        };
         inst.verify(&sol).unwrap();
     }
 
@@ -550,11 +613,25 @@ mod tests {
             .build()
             .unwrap();
         // Too many facilities.
-        let sol = Solution { facilities: vec![0, 1], assignment: vec![0, 1], objective: 20 };
-        assert!(matches!(inst.verify(&sol), Err(VerifyError::TooManyFacilities { .. })));
+        let sol = Solution {
+            facilities: vec![0, 1],
+            assignment: vec![0, 1],
+            objective: 20,
+        };
+        assert!(matches!(
+            inst.verify(&sol),
+            Err(VerifyError::TooManyFacilities { .. })
+        ));
         // Capacity violation.
-        let sol = Solution { facilities: vec![0], assignment: vec![0, 0], objective: 30 };
-        assert!(matches!(inst.verify(&sol), Err(VerifyError::CapacityExceeded { .. })));
+        let sol = Solution {
+            facilities: vec![0],
+            assignment: vec![0, 0],
+            objective: 30,
+        };
+        assert!(matches!(
+            inst.verify(&sol),
+            Err(VerifyError::CapacityExceeded { .. })
+        ));
         // Objective mismatch.
         let inst2 = McfsInstance::builder(&g)
             .customers([0])
@@ -562,8 +639,15 @@ mod tests {
             .k(1)
             .build()
             .unwrap();
-        let sol = Solution { facilities: vec![0], assignment: vec![0], objective: 11 };
-        assert!(matches!(inst2.verify(&sol), Err(VerifyError::ObjectiveMismatch { .. })));
+        let sol = Solution {
+            facilities: vec![0],
+            assignment: vec![0],
+            objective: 11,
+        };
+        assert!(matches!(
+            inst2.verify(&sol),
+            Err(VerifyError::ObjectiveMismatch { .. })
+        ));
     }
 
     #[test]
@@ -576,8 +660,15 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        let sol = Solution { facilities: vec![0, 0], assignment: vec![0, 1], objective: 40 };
-        assert!(matches!(inst.verify(&sol), Err(VerifyError::BadFacilityIndex { .. })));
+        let sol = Solution {
+            facilities: vec![0, 0],
+            assignment: vec![0, 1],
+            objective: 40,
+        };
+        assert!(matches!(
+            inst.verify(&sol),
+            Err(VerifyError::BadFacilityIndex { .. })
+        ));
     }
 
     #[test]
@@ -589,7 +680,11 @@ mod tests {
             .k(1)
             .build()
             .unwrap();
-        let sol = Solution { facilities: vec![0], assignment: vec![0, 0, 0], objective: 40 };
+        let sol = Solution {
+            facilities: vec![0],
+            assignment: vec![0, 0, 0],
+            objective: 40,
+        };
         inst.verify(&sol).unwrap();
         let routes = sol.routes(&inst);
         assert_eq!(routes.len(), 3);

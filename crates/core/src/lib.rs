@@ -49,6 +49,7 @@ pub mod cover;
 pub mod greedy_add;
 pub mod instance;
 pub mod naive;
+pub mod parallel;
 pub mod refine;
 pub mod stats;
 pub mod streams;
@@ -56,10 +57,11 @@ pub mod uniform_first;
 pub mod wma;
 
 pub use instance::{
-    Facility, FeasibilityReport, Infeasibility, InstanceError, McfsInstance, Solution,
-    VerifyError,
+    Facility, FeasibilityReport, Infeasibility, InstanceError, McfsInstance, Solution, VerifyError,
 };
 pub use naive::WmaNaive;
+pub use parallel::{effective_threads, resolve_oracle};
+pub use stats::SolveStats;
 pub use uniform_first::UniformFirst;
 pub use wma::{DemandPolicy, TieBreak, Wma, WmaRun};
 

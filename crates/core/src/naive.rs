@@ -10,11 +10,14 @@
 //! finds its objective roughly 2× worse than WMA's at comparable runtime —
 //! the gap quantifies the value of rewiring.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use mcfs_flow::EdgeStream;
+use mcfs_graph::DistanceOracle;
 
 use rustc_hash::FxHashMap;
 
@@ -22,27 +25,39 @@ use crate::components::{capacity_suffices, cover_components};
 use crate::cover::check_cover;
 use crate::greedy_add::select_greedy;
 use crate::instance::{McfsInstance, Solution};
-use crate::streams::NetworkStream;
+use crate::parallel::resolve_oracle;
+use crate::streams::CustomerStream;
 use crate::{SolveError, Solver};
 
-/// The greedy WMA ablation. Deterministic given `seed`.
+/// The greedy WMA ablation. Deterministic given `seed` (regardless of
+/// `threads`).
 #[derive(Clone, Debug)]
 pub struct WmaNaive {
     /// Seed for the per-iteration customer shuffles.
     pub seed: u64,
     /// Hard cap on main-loop iterations (`None` = the natural `m · ℓ`).
     pub max_iterations: Option<usize>,
+    /// Distance-substrate worker threads (`0` = auto, `1` = legacy lazy
+    /// path); see [`crate::parallel`].
+    pub threads: usize,
+    /// Explicitly shared distance oracle.
+    pub oracle: Option<Arc<DistanceOracle>>,
 }
 
 impl Default for WmaNaive {
     fn default() -> Self {
-        Self { seed: 0x5EED, max_iterations: None }
+        Self {
+            seed: 0x5EED,
+            max_iterations: None,
+            threads: 0,
+            oracle: None,
+        }
     }
 }
 
 /// Lazily grown, cached list of a customer's facilities by distance.
 struct FacilityCache<'g> {
-    stream: NetworkStream<'g>,
+    stream: CustomerStream<'g>,
     sorted: Vec<(u32, u64)>,
     exhausted: bool,
 }
@@ -67,7 +82,24 @@ impl WmaNaive {
 
     /// Naive solver with an explicit shuffle seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the distance-substrate worker count (`0` = auto, `1` = legacy
+    /// sequential path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle (and its row cache) with this
+    /// solver.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
     }
 }
 
@@ -80,19 +112,30 @@ impl Solver for WmaNaive {
         let caps = inst.capacities();
         let mut rng = StdRng::seed_from_u64(self.seed);
 
+        let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
         let fac_map = std::rc::Rc::new(inst.facilities_by_node());
-        let mut caches: Vec<FacilityCache> =
-            NetworkStream::for_customers(inst.graph(), inst.customers(), fac_map)
-                .into_iter()
-                .map(|stream| FacilityCache { stream, sorted: Vec::new(), exhausted: false })
-                .collect();
+        let mut caches: Vec<FacilityCache> = CustomerStream::for_customers(
+            inst.graph(),
+            inst.customers(),
+            fac_map,
+            oracle.as_deref(),
+        )
+        .into_iter()
+        .map(|stream| FacilityCache {
+            stream,
+            sorted: Vec::new(),
+            exhausted: false,
+        })
+        .collect();
 
         let mut demand = vec![1u32; m];
         let mut saturated = vec![false; m];
         let mut last_selected = vec![0u64; l];
         let mut order: Vec<usize> = (0..m).collect();
 
-        let iter_cap = self.max_iterations.unwrap_or_else(|| m.saturating_mul(l).max(16));
+        let iter_cap = self
+            .max_iterations
+            .unwrap_or_else(|| m.saturating_mul(l).max(16));
         let mut selection: Vec<u32> = Vec::new();
         let mut all_covered = false;
         let mut final_sigma: Vec<Vec<u32>> = vec![Vec::new(); l];
@@ -177,8 +220,10 @@ impl Solver for WmaNaive {
                 }
             }
         }
-        let sel_caps: Vec<u32> =
-            selection.iter().map(|&j| inst.facilities()[j as usize].capacity).collect();
+        let sel_caps: Vec<u32> = selection
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].capacity)
+            .collect();
         let mut loads = vec![0u32; selection.len()];
         let mut assignment = vec![u32::MAX; m];
         let mut objective = 0u64;
@@ -231,7 +276,11 @@ impl Solver for WmaNaive {
                 }
             }
         }
-        Ok(Solution { facilities: selection, assignment, objective })
+        Ok(Solution {
+            facilities: selection,
+            assignment,
+            objective,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -310,6 +359,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_never_changes_the_solution() {
+        let g = path(10, 5);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 3, 6, 9])
+            .facility(1, 2)
+            .facility(4, 2)
+            .facility(8, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let legacy = WmaNaive::with_seed(9).threads(1).solve(&inst).unwrap();
+        for n in [2, 4] {
+            let par = WmaNaive::with_seed(9).threads(n).solve(&inst).unwrap();
+            assert_eq!(legacy, par, "threads {n}");
+        }
+    }
+
+    #[test]
     fn infeasible_rejected() {
         let g = path(3, 1);
         let inst = McfsInstance::builder(&g)
@@ -319,7 +386,10 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        assert!(matches!(WmaNaive::new().solve(&inst), Err(SolveError::Infeasible(_))));
+        assert!(matches!(
+            WmaNaive::new().solve(&inst),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 
     #[test]

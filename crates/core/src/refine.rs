@@ -34,14 +34,16 @@
 //! inst.verify(&refined).unwrap();
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mcfs_graph::LazyDijkstra;
+use mcfs_graph::{DistanceOracle, LazyDijkstra};
 use rustc_hash::FxHashSet;
 
-use crate::assign::optimal_assignment;
+use crate::assign::optimal_assignment_with;
 use crate::components::capacity_suffices;
 use crate::instance::{McfsInstance, Solution};
+use crate::parallel::resolve_oracle;
 use crate::{SolveError, Solver};
 
 /// Configuration for the swap-based refiner.
@@ -55,18 +57,48 @@ pub struct LocalSearch {
     /// Optional wall-clock budget; refinement stops (keeping the best
     /// solution so far) when exceeded.
     pub time_budget: Option<Duration>,
+    /// Distance-substrate worker threads (`0` = auto, `1` = legacy path).
+    /// The refiner re-assigns every trial swap with an exact matching, so
+    /// the oracle's cached customer rows pay off more here than anywhere
+    /// else.
+    pub threads: usize,
+    /// Explicitly shared distance oracle.
+    pub oracle: Option<Arc<DistanceOracle>>,
 }
 
 impl Default for LocalSearch {
     fn default() -> Self {
-        Self { neighborhood: 8, max_rounds: 16, time_budget: None }
+        Self {
+            neighborhood: 8,
+            max_rounds: 16,
+            time_budget: None,
+            threads: 0,
+            oracle: None,
+        }
     }
 }
 
 impl LocalSearch {
     /// Refiner with an explicit wall-clock budget.
     pub fn with_budget(budget: Duration) -> Self {
-        Self { time_budget: Some(budget), ..Self::default() }
+        Self {
+            time_budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    /// Set the distance-substrate worker count (`0` = auto, `1` = legacy
+    /// sequential path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle (and its row cache) with this
+    /// refiner.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
     }
 
     /// Improve `solution` by first-improvement facility swaps; the result
@@ -75,6 +107,7 @@ impl LocalSearch {
         let start = Instant::now();
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
         let facs = inst.facilities();
+        let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
         let mut best = solution.clone();
 
         // node -> candidate indices (highest capacity first).
@@ -103,8 +136,12 @@ impl LocalSearch {
                 let mut search = LazyDijkstra::new(facs[out as usize].node);
                 let mut tried = 0usize;
                 while tried < self.neighborhood {
-                    let Some((node, _)) = search.next_settled(inst.graph()) else { break };
-                    let Some(list) = cand_at.get(&node) else { continue };
+                    let Some((node, _)) = search.next_settled(inst.graph()) else {
+                        break;
+                    };
+                    let Some(list) = cand_at.get(&node) else {
+                        continue;
+                    };
                     for &cand in list {
                         if cand == out || selected.contains(&cand) {
                             continue;
@@ -115,11 +152,17 @@ impl LocalSearch {
                         if !capacity_suffices(inst, &trial, &feas.components) {
                             continue;
                         }
-                        if let Ok((assignment, objective)) = optimal_assignment(inst, &trial) {
+                        if let Ok((assignment, objective)) =
+                            optimal_assignment_with(inst, &trial, oracle.as_deref())
+                        {
                             if objective < best.objective {
                                 selected.remove(&out);
                                 selected.insert(cand);
-                                best = Solution { facilities: trial, assignment, objective };
+                                best = Solution {
+                                    facilities: trial,
+                                    assignment,
+                                    objective,
+                                };
                                 improved = true;
                                 break; // first improvement for this position
                             }
@@ -166,6 +209,7 @@ impl<S: Solver> Solver for Refined<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assign::optimal_assignment;
     use crate::wma::Wma;
     use mcfs_graph::{Graph, GraphBuilder, NodeId};
 
@@ -184,17 +228,29 @@ mod tests {
         let g = path(10, 10);
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 8, 9])
-            .facilities((0..10).map(|v| crate::Facility { node: v, capacity: 2 }))
+            .facilities((0..10).map(|v| crate::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
         let (assignment, objective) = optimal_assignment(&inst, &[0, 1]).unwrap();
-        let bad = Solution { facilities: vec![0, 1], assignment, objective };
+        let bad = Solution {
+            facilities: vec![0, 1],
+            assignment,
+            objective,
+        };
         inst.verify(&bad).unwrap();
 
         let refined = LocalSearch::default().refine(&inst, &bad).unwrap();
         inst.verify(&refined).unwrap();
-        assert!(refined.objective < bad.objective, "{} !< {}", refined.objective, bad.objective);
+        assert!(
+            refined.objective < bad.objective,
+            "{} !< {}",
+            refined.objective,
+            bad.objective
+        );
         // True optimum: one facility per flank, each serving its two locals
         // at 10 total per side.
         assert_eq!(refined.objective, 20);
@@ -205,7 +261,10 @@ mod tests {
         let g = path(14, 3);
         let inst = McfsInstance::builder(&g)
             .customers([0, 3, 6, 9, 12, 13])
-            .facilities((0..14).step_by(2).map(|v| crate::Facility { node: v, capacity: 2 }))
+            .facilities((0..14).step_by(2).map(|v| crate::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(4)
             .build()
             .unwrap();
@@ -220,12 +279,17 @@ mod tests {
         let g = path(8, 5);
         let inst = McfsInstance::builder(&g)
             .customers([0, 7])
-            .facilities((0..8).map(|v| crate::Facility { node: v, capacity: 1 }))
+            .facilities((0..8).map(|v| crate::Facility {
+                node: v,
+                capacity: 1,
+            }))
             .k(2)
             .build()
             .unwrap();
         let base = Wma::new().solve(&inst).unwrap();
-        let refined = LocalSearch::with_budget(Duration::ZERO).refine(&inst, &base).unwrap();
+        let refined = LocalSearch::with_budget(Duration::ZERO)
+            .refine(&inst, &base)
+            .unwrap();
         assert_eq!(refined, base);
     }
 
@@ -234,12 +298,18 @@ mod tests {
         let g = path(12, 4);
         let inst = McfsInstance::builder(&g)
             .customers([0, 2, 9, 11])
-            .facilities((0..12).map(|v| crate::Facility { node: v, capacity: 2 }))
+            .facilities((0..12).map(|v| crate::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
         let plain = Wma::new().solve(&inst).unwrap();
-        let refined = LocalSearch::default().wrap(Wma::new()).solve(&inst).unwrap();
+        let refined = LocalSearch::default()
+            .wrap(Wma::new())
+            .solve(&inst)
+            .unwrap();
         inst.verify(&refined).unwrap();
         assert!(refined.objective <= plain.objective);
     }
@@ -251,13 +321,20 @@ mod tests {
         let g = path(30, 5);
         let inst = McfsInstance::builder(&g)
             .customers([0, 1, 14, 15, 28, 29])
-            .facilities((0..30).map(|v| crate::Facility { node: v, capacity: 2 }))
+            .facilities((0..30).map(|v| crate::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(3)
             .build()
             .unwrap();
         // Plant all three facilities at one end so several swaps trigger.
         let (assignment, objective) = optimal_assignment(&inst, &[0, 1, 2]).unwrap();
-        let bad = Solution { facilities: vec![0, 1, 2], assignment, objective };
+        let bad = Solution {
+            facilities: vec![0, 1, 2],
+            assignment,
+            objective,
+        };
         let refined = LocalSearch::default().refine(&inst, &bad).unwrap();
         inst.verify(&refined).unwrap();
         let mut uniq = refined.facilities.clone();
@@ -265,6 +342,41 @@ mod tests {
         uniq.dedup();
         assert_eq!(uniq.len(), 3, "duplicates: {:?}", refined.facilities);
         assert!(refined.objective < bad.objective);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_refinement() {
+        let g = path(10, 10);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 1, 8, 9])
+            .facilities((0..10).map(|v| crate::Facility {
+                node: v,
+                capacity: 2,
+            }))
+            .k(2)
+            .build()
+            .unwrap();
+        let (assignment, objective) = optimal_assignment(&inst, &[0, 1]).unwrap();
+        let bad = Solution {
+            facilities: vec![0, 1],
+            assignment,
+            objective,
+        };
+        let legacy = LocalSearch {
+            threads: 1,
+            ..Default::default()
+        }
+        .refine(&inst, &bad)
+        .unwrap();
+        for n in [2, 4] {
+            let par = LocalSearch {
+                threads: n,
+                ..Default::default()
+            }
+            .refine(&inst, &bad)
+            .unwrap();
+            assert_eq!(legacy, par, "threads {n}");
+        }
     }
 
     #[test]
@@ -280,9 +392,17 @@ mod tests {
             .build()
             .unwrap();
         let (assignment, objective) = optimal_assignment(&inst, &[0]).unwrap();
-        let sol = Solution { facilities: vec![0], assignment, objective };
+        let sol = Solution {
+            facilities: vec![0],
+            assignment,
+            objective,
+        };
         let refined = LocalSearch::default().refine(&inst, &sol).unwrap();
         inst.verify(&refined).unwrap();
-        assert_eq!(refined.facilities, vec![0], "tiny candidate must not be swapped in");
+        assert_eq!(
+            refined.facilities,
+            vec![0],
+            "tiny candidate must not be swapped in"
+        );
     }
 }

@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use mcfs_graph::OracleStats;
+
 /// Measurements for one iteration of the WMA main loop.
 #[derive(Clone, Debug)]
 pub struct IterationStats {
@@ -51,6 +53,75 @@ impl RunStats {
     }
 }
 
+/// One named phase of a solver run and the wall-clock time it consumed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTime {
+    /// Phase label (e.g. `"prefetch"`, `"matching"`, `"assignment"`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase.
+    pub wall: Duration,
+}
+
+/// Whole-run instrumentation of the distance substrate: per-phase wall
+/// times plus the oracle's row-cache hit/miss counts attributable to the
+/// run. Always collected (it is a handful of `Instant` reads), unlike the
+/// per-iteration [`RunStats`] trace which is opt-in.
+///
+/// `threads == 1` means the run used the legacy lazy-Dijkstra path, in
+/// which case the cache counters stay zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Worker threads the distance substrate used for this run.
+    pub threads: usize,
+    /// Ordered phase timings; phase names are solver-specific.
+    pub phases: Vec<PhaseTime>,
+    /// Distance-oracle row-cache hits during this run.
+    pub cache_hits: u64,
+    /// Distance-oracle row-cache misses (fresh Dijkstra expansions) during
+    /// this run.
+    pub cache_misses: u64,
+}
+
+impl SolveStats {
+    /// Stats for a run on `threads` substrate workers.
+    pub fn for_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Append a phase timing.
+    pub fn add_phase(&mut self, name: &'static str, wall: Duration) {
+        self.phases.push(PhaseTime { name, wall });
+    }
+
+    /// Wall time of the named phase (summed if it was recorded repeatedly).
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        let mut found = false;
+        let mut total = Duration::ZERO;
+        for p in &self.phases {
+            if p.name == name {
+                found = true;
+                total += p.wall;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Sum of all recorded phase times.
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Attribute the oracle activity between two [`OracleStats`] snapshots
+    /// (taken before and after the run) to this run.
+    pub fn record_oracle(&mut self, before: &OracleStats, after: &OracleStats) {
+        self.cache_hits += after.hits.saturating_sub(before.hits);
+        self.cache_misses += after.misses.saturating_sub(before.misses);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +143,30 @@ mod tests {
         assert_eq!(stats.num_iterations(), 3);
         assert_eq!(stats.total_matching_time(), Duration::from_millis(15));
         assert_eq!(stats.total_cover_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn solve_stats_phases_and_oracle_delta() {
+        let mut s = SolveStats::for_threads(4);
+        s.add_phase("matching", Duration::from_millis(10));
+        s.add_phase("cover", Duration::from_millis(3));
+        s.add_phase("matching", Duration::from_millis(5));
+        assert_eq!(s.phase("matching"), Some(Duration::from_millis(15)));
+        assert_eq!(s.phase("cover"), Some(Duration::from_millis(3)));
+        assert_eq!(s.phase("nope"), None);
+        assert_eq!(s.total_wall(), Duration::from_millis(18));
+
+        let before = OracleStats {
+            hits: 2,
+            misses: 1,
+            ..Default::default()
+        };
+        let after = OracleStats {
+            hits: 10,
+            misses: 4,
+            ..Default::default()
+        };
+        s.record_oracle(&before, &after);
+        assert_eq!((s.cache_hits, s.cache_misses), (8, 3));
     }
 }

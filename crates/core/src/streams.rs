@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use mcfs_flow::EdgeStream;
-use mcfs_graph::{Graph, LazyDijkstra, NodeId};
+use mcfs_graph::{Dist, DistanceOracle, Graph, LazyDijkstra, NodeId, INF};
 use rustc_hash::FxHashMap;
 
 /// Shared lookup from network node to the candidate-facility indices located
@@ -33,7 +33,12 @@ pub struct NetworkStream<'g> {
 impl<'g> NetworkStream<'g> {
     /// Stream for a customer located at `source`.
     pub fn new(graph: &'g Graph, source: NodeId, facilities_at: FacilityMap) -> Self {
-        Self { graph, search: LazyDijkstra::new(source), facilities_at, pending: VecDeque::new() }
+        Self {
+            graph,
+            search: LazyDijkstra::new(source),
+            facilities_at,
+            pending: VecDeque::new(),
+        }
     }
 
     /// Build one stream per customer over a shared facility map.
@@ -65,6 +70,107 @@ impl EdgeStream for NetworkStream<'_> {
             }
         }
         None
+    }
+}
+
+/// A per-customer stream backed by a precomputed [`DistanceOracle`] row
+/// instead of a live search.
+///
+/// Emission order is **identical** to [`NetworkStream`]'s: edge weights are
+/// strictly positive (`GraphBuilder` clamps to ≥ 1), so a lazy Dijkstra
+/// settles nodes in globally sorted `(distance, node id)` order — every node
+/// at distance `d` is already on the heap when the first of them pops, and
+/// the binary heap breaks distance ties by smaller node id. Sorting the
+/// row's facility-hosting nodes by `(distance, node id)` and expanding each
+/// node's facility list in map order therefore replays the exact sequence a
+/// `NetworkStream` would produce, which is what makes the oracle-backed
+/// solver paths byte-identical to the legacy lazy paths.
+///
+/// Unlike `NetworkStream` this materializes the whole candidate list up
+/// front (the row is already paid for), trading `O(ℓ)` memory per customer
+/// for zero per-edge search work.
+#[derive(Clone, Debug)]
+pub struct OracleStream {
+    edges: Vec<(u32, u64)>,
+    pos: usize,
+}
+
+impl OracleStream {
+    /// Stream for a customer whose one-to-all distance row is `row`.
+    /// Unreachable facilities (`INF` row entries) are omitted, matching the
+    /// lazy stream's behavior of never settling them.
+    pub fn from_row(row: &[Dist], facilities_at: &FxHashMap<NodeId, Vec<u32>>) -> Self {
+        let mut nodes: Vec<(Dist, NodeId)> = facilities_at
+            .keys()
+            .filter_map(|&v| {
+                let d = row[v as usize];
+                (d != INF).then_some((d, v))
+            })
+            .collect();
+        nodes.sort_unstable();
+        let mut edges = Vec::new();
+        for (d, v) in nodes {
+            for &j in &facilities_at[&v] {
+                edges.push((j, d));
+            }
+        }
+        Self { edges, pos: 0 }
+    }
+}
+
+impl EdgeStream for OracleStream {
+    fn next_edge(&mut self) -> Option<(u32, u64)> {
+        let e = self.edges.get(self.pos).copied();
+        self.pos += 1;
+        e
+    }
+}
+
+/// The stream type the solvers actually instantiate: lazy per-customer
+/// search (the legacy single-threaded substrate) or oracle-row-backed
+/// (cached, batch-parallel). Both variants emit the same sequence for the
+/// same customer — see [`OracleStream`] — so solver output never depends on
+/// which substrate is active.
+pub enum CustomerStream<'g> {
+    /// Resumable per-customer Dijkstra (exact legacy behavior).
+    Lazy(NetworkStream<'g>),
+    /// Precomputed distance-row replay.
+    Precomputed(OracleStream),
+}
+
+impl<'g> CustomerStream<'g> {
+    /// Build one stream per customer. With an oracle the customer rows are
+    /// fetched as one batched (possibly parallel) query; without, each
+    /// customer gets a lazy search.
+    pub fn for_customers(
+        graph: &'g Graph,
+        customers: &[NodeId],
+        facilities_at: FacilityMap,
+        oracle: Option<&DistanceOracle>,
+    ) -> Vec<Self> {
+        match oracle {
+            None => NetworkStream::for_customers(graph, customers, facilities_at)
+                .into_iter()
+                .map(CustomerStream::Lazy)
+                .collect(),
+            Some(o) => {
+                let rows = o.distances_for_sources(graph, customers);
+                rows.iter()
+                    .map(|row| {
+                        CustomerStream::Precomputed(OracleStream::from_row(row, &facilities_at))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl EdgeStream for CustomerStream<'_> {
+    fn next_edge(&mut self) -> Option<(u32, u64)> {
+        match self {
+            CustomerStream::Lazy(s) => s.next_edge(),
+            CustomerStream::Precomputed(s) => s.next_edge(),
+        }
     }
 }
 
@@ -129,5 +235,53 @@ mod tests {
         let fm = map(&[(3, &[0])]);
         let mut s = NetworkStream::new(&g, 0, fm);
         assert_eq!(s.next_edge(), None);
+    }
+
+    fn drain(mut s: impl EdgeStream) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = s.next_edge() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn oracle_stream_replays_lazy_order_with_ties() {
+        // Diamond with distance ties: 0-1 and 0-2 both cost 3, 1-3 and
+        // 2-3 both cost 3 — nodes 1 and 2 tie at 3, node 3 at 6. Facility
+        // indices deliberately *decrease* with node id so (dist, facility)
+        // sorting would give a different order than (dist, node).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 3);
+        b.add_edge(0, 2, 3);
+        b.add_edge(1, 3, 3);
+        b.add_edge(2, 3, 3);
+        let g = b.build();
+        let fm = map(&[(1, &[5, 2]), (2, &[1]), (3, &[0, 4])]);
+        for source in [0, 1, 3] {
+            let lazy = drain(NetworkStream::new(&g, source, Rc::clone(&fm)));
+            let row = mcfs_graph::dijkstra_all(&g, source);
+            let oracle = drain(OracleStream::from_row(&row, &fm));
+            assert_eq!(lazy, oracle, "source {source}");
+        }
+    }
+
+    #[test]
+    fn customer_stream_variants_agree() {
+        let g = line(6);
+        let fm = map(&[(1, &[0]), (4, &[1]), (5, &[2])]);
+        let customers = [2, 0, 5];
+        let oracle = mcfs_graph::DistanceOracle::new().with_threads(2);
+        let lazy: Vec<_> = CustomerStream::for_customers(&g, &customers, Rc::clone(&fm), None)
+            .into_iter()
+            .map(drain)
+            .collect();
+        let pre: Vec<_> =
+            CustomerStream::for_customers(&g, &customers, Rc::clone(&fm), Some(&oracle))
+                .into_iter()
+                .map(drain)
+                .collect();
+        assert_eq!(lazy, pre);
+        assert_eq!(oracle.stats().misses, 3);
     }
 }

@@ -8,9 +8,14 @@
 //! ones." The paper finds UF matches Direct WMA for coworking selection
 //! (Figures 12a, 13a) and fares slightly worse on bike docking (13b).
 
-use crate::assign::optimal_assignment;
+use std::sync::Arc;
+
+use mcfs_graph::DistanceOracle;
+
+use crate::assign::optimal_assignment_with;
 use crate::components::{capacity_suffices, cover_components};
 use crate::instance::{Facility, McfsInstance, Solution};
+use crate::parallel::resolve_oracle;
 use crate::wma::Wma;
 use crate::{SolveError, Solver};
 
@@ -27,12 +32,35 @@ impl UniformFirst {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Set the distance-substrate worker count for both the uniform siting
+    /// phase and the final re-matching (`0` = auto, `1` = legacy path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.inner.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle across the uniform phase and the
+    /// final re-matching. The uniformized instance lives on the same graph
+    /// with the same customers, so its rows are fully reused.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.inner.oracle = Some(oracle);
+        self
+    }
 }
 
 impl Solver for UniformFirst {
     fn solve(&self, inst: &McfsInstance) -> Result<Solution, SolveError> {
         // Real-capacity feasibility gates everything.
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
+
+        // Resolve the substrate once so the uniform siting phase and the
+        // final re-matching share one row cache.
+        let oracle = resolve_oracle(self.inner.threads, self.inner.oracle.as_ref());
+        let inner = Wma {
+            oracle: oracle.clone(),
+            ..self.inner.clone()
+        };
 
         // Mean capacity, rounded up; raised (doubling) if the uniformized
         // instance happens to be infeasible even though the real one is not
@@ -43,7 +71,10 @@ impl Solver for UniformFirst {
             let uniform: Vec<Facility> = inst
                 .facilities()
                 .iter()
-                .map(|f| Facility { node: f.node, capacity: c_u })
+                .map(|f| Facility {
+                    node: f.node,
+                    capacity: c_u,
+                })
                 .collect();
             let uni_inst = McfsInstance::builder(inst.graph())
                 .customers(inst.customers().iter().copied())
@@ -51,7 +82,7 @@ impl Solver for UniformFirst {
                 .k(inst.k())
                 .build()
                 .expect("uniformized instance mirrors a valid one");
-            match self.inner.run(&uni_inst) {
+            match inner.run(&uni_inst) {
                 Ok(run) => break run.solution.facilities,
                 Err(SolveError::Infeasible(_)) if c_u < u32::MAX / 2 => c_u *= 2,
                 Err(e) => return Err(e),
@@ -65,8 +96,12 @@ impl Solver for UniformFirst {
         } else {
             cover_components(inst, selection, &feas.components)?
         };
-        let (assignment, objective) = optimal_assignment(inst, &selection)?;
-        Ok(Solution { facilities: selection, assignment, objective })
+        let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
+        Ok(Solution {
+            facilities: selection,
+            assignment,
+            objective,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -149,6 +184,9 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        assert!(matches!(UniformFirst::new().solve(&inst), Err(SolveError::Infeasible(_))));
+        assert!(matches!(
+            UniformFirst::new().solve(&inst),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 }

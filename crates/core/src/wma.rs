@@ -20,17 +20,20 @@
 //! which collapses to one bipartite matching.
 
 use std::rc::Rc;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mcfs_flow::{Matcher, PruningRule};
+use mcfs_graph::DistanceOracle;
 
-use crate::assign::optimal_assignment;
+use crate::assign::optimal_assignment_with;
 use crate::components::{capacity_suffices, cover_components};
 use crate::cover::check_cover;
 use crate::greedy_add::select_greedy;
 use crate::instance::{McfsInstance, Solution};
-use crate::stats::{IterationStats, RunStats};
-use crate::streams::NetworkStream;
+use crate::parallel::resolve_oracle;
+use crate::stats::{IterationStats, RunStats, SolveStats};
+use crate::streams::CustomerStream;
 use crate::{SolveError, Solver};
 
 /// Exploration-vector policy (paper Section IV-F).
@@ -65,8 +68,7 @@ pub enum TieBreak {
 ///
 /// The knobs exist for experimentation, ablation and safety; the defaults
 /// reproduce the paper's algorithm faithfully.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Wma {
     /// Hard cap on main-loop iterations (the paper's loop is bounded by
     /// `m · ℓ` demand raises; this guards against pathological inputs).
@@ -80,8 +82,15 @@ pub struct Wma {
     pub tie_break: TieBreak,
     /// Lazy-matching pruning rule (Section V ablation).
     pub pruning: PruningRule,
+    /// Distance-substrate worker threads: `0` = auto (available
+    /// parallelism), `1` = the exact legacy lazy-Dijkstra path, `n > 1` =
+    /// oracle-backed with `n` workers. Thread count never changes the
+    /// solution, only wall time.
+    pub threads: usize,
+    /// Explicitly shared [`DistanceOracle`]; overrides `threads` for the
+    /// substrate choice and lets several solvers reuse one row cache.
+    pub oracle: Option<Arc<DistanceOracle>>,
 }
-
 
 /// A solved run: the solution plus (optionally) the iteration trace.
 #[derive(Clone, Debug)]
@@ -90,6 +99,9 @@ pub struct WmaRun {
     pub solution: Solution,
     /// Per-iteration statistics (empty unless `collect_stats`).
     pub stats: RunStats,
+    /// Whole-run substrate instrumentation (phase wall times, oracle cache
+    /// hits/misses); always collected.
+    pub solve_stats: SolveStats,
 }
 
 impl Wma {
@@ -104,6 +116,20 @@ impl Wma {
         self
     }
 
+    /// Set the distance-substrate worker count (`0` = auto, `1` = legacy
+    /// sequential path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Share an existing distance oracle (and its row cache) with this
+    /// solver.
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
     /// Run WMA, returning the solution and the instrumentation trace.
     pub fn run(&self, inst: &McfsInstance) -> Result<WmaRun, SolveError> {
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
@@ -111,10 +137,27 @@ impl Wma {
         let l = inst.num_facilities();
         let k = inst.k();
 
-        let fac_map = Rc::new(inst.facilities_by_node());
-        let streams = NetworkStream::for_customers(inst.graph(), inst.customers(), fac_map);
-        let mut matcher = Matcher::with_pruning(streams, inst.capacities(), self.pruning);
+        let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
+        let mut solve_stats = SolveStats::for_threads(oracle.as_ref().map_or(1, |o| o.threads()));
+        let oracle_before = oracle.as_ref().map(|o| o.stats());
 
+        // Stream construction is the prefetch phase: with an oracle it pays
+        // for (or reuses) every customer's distance row in one batched
+        // parallel query; without, it is nearly free and the search cost is
+        // paid lazily inside the matching phase instead.
+        let t_prefetch = Instant::now();
+        let fac_map = Rc::new(inst.facilities_by_node());
+        let streams = CustomerStream::for_customers(
+            inst.graph(),
+            inst.customers(),
+            fac_map,
+            oracle.as_deref(),
+        );
+        let mut matcher = Matcher::with_pruning(streams, inst.capacities(), self.pruning);
+        solve_stats.add_phase("prefetch", t_prefetch.elapsed());
+
+        let mut total_matching = Duration::ZERO;
+        let mut total_cover = Duration::ZERO;
         let mut demand = vec![1u32; m];
         // A customer whose residual exploration is exhausted can never gain
         // another match (loads only grow); skip it forever after.
@@ -122,7 +165,9 @@ impl Wma {
         let mut last_selected = vec![0u64; l];
         let mut stats = RunStats::default();
 
-        let iter_cap = self.max_iterations.unwrap_or_else(|| m.saturating_mul(l).max(16));
+        let iter_cap = self
+            .max_iterations
+            .unwrap_or_else(|| m.saturating_mul(l).max(16));
         let mut selection: Vec<u32> = Vec::new();
         let mut all_covered = false;
 
@@ -137,6 +182,7 @@ impl Wma {
                 }
             }
             let matching_time = t0.elapsed();
+            total_matching += matching_time;
 
             // --- Set-cover phase (line 7). ---
             let t1 = Instant::now();
@@ -150,6 +196,7 @@ impl Wma {
                 }
             }
             let cover_time = t1.elapsed();
+            total_cover += cover_time;
 
             // --- Demand update (lines 8–9, Section IV-F). ---
             let mut grew = false;
@@ -184,17 +231,35 @@ impl Wma {
             }
         }
 
+        solve_stats.add_phase("matching", total_matching);
+        solve_stats.add_phase("cover", total_cover);
+
         // --- Special provisions (lines 10–13). ---
+        let t_prov = Instant::now();
         if selection.len() < k {
             select_greedy(inst, &mut selection);
         }
         if !all_covered || !capacity_suffices(inst, &selection, &feas.components) {
             selection = cover_components(inst, selection, &feas.components)?;
         }
+        solve_stats.add_phase("provisions", t_prov.elapsed());
 
         // --- Final optimal assignment onto F (lines 14–15). ---
-        let (assignment, objective) = optimal_assignment(inst, &selection)?;
-        Ok(WmaRun { solution: Solution { facilities: selection, assignment, objective }, stats })
+        let t_assign = Instant::now();
+        let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
+        solve_stats.add_phase("assignment", t_assign.elapsed());
+        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
+            solve_stats.record_oracle(before, &o.stats());
+        }
+        Ok(WmaRun {
+            solution: Solution {
+                facilities: selection,
+                assignment,
+                objective,
+            },
+            stats,
+            solve_stats,
+        })
     }
 }
 
@@ -336,8 +401,11 @@ mod tests {
         let sol = Wma::new().solve(&inst).unwrap();
         inst.verify(&sol).unwrap();
         // Both islands must get a facility.
-        let nodes: Vec<NodeId> =
-            sol.facilities.iter().map(|&j| inst.facilities()[j as usize].node).collect();
+        let nodes: Vec<NodeId> = sol
+            .facilities
+            .iter()
+            .map(|&j| inst.facilities()[j as usize].node)
+            .collect();
         assert!(nodes.iter().any(|&v| v <= 2));
         assert!(nodes.iter().any(|&v| v >= 3));
     }
@@ -352,7 +420,10 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        assert!(matches!(Wma::new().solve(&inst), Err(SolveError::Infeasible(_))));
+        assert!(matches!(
+            Wma::new().solve(&inst),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 
     #[test]
@@ -407,9 +478,18 @@ mod tests {
         let default = Wma::new().solve(&inst).unwrap();
         inst.verify(&default).unwrap();
         for variant in [
-            Wma { demand_policy: crate::DemandPolicy::All, ..Wma::new() },
-            Wma { tie_break: crate::TieBreak::IndexOnly, ..Wma::new() },
-            Wma { pruning: mcfs_flow::PruningRule::GlobalTauMax, ..Wma::new() },
+            Wma {
+                demand_policy: crate::DemandPolicy::All,
+                ..Wma::new()
+            },
+            Wma {
+                tie_break: crate::TieBreak::IndexOnly,
+                ..Wma::new()
+            },
+            Wma {
+                pruning: mcfs_flow::PruningRule::GlobalTauMax,
+                ..Wma::new()
+            },
         ] {
             let sol = variant.solve(&inst).unwrap();
             inst.verify(&sol).unwrap();
@@ -432,15 +512,80 @@ mod tests {
             .build()
             .unwrap();
         let selective = Wma::new().with_stats().run(&inst).unwrap();
-        let all = Wma { demand_policy: crate::DemandPolicy::All, ..Wma::new() }
-            .with_stats()
-            .run(&inst)
-            .unwrap();
+        let all = Wma {
+            demand_policy: crate::DemandPolicy::All,
+            ..Wma::new()
+        }
+        .with_stats()
+        .run(&inst)
+        .unwrap();
         inst.verify(&selective.solution).unwrap();
         inst.verify(&all.solution).unwrap();
         let sel_edges = selective.stats.iterations.last().unwrap().edges_in_gb;
         let all_edges = all.stats.iterations.last().unwrap().edges_in_gb;
-        assert!(all_edges >= sel_edges, "all-policy edges {all_edges} < selective {sel_edges}");
+        assert!(
+            all_edges >= sel_edges,
+            "all-policy edges {all_edges} < selective {sel_edges}"
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_and_substrate_stats_recorded() {
+        let g = path(9, 3);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 4, 8, 2])
+            .facility(1, 2)
+            .facility(3, 2)
+            .facility(5, 2)
+            .facility(7, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let legacy = Wma::new().threads(1).run(&inst).unwrap();
+        assert_eq!(legacy.solve_stats.threads, 1);
+        assert_eq!(
+            legacy.solve_stats.cache_misses, 0,
+            "lazy path has no oracle"
+        );
+        for n in [2, 4] {
+            let par = Wma::new().threads(n).run(&inst).unwrap();
+            assert_eq!(legacy.solution, par.solution, "threads {n}");
+            assert_eq!(par.solve_stats.threads, n);
+            assert_eq!(
+                par.solve_stats.cache_misses, 4,
+                "one row per distinct customer node"
+            );
+            // Final assignment reuses the prefetched rows.
+            assert!(par.solve_stats.cache_hits >= 4);
+            for phase in ["prefetch", "matching", "cover", "provisions", "assignment"] {
+                assert!(par.solve_stats.phase(phase).is_some(), "missing {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_oracle_reuses_rows_across_runs() {
+        let g = path(9, 3);
+        let inst = McfsInstance::builder(&g)
+            .customers([0, 4, 8])
+            .facility(1, 2)
+            .facility(5, 2)
+            .facility(7, 2)
+            .k(2)
+            .build()
+            .unwrap();
+        let oracle = std::sync::Arc::new(mcfs_graph::DistanceOracle::new().with_threads(2));
+        let first = Wma::new()
+            .with_oracle(std::sync::Arc::clone(&oracle))
+            .run(&inst)
+            .unwrap();
+        let second = Wma::new().with_oracle(oracle).run(&inst).unwrap();
+        assert_eq!(first.solution, second.solution);
+        assert_eq!(first.solve_stats.cache_misses, 3);
+        assert_eq!(
+            second.solve_stats.cache_misses, 0,
+            "second run is fully cached"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::time::{Duration, Instant};
 
-use mcfs::{McfsInstance, SolveError, Solution, Solver, Wma};
+use mcfs::{McfsInstance, Solution, SolveError, Solver, Wma};
 use mcfs_flow::{solve_transportation, TransportProblem};
 
 use crate::matrix::cost_matrix;
@@ -32,7 +32,10 @@ pub struct BranchAndBound {
 
 impl Default for BranchAndBound {
     fn default() -> Self {
-        Self { time_budget: Some(Duration::from_secs(60)), node_limit: None }
+        Self {
+            time_budget: Some(Duration::from_secs(60)),
+            node_limit: None,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ impl BranchAndBound {
 
     /// Solver with an explicit wall-clock budget.
     pub fn with_budget(budget: Duration) -> Self {
-        Self { time_budget: Some(budget), node_limit: None }
+        Self {
+            time_budget: Some(budget),
+            node_limit: None,
+        }
     }
 
     /// Run the search, returning the outcome (even if only heuristic when
@@ -91,7 +97,9 @@ impl BranchAndBound {
             }
             let sub_caps: Vec<u32> = selection.iter().map(|&j| caps[j as usize]).collect();
             let p = TransportProblem::new(m, sub_costs, sub_caps);
-            solve_transportation(&p).ok().map(|s| (s.assignment, s.cost))
+            solve_transportation(&p)
+                .ok()
+                .map(|s| (s.assignment, s.cost))
         };
 
         // Transportation relaxation over all non-excluded facilities;
@@ -110,7 +118,9 @@ impl BranchAndBound {
             }
             let sub_caps: Vec<u32> = avail.iter().map(|&j| caps[j]).collect();
             let p = TransportProblem::new(m, sub_costs, sub_caps);
-            solve_transportation(&p).ok().map(|s| (s.cost, s.loads, avail))
+            solve_transportation(&p)
+                .ok()
+                .map(|s| (s.cost, s.loads, avail))
         };
 
         let root_excluded = vec![false; l];
@@ -171,7 +181,11 @@ impl BranchAndBound {
                 }
                 if let Some((assignment, cost)) = evaluate(&selection) {
                     if cost < incumbent.objective {
-                        incumbent = Solution { facilities: selection, assignment, objective: cost };
+                        incumbent = Solution {
+                            facilities: selection,
+                            assignment,
+                            objective: cost,
+                        };
                     }
                 }
                 continue;
@@ -196,7 +210,11 @@ impl BranchAndBound {
             if used.len() <= k {
                 if let Some((assignment, cost)) = evaluate(&used) {
                     if cost < incumbent.objective {
-                        incumbent = Solution { facilities: used, assignment, objective: cost };
+                        incumbent = Solution {
+                            facilities: used,
+                            assignment,
+                            objective: cost,
+                        };
                     }
                 }
                 continue; // subtree cannot beat its own relaxation
@@ -222,10 +240,18 @@ impl BranchAndBound {
             // Include branch (explored first: dives toward good incumbents).
             let mut fixed = node.fixed_in.clone();
             fixed.push(branch as u32);
-            stack.push(SearchNode { fixed_in: fixed, excluded: node.excluded, lower_bound: bound });
+            stack.push(SearchNode {
+                fixed_in: fixed,
+                excluded: node.excluded,
+                lower_bound: bound,
+            });
         }
 
-        Ok(ExactOutcome { solution: incumbent, optimal: proven, nodes })
+        Ok(ExactOutcome {
+            solution: incumbent,
+            optimal: proven,
+            nodes,
+        })
     }
 }
 
@@ -354,16 +380,25 @@ mod tests {
         let g = path(30, 2);
         let inst = McfsInstance::builder(&g)
             .customers((0..15).map(|i| i * 2))
-            .facilities((0..30).map(|v| mcfs::Facility { node: v, capacity: 2 }))
+            .facilities((0..30).map(|v| mcfs::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(8)
             .build()
             .unwrap();
-        let solver = BranchAndBound { time_budget: Some(Duration::ZERO), node_limit: None };
+        let solver = BranchAndBound {
+            time_budget: Some(Duration::ZERO),
+            node_limit: None,
+        };
         // With a zero budget the run still returns its incumbent, but the
         // Solver interface reports failure-to-prove.
         let out = solver.run(&inst).unwrap();
         assert!(!out.optimal);
-        assert!(matches!(solver.solve(&inst), Err(SolveError::BudgetExhausted)));
+        assert!(matches!(
+            solver.solve(&inst),
+            Err(SolveError::BudgetExhausted)
+        ));
         inst.verify(&out.solution).unwrap();
     }
 

@@ -57,7 +57,11 @@ mod tests {
             .unwrap();
         let lb = relaxation_lower_bound(&inst).unwrap();
         let opt = enumerate_optimal(&inst).unwrap();
-        assert!(lb <= opt.objective, "LB {lb} above optimum {}", opt.objective);
+        assert!(
+            lb <= opt.objective,
+            "LB {lb} above optimum {}",
+            opt.objective
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ground truth the branch-and-bound solver and WMA's quality claims are
 //! tested against.
 
-use mcfs::{McfsInstance, SolveError, Solution};
+use mcfs::{McfsInstance, Solution, SolveError};
 use mcfs_flow::brute::for_each_subset;
 use mcfs_flow::{solve_transportation, TransportProblem};
 
@@ -111,6 +111,9 @@ mod tests {
             .k(2)
             .build()
             .unwrap();
-        assert!(matches!(enumerate_optimal(&inst), Err(SolveError::Infeasible(_))));
+        assert!(matches!(
+            enumerate_optimal(&inst),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 }

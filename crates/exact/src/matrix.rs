@@ -41,7 +41,10 @@ mod tests {
         let fac_nodes: Vec<u32> = (0..8).map(|j| (j * 23 + 3) % 200).collect();
         let inst = McfsInstance::builder(&g)
             .customers(customers.iter().copied())
-            .facilities(fac_nodes.iter().map(|&v| mcfs::Facility { node: v, capacity: 2 }))
+            .facilities(fac_nodes.iter().map(|&v| mcfs::Facility {
+                node: v,
+                capacity: 2,
+            }))
             .k(2)
             .build()
             .unwrap();
@@ -49,7 +52,11 @@ mod tests {
         for (i, &s) in customers.iter().enumerate() {
             let d = dijkstra_all(&g, s);
             for (j, &f) in fac_nodes.iter().enumerate() {
-                let want = if d[f as usize] == INF { INF_COST } else { d[f as usize] };
+                let want = if d[f as usize] == INF {
+                    INF_COST
+                } else {
+                    d[f as usize]
+                };
                 assert_eq!(c[i * fac_nodes.len() + j], want);
             }
         }

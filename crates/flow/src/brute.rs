@@ -65,7 +65,16 @@ pub fn brute_min_cost_assignment(
                 }
                 remaining[j] -= 1;
                 combo.push(j);
-                pick(rows, demands, remaining, i, j + 1, combo, acc + rows[i][j], best);
+                pick(
+                    rows,
+                    demands,
+                    remaining,
+                    i,
+                    j + 1,
+                    combo,
+                    acc + rows[i][j],
+                    best,
+                );
                 combo.pop();
                 remaining[j] += 1;
             }

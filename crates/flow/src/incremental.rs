@@ -256,7 +256,10 @@ impl<S: EdgeStream> Matcher<S> {
                         w,
                         c.last_cost
                     );
-                    debug_assert!((j as usize) < self.facilities.len(), "facility index out of range");
+                    debug_assert!(
+                        (j as usize) < self.facilities.len(),
+                        "facility index out of range"
+                    );
                     c.last_cost = w;
                     if c.edge_index.contains_key(&j) {
                         continue; // duplicate facility, keep pulling
@@ -274,10 +277,17 @@ impl<S: EdgeStream> Matcher<S> {
 
     /// Move customer `i`'s lookahead edge into the known bipartite graph.
     fn commit_lookahead(&mut self, i: usize) {
-        let (j, w) = self.customers[i].lookahead.take().expect("no lookahead to commit");
+        let (j, w) = self.customers[i]
+            .lookahead
+            .take()
+            .expect("no lookahead to commit");
         let c = &mut self.customers[i];
         c.edge_index.insert(j, c.edges.len() as u32);
-        c.edges.push(KnownEdge { facility: j, cost: w, used: false });
+        c.edges.push(KnownEdge {
+            facility: j,
+            cost: w,
+            used: false,
+        });
         self.facilities[j as usize].discovered = true;
         self.edges_added += 1;
     }
@@ -401,12 +411,22 @@ impl<S: EdgeStream> Matcher<S> {
                     let fp = self.facilities[j as usize].potential;
                     debug_assert!(w + fp >= cp, "negative reduced cost on forward arc");
                     let rc = w + fp - cp;
-                    self.relax(v, m as u32 + j, d + rc, version, &mut heap, &mut touched_customers);
+                    self.relax(
+                        v,
+                        m as u32 + j,
+                        d + rc,
+                        version,
+                        &mut heap,
+                        &mut touched_customers,
+                    );
                 }
             }
         }
 
-        SearchResult { target, touched_customers }
+        SearchResult {
+            target,
+            touched_customers,
+        }
     }
 
     #[inline]
@@ -559,7 +579,10 @@ mod tests {
         let rows = vec![vec![1, INF_COST], vec![INF_COST, INF_COST]];
         let mut m = matcher_from_rows(&rows, &[1, 1]);
         assert_eq!(m.find_pair(0), Ok(0));
-        assert_eq!(m.find_pair(1), Err(MatcherError::NoAugmentingPath { customer: 1 }));
+        assert_eq!(
+            m.find_pair(1),
+            Err(MatcherError::NoAugmentingPath { customer: 1 })
+        );
         // Failure leaves the existing matching intact.
         assert_eq!(m.total_cost(), 1);
         assert_eq!(m.match_count(1), 0);
@@ -582,11 +605,7 @@ mod tests {
 
     #[test]
     fn matches_dense_oracle_after_each_unit() {
-        let rows = vec![
-            vec![3, 7, 2, 9],
-            vec![4, 1, 8, 6],
-            vec![5, 5, 5, 5],
-        ];
+        let rows = vec![vec![3, 7, 2, 9], vec![4, 1, 8, 6], vec![5, 5, 5, 5]];
         let caps = vec![2, 2, 1, 1];
         let mut m = matcher_from_rows(&rows, &caps);
         // Interleave augmentations across customers and check global
@@ -597,7 +616,12 @@ mod tests {
             m.find_pair(c).unwrap();
             demands[c] += 1;
             let want = brute_min_cost_assignment(&rows, &caps, &demands).unwrap();
-            assert_eq!(m.total_cost(), want, "after raising demand of {c} to {}", demands[c]);
+            assert_eq!(
+                m.total_cost(),
+                want,
+                "after raising demand of {c} to {}",
+                demands[c]
+            );
         }
     }
 
@@ -613,9 +637,7 @@ mod tests {
 
     #[test]
     fn tau_max_rule_is_also_optimal_but_pulls_no_fewer_edges() {
-        let rows = [vec![3u64, 7, 2, 9],
-            vec![4, 1, 8, 6],
-            vec![5, 5, 5, 5]];
+        let rows = [vec![3u64, 7, 2, 9], vec![4, 1, 8, 6], vec![5, 5, 5, 5]];
         let caps = vec![2u32, 2, 1, 1];
         let build = |rule: PruningRule| {
             let streams: Vec<VecStream> = rows.iter().map(|r| VecStream::from_row(r)).collect();

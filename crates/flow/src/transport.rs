@@ -74,9 +74,15 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Infeasible { customer } => {
-                write!(f, "customer {customer} cannot be assigned to any reachable facility")
+                write!(
+                    f,
+                    "customer {customer} cannot be assigned to any reachable facility"
+                )
             }
-            TransportError::InsufficientCapacity { total_capacity, customers } => write!(
+            TransportError::InsufficientCapacity {
+                total_capacity,
+                customers,
+            } => write!(
                 f,
                 "total facility capacity {total_capacity} is less than {customers} customers"
             ),
@@ -94,7 +100,12 @@ impl TransportProblem {
     pub fn new(m: usize, costs: Vec<u64>, capacities: Vec<u32>) -> Self {
         let l = capacities.len();
         assert_eq!(costs.len(), m * l, "cost matrix shape mismatch");
-        Self { m, l, costs, capacities }
+        Self {
+            m,
+            l,
+            costs,
+            capacities,
+        }
     }
 
     /// Build from nested rows (convenience for tests).
@@ -106,7 +117,12 @@ impl TransportProblem {
             assert_eq!(r.len(), l, "row length mismatch");
             costs.extend_from_slice(r);
         }
-        Self { m, l, costs, capacities }
+        Self {
+            m,
+            l,
+            costs,
+            capacities,
+        }
     }
 
     #[inline]
@@ -183,7 +199,17 @@ pub fn solve_transportation(p: &TransportProblem) -> Result<TransportSolution, T
                         "negative reduced cost on backward arc"
                     );
                     let rc = pi[i as usize] - w - pi[vu];
-                    relax(&mut dist, &mut parent, &mut stamp, &mut touched, version, &mut heap, v, i, d + rc);
+                    relax(
+                        &mut dist,
+                        &mut parent,
+                        &mut stamp,
+                        &mut touched,
+                        version,
+                        &mut heap,
+                        v,
+                        i,
+                        d + rc,
+                    );
                 }
             } else {
                 // Customer node: forward arcs to all facilities except the
@@ -198,9 +224,22 @@ pub fn solve_transportation(p: &TransportProblem) -> Result<TransportSolution, T
                         continue;
                     }
                     // Reduced cost: w − π_i + π_j ≥ 0.
-                    debug_assert!(w + pi[m + j] >= pi[vu], "negative reduced cost on forward arc");
+                    debug_assert!(
+                        w + pi[m + j] >= pi[vu],
+                        "negative reduced cost on forward arc"
+                    );
                     let rc = w + pi[m + j] - pi[vu];
-                    relax(&mut dist, &mut parent, &mut stamp, &mut touched, version, &mut heap, v, m as u32 + j as u32, d + rc);
+                    relax(
+                        &mut dist,
+                        &mut parent,
+                        &mut stamp,
+                        &mut touched,
+                        version,
+                        &mut heap,
+                        v,
+                        m as u32 + j as u32,
+                        d + rc,
+                    );
                 }
             }
         }
@@ -251,7 +290,11 @@ pub fn solve_transportation(p: &TransportProblem) -> Result<TransportSolution, T
         cost += p.cost(i, j);
         loads[j] += 1;
     }
-    Ok(TransportSolution { assignment: assigned, cost, loads })
+    Ok(TransportSolution {
+        assignment: assigned,
+        cost,
+        loads,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -299,10 +342,7 @@ mod tests {
     #[test]
     fn rewiring_is_required() {
         // Customer 0 prefers facility 0 but must cede it to customer 1.
-        let p = TransportProblem::from_rows(
-            &[vec![1, 2], vec![1, 100]],
-            vec![1, 1],
-        );
+        let p = TransportProblem::from_rows(&[vec![1, 2], vec![1, 100]], vec![1, 1]);
         let s = solve_transportation(&p).unwrap();
         assert_eq!(s.cost, 3);
         assert_eq!(s.assignment, vec![1, 0]);
@@ -323,16 +363,17 @@ mod tests {
         let p = TransportProblem::from_rows(&[vec![1], vec![1]], vec![1]);
         assert_eq!(
             solve_transportation(&p).unwrap_err(),
-            TransportError::InsufficientCapacity { total_capacity: 1, customers: 2 }
+            TransportError::InsufficientCapacity {
+                total_capacity: 1,
+                customers: 2
+            }
         );
     }
 
     #[test]
     fn unreachable_customer_detected() {
-        let p = TransportProblem::from_rows(
-            &[vec![1, INF_COST], vec![INF_COST, INF_COST]],
-            vec![1, 1],
-        );
+        let p =
+            TransportProblem::from_rows(&[vec![1, INF_COST], vec![INF_COST, INF_COST]], vec![1, 1]);
         assert_eq!(
             solve_transportation(&p).unwrap_err(),
             TransportError::Infeasible { customer: 1 }
@@ -341,10 +382,7 @@ mod tests {
 
     #[test]
     fn forbidden_edges_force_detours() {
-        let p = TransportProblem::from_rows(
-            &[vec![1, 50], vec![2, INF_COST]],
-            vec![1, 1],
-        );
+        let p = TransportProblem::from_rows(&[vec![1, 50], vec![2, INF_COST]], vec![1, 1]);
         let s = solve_transportation(&p).unwrap();
         assert_eq!(s.cost, 52);
         assert_eq!(s.assignment, vec![1, 0]);
@@ -372,7 +410,9 @@ mod tests {
         );
         let s = solve_transportation(&p).unwrap();
         let brute = brute_min_cost_assignment(
-            &(0..4).map(|i| (0..4).map(|j| p.cost(i, j)).collect()).collect::<Vec<_>>(),
+            &(0..4)
+                .map(|i| (0..4).map(|j| p.cost(i, j)).collect())
+                .collect::<Vec<_>>(),
             &[1, 1, 1, 1],
             &[1, 1, 1, 1],
         )

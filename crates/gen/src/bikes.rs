@@ -81,7 +81,10 @@ pub fn generate_flow_field(g: &Graph, seed: u64) -> FlowField {
 
     // Per-edge traffic volume (log-normal: arterials vs side streets) and
     // orientation toward the center.
-    let volumes: Vec<f64> = edges.iter().map(|_| (0.8 * sample_normal(&mut rng)).exp()).collect();
+    let volumes: Vec<f64> = edges
+        .iter()
+        .map(|_| (0.8 * sample_normal(&mut rng)).exp())
+        .collect();
     let orientation: Vec<f64> = edges
         .iter()
         .map(|&(u, v)| {
@@ -112,7 +115,12 @@ pub fn generate_flow_field(g: &Graph, seed: u64) -> FlowField {
         })
         .collect();
 
-    FlowField { edges, flows, orientation, center }
+    FlowField {
+        edges,
+        flows,
+        orientation,
+        center,
+    }
 }
 
 /// Divergence `∇·g` per node per hour: bikes parked at the node in that
@@ -143,8 +151,11 @@ pub fn docking_demand(g: &Graph, field: &FlowField) -> Vec<f64> {
     let mut variance = vec![0.0f64; n];
     for v in 0..n {
         let mean: f64 = div.iter().map(|h| h[v]).sum::<f64>() / HOURS as f64;
-        variance[v] =
-            div.iter().map(|h| (h[v] - mean) * (h[v] - mean)).sum::<f64>() / HOURS as f64;
+        variance[v] = div
+            .iter()
+            .map(|h| (h[v] - mean) * (h[v] - mean))
+            .sum::<f64>()
+            / HOURS as f64;
     }
     let total: f64 = variance.iter().sum();
     if total > 0.0 {
@@ -172,7 +183,9 @@ pub fn generate_stations(g: &Graph, count: usize, seed: u64) -> Vec<Station> {
     nodes
         .into_iter()
         .map(|node| {
-            let capacity = (12.0 + 5.0 * sample_normal(&mut rng)).round().clamp(2.0, 40.0) as u32;
+            let capacity = (12.0 + 5.0 * sample_normal(&mut rng))
+                .round()
+                .clamp(2.0, 40.0) as u32;
             Station { node, capacity }
         })
         .collect()
@@ -208,12 +221,20 @@ pub fn summarize(field: &FlowField) -> FlowSummary {
         }
     }
     let inbound_fraction = inbound as f64 / oriented.max(1) as f64;
-    FlowSummary { hourly_magnitude, inbound_fraction }
+    FlowSummary {
+        hourly_magnitude,
+        inbound_fraction,
+    }
 }
 
 /// Convenience: canonical-edge map for tests.
 pub fn edge_index(field: &FlowField) -> FxHashMap<(NodeId, NodeId), usize> {
-    field.edges.iter().enumerate().map(|(e, &uv)| (uv, e)).collect()
+    field
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(e, &uv)| (uv, e))
+        .collect()
 }
 
 #[cfg(test)]
@@ -267,10 +288,18 @@ mod tests {
         let field = generate_flow_field(&g, 7);
         let s = summarize(&field);
         // Morning flows lean toward the center.
-        assert!(s.inbound_fraction > 0.6, "inbound fraction {}", s.inbound_fraction);
+        assert!(
+            s.inbound_fraction > 0.6,
+            "inbound fraction {}",
+            s.inbound_fraction
+        );
         // Peaks beat the 3 AM trough.
         let peak = s.hourly_magnitude[8].max(s.hourly_magnitude[17]);
-        assert!(peak > 1.5 * s.hourly_magnitude[3], "peak {peak} vs night {}", s.hourly_magnitude[3]);
+        assert!(
+            peak > 1.5 * s.hourly_magnitude[3],
+            "peak {peak} vs night {}",
+            s.hourly_magnitude[3]
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub fn uniform(l: usize, c: u32) -> Vec<u32> {
 /// Independent uniform random capacities in `lo..=hi` — the paper's
 /// Figure 6d uses `U(1, 10)`.
 pub fn uniform_random(l: usize, lo: u32, hi: u32, seed: u64) -> Vec<u32> {
-    assert!(lo >= 1 && lo <= hi, "capacity range must be positive and ordered");
+    assert!(
+        lo >= 1 && lo <= hi,
+        "capacity range must be positive and ordered"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..l).map(|_| rng.random_range(lo..=hi)).collect()
 }
@@ -23,7 +26,11 @@ pub fn uniform_random(l: usize, lo: u32, hi: u32, seed: u64) -> Vec<u32> {
 pub fn operational_hours(l: usize, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..l)
-        .map(|_| (9.0 + 3.0 * sample_normal(&mut rng)).round().clamp(1.0, 24.0) as u32)
+        .map(|_| {
+            (9.0 + 3.0 * sample_normal(&mut rng))
+                .round()
+                .clamp(1.0, 24.0) as u32
+        })
         .collect()
 }
 

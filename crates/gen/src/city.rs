@@ -157,7 +157,9 @@ fn organic_city(spec: &CitySpec, t: usize, rng: &mut StdRng) -> Graph {
             .filter(|&j| (j as usize) > i)
             .collect();
         near.sort_by(|&a, &b| {
-            pts[a as usize].dist2(&pts[i]).total_cmp(&pts[b as usize].dist2(&pts[i]))
+            pts[a as usize]
+                .dist2(&pts[i])
+                .total_cmp(&pts[b as usize].dist2(&pts[i]))
         });
         for j in near {
             if degree[i] >= 4 {
@@ -212,7 +214,13 @@ mod tests {
     use mcfs_graph::connected_components;
 
     fn small_spec(style: CityStyle) -> CitySpec {
-        CitySpec { name: "Test", target_nodes: 4000, style, avg_edge_len: 35.0, seed: 42 }
+        CitySpec {
+            name: "Test",
+            target_nodes: 4000,
+            style,
+            avg_edge_len: 35.0,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -221,7 +229,10 @@ mod tests {
         let nodes = g.num_nodes();
         assert!((3000..6000).contains(&nodes), "node count {nodes}");
         let deg = g.avg_degree();
-        assert!((1.8..2.8).contains(&deg), "avg degree {deg} outside road-network band");
+        assert!(
+            (1.8..2.8).contains(&deg),
+            "avg degree {deg} outside road-network band"
+        );
         let len = g.avg_edge_length();
         assert!((20.0..60.0).contains(&len), "avg segment length {len}");
     }

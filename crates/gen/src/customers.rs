@@ -21,7 +21,11 @@ use crate::sample_normal;
 ///
 /// Panics if `m > g.num_nodes()`.
 pub fn uniform_customers(g: &Graph, m: usize, seed: u64) -> Vec<NodeId> {
-    assert!(m <= g.num_nodes(), "cannot place {m} distinct customers on {} nodes", g.num_nodes());
+    assert!(
+        m <= g.num_nodes(),
+        "cannot place {m} distinct customers on {} nodes",
+        g.num_nodes()
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nodes: Vec<NodeId> = g.nodes().collect();
     nodes.shuffle(&mut rng);
@@ -89,7 +93,13 @@ pub fn district_population_model(g: &Graph, districts: usize, seed: u64) -> Vec<
     }
     owner
         .iter()
-        .map(|&o| if o == usize::MAX { 0.0 } else { pops[o] / sizes[o] as f64 })
+        .map(|&o| {
+            if o == usize::MAX {
+                0.0
+            } else {
+                pops[o] / sizes[o] as f64
+            }
+        })
         .collect()
 }
 
@@ -156,7 +166,11 @@ mod tests {
         let mut uniq: Vec<u64> = w.iter().map(|&x| (x * 1e9) as u64).collect();
         uniq.sort_unstable();
         uniq.dedup();
-        assert!(uniq.len() >= 5, "only {} distinct weight levels", uniq.len());
+        assert!(
+            uniq.len() >= 5,
+            "only {} distinct weight levels",
+            uniq.len()
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod points;
 pub mod synthetic;
 pub mod venues;
 
-pub use city::{generate_city, CityStyle, CitySpec};
+pub use city::{generate_city, CitySpec, CityStyle};
 pub use points::{clustered_points, uniform_points, PointDistribution};
 pub use synthetic::{generate_synthetic, SyntheticConfig};
 

@@ -86,7 +86,11 @@ pub fn clustered_points(
             points.push(Point::new(x, y));
         }
     }
-    ClusteredPoints { points, centers, center_indices }
+    ClusteredPoints {
+        points,
+        centers,
+        center_indices,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +103,9 @@ mod tests {
         let b = uniform_points(500, 1000.0, 7);
         let c = uniform_points(500, 1000.0, 8);
         assert_eq!(a.len(), 500);
-        assert!(a.iter().all(|p| (0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y)));
+        assert!(a
+            .iter()
+            .all(|p| (0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y)));
         assert_eq!(a, b, "same seed, same scatter");
         assert_ne!(a, c, "different seed, different scatter");
     }
@@ -128,7 +134,11 @@ mod tests {
         // Sizes differ by at most one.
         let mut sizes = Vec::new();
         for c in 0..20 {
-            let end = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            let end = cp
+                .center_indices
+                .get(c + 1)
+                .copied()
+                .unwrap_or(cp.points.len());
             sizes.push(end - cp.center_indices[c]);
         }
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
@@ -140,9 +150,16 @@ mod tests {
         let cp = clustered_points(400, 4, 1000.0, Some(5.0), 9);
         for c in 0..4 {
             let lo = cp.center_indices[c];
-            let hi = cp.center_indices.get(c + 1).copied().unwrap_or(cp.points.len());
+            let hi = cp
+                .center_indices
+                .get(c + 1)
+                .copied()
+                .unwrap_or(cp.points.len());
             let center = cp.centers[c];
-            let close = cp.points[lo..hi].iter().filter(|p| p.dist(&center) < 25.0).count();
+            let close = cp.points[lo..hi]
+                .iter()
+                .filter(|p| p.dist(&center) < 25.0)
+                .count();
             assert!(
                 close as f64 > 0.95 * (hi - lo) as f64,
                 "cluster {c}: only {close}/{} points within 5σ",

@@ -114,8 +114,16 @@ mod tests {
         let sparse = generate_synthetic(&SyntheticConfig::uniform(2000, 1.2, 5));
         let dense = generate_synthetic(&SyntheticConfig::uniform(2000, 2.0, 5));
         assert!(dense.avg_degree() > sparse.avg_degree());
-        assert!(sparse.avg_degree() > 1.0, "sparse degree {}", sparse.avg_degree());
-        assert!(dense.avg_degree() < 16.0, "dense degree {}", dense.avg_degree());
+        assert!(
+            sparse.avg_degree() > 1.0,
+            "sparse degree {}",
+            sparse.avg_degree()
+        );
+        assert!(
+            dense.avg_degree() < 16.0,
+            "dense degree {}",
+            dense.avg_degree()
+        );
     }
 
     #[test]
@@ -124,7 +132,10 @@ mod tests {
         let coords = g.coords().unwrap();
         for v in g.nodes().take(50) {
             for (u, w) in g.neighbors(v) {
-                let d = coords[v as usize].dist(&coords[u as usize]).round().max(1.0) as u64;
+                let d = coords[v as usize]
+                    .dist(&coords[u as usize])
+                    .round()
+                    .max(1.0) as u64;
                 assert_eq!(w, d, "edge ({v},{u})");
             }
         }
@@ -150,7 +161,10 @@ mod tests {
         // components than isolated stragglers allow.
         let cc = connected_components(&g);
         let giant = cc.sizes.iter().max().unwrap();
-        assert!(*giant > 500, "giant component holds most nodes, got {giant}");
+        assert!(
+            *giant > 500,
+            "giant component holds most nodes, got {giant}"
+        );
     }
 
     #[test]

@@ -47,8 +47,14 @@ pub fn generate_venues(g: &Graph, count: usize, seed: u64) -> Vec<Venue> {
         .into_iter()
         .map(|node| {
             let occupancy = (1.0 * sample_normal(&mut rng)).exp();
-            let hours = (9.0 + 3.0 * sample_normal(&mut rng)).round().clamp(1.0, 24.0) as u32;
-            Venue { node, occupancy, hours }
+            let hours = (9.0 + 3.0 * sample_normal(&mut rng))
+                .round()
+                .clamp(1.0, 24.0) as u32;
+            Venue {
+                node,
+                occupancy,
+                hours,
+            }
         })
         .collect()
 }
@@ -103,9 +109,7 @@ pub fn venue_customer_weights(g: &Graph, venues: &[Venue], omega: f64) -> Vec<f6
             let o_i = venues[i].occupancy;
             let area_term = (1.0 - omega) / cell_size[i] as f64;
             let pop_term = if j != usize::MAX && neighbor_mass[i] > 0.0 {
-                omega * venues[j].occupancy
-                    / neighbor_mass[i]
-                    / tri_size[&(i, j)] as f64
+                omega * venues[j].occupancy / neighbor_mass[i] / tri_size[&(i, j)] as f64
             } else {
                 0.0
             };
@@ -147,8 +151,16 @@ mod tests {
         let g = line(100);
         // Two venues: a popular one at 20, an unpopular one at 80.
         let venues = vec![
-            Venue { node: 20, occupancy: 10.0, hours: 9 },
-            Venue { node: 80, occupancy: 1.0, hours: 9 },
+            Venue {
+                node: 20,
+                occupancy: 10.0,
+                hours: 9,
+            },
+            Venue {
+                node: 80,
+                occupancy: 1.0,
+                hours: 9,
+            },
         ];
         let w = venue_customer_weights(&g, &venues, 0.5);
         assert_eq!(w.len(), 100);
@@ -163,8 +175,16 @@ mod tests {
     fn triangle_mass_matches_the_formula() {
         let g = line(100);
         let venues = vec![
-            Venue { node: 20, occupancy: 4.0, hours: 9 },
-            Venue { node: 80, occupancy: 2.0, hours: 9 },
+            Venue {
+                node: 20,
+                occupancy: 4.0,
+                hours: 9,
+            },
+            Venue {
+                node: 80,
+                occupancy: 2.0,
+                hours: 9,
+            },
         ];
         let omega = 0.5;
         let w = venue_customer_weights(&g, &venues, omega);
@@ -188,7 +208,11 @@ mod tests {
         b.add_edge(3, 4, 1);
         b.add_edge(4, 5, 1);
         let g = b.build();
-        let venues = vec![Venue { node: 1, occupancy: 6.0, hours: 9 }];
+        let venues = vec![Venue {
+            node: 1,
+            occupancy: 6.0,
+            hours: 9,
+        }];
         let w = venue_customer_weights(&g, &venues, 0.5);
         // Reachable cell: nodes 0..=2, each (1−ω)/3 · 6 = 1.0.
         assert!((w[0] - 1.0).abs() < 1e-9);

@@ -51,7 +51,10 @@ impl AltIndex {
     /// components degrade gracefully to plain Dijkstra behaviour (the bound
     /// is 0 there).
     pub fn build(g: &Graph, count: usize, seed_node: NodeId) -> Self {
-        assert!((seed_node as usize) < g.num_nodes(), "seed node out of range");
+        assert!(
+            (seed_node as usize) < g.num_nodes(),
+            "seed node out of range"
+        );
         let mut landmarks = Vec::with_capacity(count.max(1));
         let mut dist: Vec<Vec<Dist>> = Vec::with_capacity(count.max(1));
         // min over chosen landmarks of distance to each node (for farthest

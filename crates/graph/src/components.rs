@@ -69,7 +69,11 @@ pub fn connected_components(g: &Graph) -> ComponentInfo {
         sizes.push(size);
         next += 1;
     }
-    ComponentInfo { component, count: next as usize, sizes }
+    ComponentInfo {
+        component,
+        count: next as usize,
+        sizes,
+    }
 }
 
 #[cfg(test)]

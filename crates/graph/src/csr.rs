@@ -137,15 +137,29 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Builder for a graph with `num_nodes` nodes and no coordinates.
     pub fn new(num_nodes: usize) -> Self {
-        assert!(num_nodes < u32::MAX as usize, "node count exceeds u32 id space");
-        Self { num_nodes, arcs: Vec::new(), coords: None }
+        assert!(
+            num_nodes < u32::MAX as usize,
+            "node count exceeds u32 id space"
+        );
+        Self {
+            num_nodes,
+            arcs: Vec::new(),
+            coords: None,
+        }
     }
 
     /// Builder for a graph whose nodes carry the given planar coordinates.
     pub fn with_coords(coords: Vec<Point>) -> Self {
         let num_nodes = coords.len();
-        assert!(num_nodes < u32::MAX as usize, "node count exceeds u32 id space");
-        Self { num_nodes, arcs: Vec::new(), coords: Some(coords) }
+        assert!(
+            num_nodes < u32::MAX as usize,
+            "node count exceeds u32 id space"
+        );
+        Self {
+            num_nodes,
+            arcs: Vec::new(),
+            coords: Some(coords),
+        }
     }
 
     /// Number of nodes the builder was created with.
@@ -197,7 +211,12 @@ impl GraphBuilder {
             weights[slot] = w;
             cursor[u as usize] += 1;
         }
-        Graph { offsets, targets, weights, coords: self.coords }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            coords: self.coords,
+        }
     }
 }
 

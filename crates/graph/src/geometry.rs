@@ -98,7 +98,16 @@ impl GridIndex {
             items[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        Self { cell, min_x, min_y, cols, rows, starts, items, points: points.to_vec() }
+        Self {
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            starts,
+            items,
+            points: points.to_vec(),
+        }
     }
 
     #[inline]
@@ -119,8 +128,10 @@ impl GridIndex {
         let r2 = radius * radius;
         let lo_cx = (((q.x - radius - self.min_x) / self.cell).floor().max(0.0)) as usize;
         let lo_cy = (((q.y - radius - self.min_y) / self.cell).floor().max(0.0)) as usize;
-        let hi_cx = ((((q.x + radius - self.min_x) / self.cell).floor()).max(0.0) as usize).min(self.cols - 1);
-        let hi_cy = ((((q.y + radius - self.min_y) / self.cell).floor()).max(0.0) as usize).min(self.rows - 1);
+        let hi_cx = ((((q.x + radius - self.min_x) / self.cell).floor()).max(0.0) as usize)
+            .min(self.cols - 1);
+        let hi_cy = ((((q.y + radius - self.min_y) / self.cell).floor()).max(0.0) as usize)
+            .min(self.rows - 1);
         for cy in lo_cy.min(self.rows - 1)..=hi_cy {
             for cx in lo_cx.min(self.cols - 1)..=hi_cx {
                 for &i in self.bucket(cx, cy) {
@@ -166,11 +177,13 @@ impl GridIndex {
             if radius > 4.0 * self.span() + 4.0 * self.cell {
                 // Fall back to a linear scan (degenerate geometry or a very
                 // selective predicate).
-                return (0..self.points.len() as u32).filter(|&i| pred(i)).min_by(|&a, &b| {
-                    self.points[a as usize]
-                        .dist2(&q)
-                        .total_cmp(&self.points[b as usize].dist2(&q))
-                });
+                return (0..self.points.len() as u32)
+                    .filter(|&i| pred(i))
+                    .min_by(|&a, &b| {
+                        self.points[a as usize]
+                            .dist2(&q)
+                            .total_cmp(&self.points[b as usize].dist2(&q))
+                    });
             }
         }
     }
@@ -263,10 +276,18 @@ mod tests {
     fn nearest_matches_scan() {
         let pts = grid_points(7);
         let idx = GridIndex::build(&pts, 0.8);
-        for q in [Point::new(3.2, 2.9), Point::new(-5.0, -5.0), Point::new(100.0, 0.0)] {
+        for q in [
+            Point::new(3.2, 2.9),
+            Point::new(-5.0, -5.0),
+            Point::new(100.0, 0.0),
+        ] {
             let got = idx.nearest(q).unwrap();
             let want = (0..pts.len() as u32)
-                .min_by(|&a, &b| pts[a as usize].dist2(&q).total_cmp(&pts[b as usize].dist2(&q)))
+                .min_by(|&a, &b| {
+                    pts[a as usize]
+                        .dist2(&q)
+                        .total_cmp(&pts[b as usize].dist2(&q))
+                })
                 .unwrap();
             assert_eq!(
                 pts[got as usize].dist2(&q),

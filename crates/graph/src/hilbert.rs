@@ -32,7 +32,10 @@ pub fn hilbert_d2xy(order: u32, d: u64) -> (u32, u32) {
 pub fn hilbert_xy2d(order: u32, x: u32, y: u32) -> u64 {
     assert!((1..=31).contains(&order), "order must be in 1..=31");
     let side = 1u64 << order;
-    assert!((x as u64) < side && (y as u64) < side, "coordinates outside grid");
+    assert!(
+        (x as u64) < side && (y as u64) < side,
+        "coordinates outside grid"
+    );
     let (mut x, mut y) = (x as u64, y as u64);
     let mut d = 0u64;
     let mut s = side / 2;

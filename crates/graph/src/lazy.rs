@@ -43,7 +43,13 @@ impl LazyDijkstra {
         heap.push(Reverse((0, source)));
         let mut dist = FxHashMap::default();
         dist.insert(source, 0);
-        Self { source, dist, heap, last_settled: 0, settled_count: 0 }
+        Self {
+            source,
+            dist,
+            heap,
+            last_settled: 0,
+            settled_count: 0,
+        }
     }
 
     /// The search's source node.
@@ -119,7 +125,10 @@ pub struct FilteredLazyDijkstra<P> {
 impl<P: Fn(NodeId) -> bool> FilteredLazyDijkstra<P> {
     /// Lazy search from `source` yielding only nodes where `pred` holds.
     pub fn new(source: NodeId, pred: P) -> Self {
-        Self { inner: LazyDijkstra::new(source), pred }
+        Self {
+            inner: LazyDijkstra::new(source),
+            pred,
+        }
     }
 
     /// Next matching node in nondecreasing distance order.

@@ -7,6 +7,10 @@
 //!   coordinates, the representation of the paper's network `G = (V, E, W)`.
 //! * [`dijkstra`] — one-to-all, radius-bounded, target-bounded and
 //!   multi-source shortest path searches.
+//! * [`DistanceOracle`] — a thread-safe memoizing facade over those
+//!   searches with a bounded per-source row cache and a batched parallel
+//!   entry point ([`oracle`], worker pool in [`par`]). Solvers share one
+//!   oracle so distance rows are computed once per customer.
 //! * [`LazyDijkstra`] — a *resumable* Dijkstra that yields settled nodes in
 //!   nondecreasing distance order. This is the per-customer nearest-neighbor
 //!   stream the paper's `FindPair` routine consumes (Algorithm 2, line 6).
@@ -33,18 +37,21 @@ pub mod dijkstra;
 pub mod geometry;
 pub mod hilbert;
 pub mod lazy;
+pub mod oracle;
+pub mod par;
 pub mod paths;
 
 pub use alt::AltIndex;
 pub use components::{connected_components, ComponentInfo};
-pub use csr::{Graph, GraphBuilder, NodeId, EdgeId};
+pub use csr::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use dijkstra::{
-    dijkstra_all, dijkstra_bounded, dijkstra_to_targets, multi_source_dijkstra,
-    two_nearest_sources,
+    dijkstra_all, dijkstra_bounded, dijkstra_to_targets, multi_source_dijkstra, two_nearest_sources,
 };
 pub use geometry::{GridIndex, Point};
 pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
 pub use lazy::LazyDijkstra;
+pub use oracle::{DistanceOracle, OracleStats};
+pub use par::{available_threads, par_map_indexed};
 pub use paths::{dijkstra_with_parents, route_from_parents, routes_from_hub, shortest_route};
 
 /// Shortest-path distance type. `u64` accommodates sums over million-node

@@ -1,0 +1,445 @@
+//! Shared, thread-safe distance oracle with a bounded row cache.
+//!
+//! Every MCFS solver ultimately asks the same question — "how far is this
+//! customer from everything?" — and the WMA pipeline asks it repeatedly:
+//! each demand-raising iteration, the refine pass, and every baseline
+//! re-derive distances from the same handful of customer nodes. The
+//! [`DistanceOracle`] memoizes those one-to-all rows ([`dijkstra_all`])
+//! behind a mutex-guarded bounded FIFO cache of `Arc<Vec<Dist>>`, so a row
+//! is computed once and then shared by reference across WMA iterations, the
+//! refine pass, and the baselines.
+//!
+//! The batched entry point [`DistanceOracle::distances_for_sources`] fans
+//! independent Dijkstra expansions across a scoped worker pool
+//! ([`crate::par`]) and returns rows **in input order** regardless of
+//! scheduling, which is what makes the `threads(n)` knob on the solvers
+//! observationally pure: distances are a function of the graph alone, so
+//! thread count can change wall time but never a solution.
+//!
+//! The oracle deliberately does not borrow the graph (methods take `&Graph`
+//! per call) so a single `Arc<DistanceOracle>` can be threaded through
+//! solver structs without lifetime plumbing. As a guard against wiring the
+//! wrong graph, the oracle remembers a cheap structural fingerprint of the
+//! first graph it sees and panics if a later call disagrees.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rustc_hash::FxHashMap;
+
+use crate::dijkstra::dijkstra_all;
+use crate::par::{available_threads, par_map_indexed};
+use crate::{Dist, Graph, NodeId, INF};
+
+/// Default bound on cached rows. A row is `num_nodes * 8` bytes, so 4096
+/// rows of a 100k-node graph is ~3 GiB worst case; real workloads cache one
+/// row per customer (tens to thousands).
+pub const DEFAULT_CACHE_ROWS: usize = 4096;
+
+/// Counters describing oracle behavior since construction (or the last
+/// [`DistanceOracle::reset_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Row requests answered from the cache.
+    pub hits: u64,
+    /// Row requests that had to run a fresh Dijkstra.
+    pub misses: u64,
+    /// Rows dropped by the FIFO bound.
+    pub evictions: u64,
+    /// Rows currently resident.
+    pub cached_rows: usize,
+    /// Maximum resident rows.
+    pub capacity: usize,
+    /// Worker threads used by batched queries.
+    pub threads: usize,
+}
+
+/// Structural fingerprint used to detect cross-graph misuse. Deliberately
+/// cheap: node and arc counts catch accidental re-wiring without hashing
+/// the full CSR arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    num_nodes: usize,
+    num_arcs: usize,
+}
+
+impl Fingerprint {
+    fn of(g: &Graph) -> Self {
+        Self {
+            num_nodes: g.num_nodes(),
+            num_arcs: g.num_arcs(),
+        }
+    }
+}
+
+struct RowCache {
+    rows: FxHashMap<NodeId, Arc<Vec<Dist>>>,
+    /// Insertion order for FIFO eviction. Rows evicted here stay alive for
+    /// any holder of the `Arc`.
+    order: VecDeque<NodeId>,
+    fingerprint: Option<Fingerprint>,
+}
+
+/// Thread-safe memoizing facade over the one-shot Dijkstra searches.
+///
+/// See the [module docs](self) for the design; the short version:
+///
+/// * [`row`](Self::row) / [`distances_for_sources`](Self::distances_for_sources)
+///   return cached `Arc<Vec<Dist>>` one-to-all rows (unreachable = [`INF`]);
+/// * [`to_targets`](Self::to_targets) and
+///   [`multi_source`](Self::multi_source) are row-backed equivalents of
+///   [`dijkstra_to_targets`](crate::dijkstra_to_targets) and
+///   [`multi_source_dijkstra`](crate::multi_source_dijkstra);
+/// * results never depend on the thread count or on what happens to be
+///   cached.
+pub struct DistanceOracle {
+    cache: Mutex<RowCache>,
+    capacity: usize,
+    threads: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for DistanceOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("DistanceOracle")
+            .field("threads", &s.threads)
+            .field("capacity", &s.capacity)
+            .field("cached_rows", &s.cached_rows)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl Default for DistanceOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistanceOracle {
+    /// Oracle with the default cache bound and one worker per available
+    /// hardware thread.
+    pub fn new() -> Self {
+        Self {
+            cache: Mutex::new(RowCache {
+                rows: FxHashMap::default(),
+                order: VecDeque::new(),
+                fingerprint: None,
+            }),
+            capacity: DEFAULT_CACHE_ROWS,
+            threads: available_threads(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the worker-thread count for batched queries. `0` means "auto"
+    /// (available parallelism); `1` computes everything inline.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Bound the row cache to at most `rows` resident rows (FIFO eviction).
+    /// `0` disables caching entirely — every query recomputes.
+    pub fn with_cache_rows(mut self, rows: usize) -> Self {
+        self.capacity = rows;
+        self
+    }
+
+    /// Worker threads used by batched queries.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the hit/miss/eviction counters and cache occupancy.
+    pub fn stats(&self) -> OracleStats {
+        let cache = self.cache.lock().unwrap();
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cached_rows: cache.rows.len(),
+            capacity: self.capacity,
+            threads: self.threads,
+        }
+    }
+
+    /// Zero the hit/miss/eviction counters (cached rows are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop every cached row (counters are kept).
+    pub fn clear(&self) {
+        let mut cache = self.cache.lock().unwrap();
+        cache.rows.clear();
+        cache.order.clear();
+    }
+
+    fn check_graph(cache: &mut RowCache, g: &Graph) {
+        let fp = Fingerprint::of(g);
+        match cache.fingerprint {
+            None => cache.fingerprint = Some(fp),
+            Some(seen) => assert_eq!(
+                seen, fp,
+                "DistanceOracle used with a different graph than it was primed on"
+            ),
+        }
+    }
+
+    fn insert_row(&self, cache: &mut RowCache, source: NodeId, row: Arc<Vec<Dist>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if cache.rows.insert(source, row).is_none() {
+            cache.order.push_back(source);
+        }
+        while cache.rows.len() > self.capacity {
+            // `order` can only be empty if rows was externally cleared, in
+            // which case len() <= capacity already.
+            if let Some(old) = cache.order.pop_front() {
+                cache.rows.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The full one-to-all distance row from `source`, computed on demand
+    /// and cached. Unreachable nodes hold [`INF`]. Equivalent to (and
+    /// verified against) a fresh [`dijkstra_all`] call.
+    pub fn row(&self, g: &Graph, source: NodeId) -> Arc<Vec<Dist>> {
+        {
+            let mut cache = self.cache.lock().unwrap();
+            Self::check_graph(&mut cache, g);
+            if let Some(row) = cache.rows.get(&source) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(row);
+            }
+        }
+        // Compute outside the lock so concurrent misses on different
+        // sources proceed in parallel. Two threads racing on the *same*
+        // source may both compute; both produce the identical row, and the
+        // second insert is a no-op overwrite.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(dijkstra_all(g, source));
+        let mut cache = self.cache.lock().unwrap();
+        self.insert_row(&mut cache, source, Arc::clone(&row));
+        row
+    }
+
+    /// Batched rows for `sources`, returned **in input order**. Cached rows
+    /// are served directly; missing rows are computed by the worker pool
+    /// (one Dijkstra expansion per distinct missing source). Duplicate
+    /// sources in one batch share a single computation.
+    pub fn distances_for_sources(&self, g: &Graph, sources: &[NodeId]) -> Vec<Arc<Vec<Dist>>> {
+        // Phase 1 (under the lock): partition into cached / missing.
+        let mut found: FxHashMap<NodeId, Arc<Vec<Dist>>> = FxHashMap::default();
+        let mut missing: Vec<NodeId> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            Self::check_graph(&mut cache, g);
+            for &s in sources {
+                if found.contains_key(&s) || missing.contains(&s) {
+                    continue;
+                }
+                match cache.rows.get(&s) {
+                    Some(row) => {
+                        found.insert(s, Arc::clone(row));
+                    }
+                    None => missing.push(s),
+                }
+            }
+        }
+        self.hits
+            .fetch_add((sources.len() - missing.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+
+        // Phase 2 (no lock): fan the missing expansions across the pool.
+        // `par_map_indexed` returns slot-ordered results, so insertion
+        // order below — hence FIFO eviction order — is scheduling-independent.
+        let computed = par_map_indexed(missing.len(), self.threads, |i| {
+            Arc::new(dijkstra_all(g, missing[i]))
+        });
+
+        // Phase 3 (under the lock): publish new rows in input order.
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (s, row) in missing.iter().zip(&computed) {
+                self.insert_row(&mut cache, *s, Arc::clone(row));
+            }
+        }
+        for (s, row) in missing.into_iter().zip(computed) {
+            found.insert(s, row);
+        }
+        sources
+            .iter()
+            .map(|s| Arc::clone(found.get(s).expect("every source resolved")))
+            .collect()
+    }
+
+    /// Distance from `source` to a single `target` (cached-row-backed).
+    pub fn distance(&self, g: &Graph, source: NodeId, target: NodeId) -> Dist {
+        self.row(g, source)[target as usize]
+    }
+
+    /// Distances from `source` to each of `targets`, in the order given.
+    /// Row-backed equivalent of [`dijkstra_to_targets`](crate::dijkstra_to_targets):
+    /// the first call from a source pays a full expansion instead of an
+    /// early exit, every later call from the same source is a lookup.
+    pub fn to_targets(&self, g: &Graph, source: NodeId, targets: &[NodeId]) -> Vec<Dist> {
+        let row = self.row(g, source);
+        targets.iter().map(|&t| row[t as usize]).collect()
+    }
+
+    /// For every node, the distance to its nearest source and that source's
+    /// index in `sources`; unreachable nodes get `(INF, usize::MAX)`. Ties
+    /// go to the smallest source *index*, and duplicate sources resolve to
+    /// the first occurrence — the same contract as
+    /// [`multi_source_dijkstra`](crate::multi_source_dijkstra) documents for
+    /// duplicates, made deterministic for equidistant distinct sources too.
+    pub fn multi_source(&self, g: &Graph, sources: &[NodeId]) -> (Vec<Dist>, Vec<usize>) {
+        let rows = self.distances_for_sources(g, sources);
+        let n = g.num_nodes();
+        let mut dist = vec![INF; n];
+        let mut owner = vec![usize::MAX; n];
+        for (i, row) in rows.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                if d < dist[v] {
+                    dist[v] = d;
+                    owner[v] = i;
+                }
+            }
+        }
+        (dist, owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra_to_targets, multi_source_dijkstra, GraphBuilder};
+
+    /// Path 0 -5- 1 -1- 2 -1- 3, shortcut 0 -4- 2; node 4 isolated.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 2, 4);
+        b.build()
+    }
+
+    #[test]
+    fn row_matches_dijkstra_and_caches() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(1);
+        let row = o.row(&g, 0);
+        assert_eq!(*row, dijkstra_all(&g, 0));
+        assert_eq!(row[4], INF);
+        let s = o.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        let again = o.row(&g, 0);
+        assert!(Arc::ptr_eq(&row, &again));
+        assert_eq!(o.stats().hits, 1);
+    }
+
+    #[test]
+    fn batched_rows_in_input_order_with_duplicates() {
+        let g = sample();
+        for threads in [1, 2, 8] {
+            let o = DistanceOracle::new().with_threads(threads);
+            let sources = [3, 0, 3, 4, 1];
+            let rows = o.distances_for_sources(&g, &sources);
+            assert_eq!(rows.len(), sources.len());
+            for (&s, row) in sources.iter().zip(&rows) {
+                assert_eq!(**row, dijkstra_all(&g, s), "source {s}, threads {threads}");
+            }
+            // Duplicates in one batch share the computation.
+            assert!(Arc::ptr_eq(&rows[0], &rows[2]));
+            let stats = o.stats();
+            assert_eq!(stats.misses, 4); // distinct sources
+        }
+    }
+
+    #[test]
+    fn to_targets_and_multi_source_match_reference() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(2);
+        assert_eq!(
+            o.to_targets(&g, 0, &[3, 1, 4]),
+            dijkstra_to_targets(&g, 0, &[3, 1, 4])
+        );
+        let (d_ref, _) = multi_source_dijkstra(&g, &[0, 3]);
+        let (d, owner) = o.multi_source(&g, &[0, 3]);
+        assert_eq!(d, d_ref);
+        assert_eq!(owner, vec![0, 1, 1, 1, usize::MAX]);
+        // Duplicate sources: first occurrence owns.
+        let (_, owner) = o.multi_source(&g, &[2, 2]);
+        assert_eq!(owner[2], 0);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(1).with_cache_rows(2);
+        o.row(&g, 0);
+        o.row(&g, 1);
+        o.row(&g, 2); // evicts row 0
+        let s = o.stats();
+        assert_eq!(s.cached_rows, 2);
+        assert_eq!(s.evictions, 1);
+        o.row(&g, 0); // miss again
+        assert_eq!(o.stats().misses, 4);
+        o.row(&g, 2); // survived: hit
+        assert_eq!(o.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(1).with_cache_rows(0);
+        o.row(&g, 0);
+        o.row(&g, 0);
+        let s = o.stats();
+        assert_eq!((s.hits, s.misses, s.cached_rows), (0, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn cross_graph_use_panics() {
+        let g1 = sample();
+        let g2 = GraphBuilder::new(3).build();
+        let o = DistanceOracle::new();
+        o.row(&g1, 0);
+        o.row(&g2, 0);
+    }
+
+    #[test]
+    fn clear_drops_rows_but_keeps_counters() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(1);
+        o.row(&g, 0);
+        o.clear();
+        assert_eq!(o.stats().cached_rows, 0);
+        assert_eq!(o.stats().misses, 1);
+        o.reset_stats();
+        assert_eq!(o.stats().misses, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Scoped-thread fan-out for independent per-source graph computations.
+//!
+//! The distance substrate parallelizes embarrassingly per source (one
+//! Dijkstra expansion per source node, no shared mutable state), so a small
+//! work-stealing loop over `std::thread::scope` is all it needs. This fills
+//! the role a rayon pool would play; the build environment is offline and
+//! cannot add rayon, and the deterministic slot-indexed result collection
+//! below is the property the solvers actually rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads "auto" resolves to: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every index in `0..n` on up to `threads` worker threads and
+/// return the results **in index order** — the caller cannot observe
+/// scheduling. `threads <= 1` runs inline with no thread overhead, which is
+/// also the byte-identical sequential reference.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver outlives the scope; send cannot fail while
+                // workers run, but a panic elsewhere must not deadlock us.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx.iter() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index is produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let got = par_map_indexed(100, threads, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        assert_eq!(par_map_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -62,7 +62,10 @@ impl From<io::Error> for ParseError {
 }
 
 fn malformed(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError::Malformed { line, message: message.into() }
+    ParseError::Malformed {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialize an instance. The graph is written as directed arcs, so
@@ -177,11 +180,17 @@ pub fn read_instance(r: impl BufRead) -> Result<OwnedInstance, ParseError> {
         return Err(malformed(0, "missing `end` terminator (truncated file?)"));
     }
     let k = k.ok_or_else(|| malformed(0, "missing `k` directive"))?;
-    Ok(OwnedInstance { graph: builder.build(), customers, facilities, k })
+    Ok(OwnedInstance {
+        graph: builder.build(),
+        customers,
+        facilities,
+        k,
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(line: usize, s: &str) -> Result<T, ParseError> {
-    s.parse().map_err(|_| malformed(line, format!("cannot parse {s:?}")))
+    s.parse()
+        .map_err(|_| malformed(line, format!("cannot parse {s:?}")))
 }
 
 #[cfg(test)]
@@ -204,12 +213,26 @@ mod tests {
         (
             g,
             vec![0, 2, 2],
-            vec![Facility { node: 1, capacity: 3 }, Facility { node: 3, capacity: 1 }],
+            vec![
+                Facility {
+                    node: 1,
+                    capacity: 3,
+                },
+                Facility {
+                    node: 3,
+                    capacity: 1,
+                },
+            ],
             1,
         )
     }
 
-    fn round_trip(g: &Graph, customers: &[NodeId], facilities: &[Facility], k: usize) -> OwnedInstance {
+    fn round_trip(
+        g: &Graph,
+        customers: &[NodeId],
+        facilities: &[Facility],
+        k: usize,
+    ) -> OwnedInstance {
         let inst = McfsInstance::builder(g)
             .customers(customers.iter().copied())
             .facilities(facilities.iter().copied())
@@ -247,7 +270,15 @@ mod tests {
         b.add_edge(0, 1, 7);
         b.add_edge(1, 2, 9);
         let g = b.build();
-        let back = round_trip(&g, &[0], &[Facility { node: 2, capacity: 1 }], 1);
+        let back = round_trip(
+            &g,
+            &[0],
+            &[Facility {
+                node: 2,
+                capacity: 1,
+            }],
+            1,
+        );
         assert!(back.graph.coords().is_none());
         assert_eq!(back.graph.num_arcs(), 4);
     }
@@ -268,12 +299,24 @@ mod tests {
             ("", "empty"),
             ("mcfs-instance v2\n", "bad header"),
             ("mcfs-instance v1\nnodes x\n", "cannot parse"),
-            ("mcfs-instance v1\nnodes 2\narc 0 5 1\nk 1\nend\n", "out of range"),
-            ("mcfs-instance v1\nnodes 2\narc 0 0 1\nk 1\nend\n", "self-loop"),
+            (
+                "mcfs-instance v1\nnodes 2\narc 0 5 1\nk 1\nend\n",
+                "out of range",
+            ),
+            (
+                "mcfs-instance v1\nnodes 2\narc 0 0 1\nk 1\nend\n",
+                "self-loop",
+            ),
             ("mcfs-instance v1\nnodes 2\nwat 1\n", "unknown directive"),
-            ("mcfs-instance v1\nnodes 2\narc 0 1 1\nk 1\n", "missing `end`"),
+            (
+                "mcfs-instance v1\nnodes 2\narc 0 1 1\nk 1\n",
+                "missing `end`",
+            ),
             ("mcfs-instance v1\nnodes 2\narc 0 1 1\nend\n", "missing `k`"),
-            ("mcfs-instance v1\nnodes 2 coords\nnode 0 0.0 0.0\nnode 0 1.0 1.0\nk 1\nend\n", "duplicate node"),
+            (
+                "mcfs-instance v1\nnodes 2 coords\nnode 0 0.0 0.0\nnode 0 1.0 1.0\nk 1\nend\n",
+                "duplicate node",
+            ),
         ] {
             let err = read_instance(text.as_bytes()).unwrap_err().to_string();
             assert!(err.contains(needle), "{text:?} => {err}");
@@ -292,8 +335,11 @@ mod tests {
             seed: 0x10,
         });
         let customers = uniform_customers(&g, 40, 1);
-        let facilities: Vec<Facility> =
-            g.nodes().step_by(9).map(|node| Facility { node, capacity: 4 }).collect();
+        let facilities: Vec<Facility> = g
+            .nodes()
+            .step_by(9)
+            .map(|node| Facility { node, capacity: 4 })
+            .collect();
         let back = round_trip(&g, &customers, &facilities, 12);
         assert_eq!(back.graph.num_arcs(), g.num_arcs());
         assert_eq!(back.customers, customers);
@@ -348,11 +394,22 @@ mod tests {
 
     #[test]
     fn float_coordinates_survive() {
-        let coords = vec![Point::new(0.1 + 0.2, 1e-300), Point::new(-0.0, 12345.678901234567)];
+        let coords = vec![
+            Point::new(0.1 + 0.2, 1e-300),
+            Point::new(-0.0, 12345.678901234567),
+        ];
         let mut b = GraphBuilder::with_coords(coords.clone());
         b.add_edge(0, 1, 1);
         let g = b.build();
-        let back = round_trip(&g, &[0], &[Facility { node: 1, capacity: 1 }], 1);
+        let back = round_trip(
+            &g,
+            &[0],
+            &[Facility {
+                node: 1,
+                capacity: 1,
+            }],
+            1,
+        );
         let rc = back.graph.coords().unwrap();
         assert_eq!(rc[0].x, coords[0].x);
         assert_eq!(rc[0].y, coords[0].y);

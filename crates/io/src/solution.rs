@@ -70,19 +70,30 @@ pub fn read_solution(r: impl BufRead) -> Result<Solution, ParseError> {
     let mut dense = vec![u32::MAX; assignment.len()];
     for (i, p) in assignment {
         if i >= dense.len() || dense[i] != u32::MAX {
-            return Err(bad(0, format!("assignment for customer {i} missing or duplicated")));
+            return Err(bad(
+                0,
+                format!("assignment for customer {i} missing or duplicated"),
+            ));
         }
         dense[i] = p;
     }
-    Ok(Solution { facilities, assignment: dense, objective })
+    Ok(Solution {
+        facilities,
+        assignment: dense,
+        objective,
+    })
 }
 
 fn bad(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError::Malformed { line, message: message.into() }
+    ParseError::Malformed {
+        line,
+        message: message.into(),
+    }
 }
 
 fn num<T: std::str::FromStr>(line: usize, s: &str) -> Result<T, ParseError> {
-    s.parse().map_err(|_| bad(line, format!("cannot parse {s:?}")))
+    s.parse()
+        .map_err(|_| bad(line, format!("cannot parse {s:?}")))
 }
 
 #[cfg(test)]
@@ -91,7 +102,11 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let sol = Solution { facilities: vec![4, 9, 2], assignment: vec![0, 2, 1, 0], objective: 777 };
+        let sol = Solution {
+            facilities: vec![4, 9, 2],
+            assignment: vec![0, 2, 1, 0],
+            objective: 777,
+        };
         let mut buf = Vec::new();
         write_solution(&mut buf, &sol).unwrap();
         let back = read_solution(buf.as_slice()).unwrap();

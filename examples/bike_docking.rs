@@ -13,9 +13,7 @@
 //! ```
 
 use mcfs_repro::core::{Facility, Solver};
-use mcfs_repro::gen::bikes::{
-    docking_demand, generate_flow_field, generate_stations, summarize,
-};
+use mcfs_repro::gen::bikes::{docking_demand, generate_flow_field, generate_stations, summarize};
 use mcfs_repro::gen::city::{generate_city, CitySpec, CityStyle};
 use mcfs_repro::gen::customers::{mask_to_reachable, sample_weighted};
 use mcfs_repro::prelude::*;
@@ -38,8 +36,9 @@ fn main() {
         field.edges.len(),
         stats.inbound_fraction * 100.0
     );
-    let peak_hour =
-        (0..24).max_by(|&a, &b| stats.hourly_magnitude[a].total_cmp(&stats.hourly_magnitude[b])).unwrap();
+    let peak_hour = (0..24)
+        .max_by(|&a, &b| stats.hourly_magnitude[a].total_cmp(&stats.hourly_magnitude[b]))
+        .unwrap();
     println!("busiest hour: {peak_hour}:00\n");
 
     let stations = generate_stations(&graph, 800, 0x57A7);
@@ -48,11 +47,18 @@ fn main() {
     let demand = mask_to_reachable(&graph, &docking_demand(&graph, &field), &station_nodes);
     let bikes = sample_weighted(&demand, 500, 0xB1B1);
     let total_cap: u32 = stations.iter().map(|s| s.capacity).sum();
-    println!("{} stray bikes, {} candidate stations (total capacity {total_cap})\n", bikes.len(), stations.len());
+    println!(
+        "{} stray bikes, {} candidate stations (total capacity {total_cap})\n",
+        bikes.len(),
+        stations.len()
+    );
 
     let instance = McfsInstance::builder(&graph)
         .customers(bikes)
-        .facilities(stations.iter().map(|s| Facility { node: s.node, capacity: s.capacity }))
+        .facilities(stations.iter().map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        }))
         .k(150)
         .build()
         .expect("valid instance");

@@ -39,13 +39,19 @@ fn main() {
     let venues = generate_venues(&graph, 300, 0xCAFE);
     let weights = venue_customer_weights(&graph, &venues, 0.5);
     let coworkers = sample_weighted(&weights, 400, 0xC0C0);
-    let avg_hours =
-        venues.iter().map(|v| v.hours as f64).sum::<f64>() / venues.len() as f64;
-    println!("venues: {} candidates, average {:.1} operational hours\n", venues.len(), avg_hours);
+    let avg_hours = venues.iter().map(|v| v.hours as f64).sum::<f64>() / venues.len() as f64;
+    println!(
+        "venues: {} candidates, average {:.1} operational hours\n",
+        venues.len(),
+        avg_hours
+    );
 
     let instance = McfsInstance::builder(&graph)
         .customers(coworkers)
-        .facilities(venues.iter().map(|v| Facility { node: v.node, capacity: v.hours }))
+        .facilities(venues.iter().map(|v| Facility {
+            node: v.node,
+            capacity: v.hours,
+        }))
         .k(120)
         .build()
         .expect("valid instance");
@@ -54,7 +60,11 @@ fn main() {
     let wma = time("WMA", &Wma::new(), &instance);
     time("UF-WMA", &UniformFirst::new(), &instance);
     time("Hilbert", &HilbertBaseline::new(), &instance);
-    let exact = time("Exact-BB", &BranchAndBound::with_budget(Duration::from_secs(30)), &instance);
+    let exact = time(
+        "Exact-BB",
+        &BranchAndBound::with_budget(Duration::from_secs(30)),
+        &instance,
+    );
 
     if let (Some(w), Some(e)) = (wma, exact) {
         println!(
@@ -69,11 +79,19 @@ fn time(label: &str, solver: &dyn Solver, inst: &McfsInstance) -> Option<u64> {
     match solver.solve(inst) {
         Ok(sol) => {
             inst.verify(&sol).expect("verified");
-            println!("{label:<10} {:>12} {:>12}", sol.objective, format!("{:.2?}", t0.elapsed()));
+            println!(
+                "{label:<10} {:>12} {:>12}",
+                sol.objective,
+                format!("{:.2?}", t0.elapsed())
+            );
             Some(sol.objective)
         }
         Err(e) => {
-            println!("{label:<10} {:>12} {:>12}", format!("({e})"), format!("{:.2?}", t0.elapsed()));
+            println!(
+                "{label:<10} {:>12} {:>12}",
+                format!("({e})"),
+                format!("{:.2?}", t0.elapsed())
+            );
             None
         }
     }

@@ -39,12 +39,20 @@ fn main() {
     // Downtown = nodes near the most central node; suburbs = the rest.
     let center = graph.nodes().next().unwrap();
     let dist = dijkstra_all(&graph, center);
-    let max_d = dist.iter().copied().filter(|&d| d != INF).max().unwrap().max(1);
+    let max_d = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap()
+        .max(1);
 
     // Facilities: 500 fixed candidates with modest capacities.
     let candidates = mcfs_repro::gen::customers::uniform_nodes(&graph, 500, 0xFAC);
-    let facilities: Vec<Facility> =
-        candidates.iter().map(|&node| Facility { node, capacity: 12 }).collect();
+    let facilities: Vec<Facility> = candidates
+        .iter()
+        .map(|&node| Facility { node, capacity: 12 })
+        .collect();
 
     let mut prev: Option<Vec<u32>> = None;
     println!(
@@ -86,13 +94,17 @@ fn main() {
                 let t1 = std::time::Instant::now();
                 let (assignment, objective) =
                     optimal_assignment(&instance, selection).expect("previous F still feasible");
-                let seeded =
-                    Solution { facilities: selection.clone(), assignment, objective };
+                let seeded = Solution {
+                    facilities: selection.clone(),
+                    assignment,
+                    objective,
+                };
                 // Budget the refinement: a warm restart must be cheap.
                 let refined = LocalSearch {
                     neighborhood: 4,
                     max_rounds: 2,
                     time_budget: Some(std::time::Duration::from_millis(400)),
+                    ..LocalSearch::default()
                 }
                 .refine(&instance, &seeded)
                 .expect("refinement succeeds");
@@ -101,7 +113,9 @@ fn main() {
             None => (None, std::time::Duration::ZERO),
         };
         if let Some(w) = &warm {
-            instance.verify(w).unwrap_or_else(|e| panic!("warm verify failed: {e:?}"));
+            instance
+                .verify(w)
+                .unwrap_or_else(|e| panic!("warm verify failed: {e:?}"));
         }
 
         let next = warm
@@ -122,9 +136,18 @@ fn main() {
             epoch,
             cold.objective,
             format!("{cold_t:.1?}"),
-            warm.as_ref().map_or("-".into(), |w| w.objective.to_string()),
-            if warm.is_some() { format!("{warm_t:.1?}") } else { "-".into() },
-            if prev.is_some() { format!("{churn}/50") } else { "-".into() }
+            warm.as_ref()
+                .map_or("-".into(), |w| w.objective.to_string()),
+            if warm.is_some() {
+                format!("{warm_t:.1?}")
+            } else {
+                "-".into()
+            },
+            if prev.is_some() {
+                format!("{churn}/50")
+            } else {
+                "-".into()
+            }
         );
         prev = Some(next.facilities);
     }

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use mcfs_repro::core::Solver;
 use mcfs_repro::gen::customers::uniform_customers;
 use mcfs_repro::gen::synthetic::{generate_synthetic, SyntheticConfig};
-use mcfs_repro::core::Solver;
 use mcfs_repro::prelude::*;
 
 fn main() {
@@ -26,10 +26,11 @@ fn main() {
     let customers = uniform_customers(&graph, 60, 7);
     let instance = McfsInstance::builder(&graph)
         .customers(customers)
-        .facilities(graph.nodes().map(|node| mcfs_repro::core::Facility {
-            node,
-            capacity: 10,
-        }))
+        .facilities(
+            graph
+                .nodes()
+                .map(|node| mcfs_repro::core::Facility { node, capacity: 10 }),
+        )
         .k(8)
         .build()
         .expect("valid instance");
@@ -37,13 +38,25 @@ fn main() {
     // 3. Solve with the Wide Matching Algorithm.
     let wma = Wma::new().solve(&instance).expect("feasible instance");
     instance.verify(&wma).expect("solution verifies end-to-end");
-    println!("WMA   : objective {:>8}  ({} facilities selected)", wma.objective, wma.facilities.len());
+    println!(
+        "WMA   : objective {:>8}  ({} facilities selected)",
+        wma.objective,
+        wma.facilities.len()
+    );
 
     // 4. Compare with the greedy ablation and the Hilbert baseline.
     let naive = WmaNaive::new().solve(&instance).expect("feasible");
-    println!("Naive : objective {:>8}  (+{:.1}% vs WMA)", naive.objective, pct(naive.objective, wma.objective));
+    println!(
+        "Naive : objective {:>8}  (+{:.1}% vs WMA)",
+        naive.objective,
+        pct(naive.objective, wma.objective)
+    );
     let hilbert = HilbertBaseline::new().solve(&instance).expect("feasible");
-    println!("Hilbert: objective {:>7}  (+{:.1}% vs WMA)", hilbert.objective, pct(hilbert.objective, wma.objective));
+    println!(
+        "Hilbert: objective {:>7}  (+{:.1}% vs WMA)",
+        hilbert.objective,
+        pct(hilbert.objective, wma.objective)
+    );
 
     // 5. Where is each customer sent? Print the three longest trips.
     let mut trips: Vec<(usize, u32)> = wma.assignment.iter().copied().enumerate().collect();
@@ -54,7 +67,11 @@ fn main() {
     println!("\nsample assignments (customer node -> facility node):");
     for (i, a) in trips.into_iter().take(3) {
         let f = instance.facilities()[wma.facilities[a as usize] as usize].node;
-        println!("  customer@{:<6} -> facility@{}", instance.customers()[i], f);
+        println!(
+            "  customer@{:<6} -> facility@{}",
+            instance.customers()[i],
+            f
+        );
     }
 }
 

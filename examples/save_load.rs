@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let customers = uniform_customers(&graph, 120, 0x5eed);
         let instance = McfsInstance::builder(&graph)
             .customers(customers)
-            .facilities(graph.nodes().step_by(7).map(|node| Facility { node, capacity: 6 }))
+            .facilities(
+                graph
+                    .nodes()
+                    .step_by(7)
+                    .map(|node| Facility { node, capacity: 6 }),
+            )
             .k(30)
             .build()?;
         let mut file = std::fs::File::create(&inst_path)?;

@@ -1,0 +1,136 @@
+//! The thread knob is a pure performance knob: for every solver in the
+//! workspace, `threads(1)` (the legacy lazy-Dijkstra path), `threads(2)` and
+//! `threads(8)` (the batched oracle path) must produce *byte-identical*
+//! solutions — same facilities, same assignment, same objective, down to the
+//! serialized form.
+
+use mcfs_repro::baselines::{BrnnBaseline, GreedyAddition};
+use mcfs_repro::core::refine::LocalSearch;
+use mcfs_repro::core::{Facility, McfsInstance, Solution, Solver, UniformFirst, Wma, WmaNaive};
+use mcfs_repro::gen::customers::uniform_customers;
+use mcfs_repro::gen::synthetic::{generate_synthetic, SyntheticConfig};
+use mcfs_repro::graph::Graph;
+use mcfs_repro::io::write_solution;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn workload() -> (Graph, Vec<u32>) {
+    // A mid-size synthetic network with clustered customers: big enough that
+    // the solvers run their full machinery (matching iterations, cover
+    // repair, refinement rounds), small enough to solve six ways per test.
+    let g = generate_synthetic(&SyntheticConfig::uniform(150, 2.0, 7));
+    let customers = uniform_customers(&g, 20, 3);
+    (g, customers)
+}
+
+fn instance<'g>(g: &'g Graph, customers: &[u32]) -> McfsInstance<'g> {
+    McfsInstance::builder(g)
+        .customers(customers.iter().copied())
+        .facilities(
+            g.nodes()
+                .step_by(2)
+                .map(|node| Facility { node, capacity: 4 }),
+        )
+        .k(6)
+        .build()
+        .unwrap()
+}
+
+/// Serialize a solution so equality means *byte* equality, not just
+/// `PartialEq` over the struct.
+fn bytes(sol: &Solution) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_solution(&mut buf, sol).unwrap();
+    buf
+}
+
+fn assert_thread_invariant(name: &str, solve: impl Fn(usize) -> Solution) {
+    let reference = solve(THREADS[0]);
+    let reference_bytes = bytes(&reference);
+    for &t in &THREADS[1..] {
+        let sol = solve(t);
+        assert_eq!(reference, sol, "{name}: threads({t}) changed the solution");
+        assert_eq!(
+            reference_bytes,
+            bytes(&sol),
+            "{name}: threads({t}) changed the serialized solution"
+        );
+    }
+}
+
+#[test]
+fn wma_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    assert_thread_invariant("Wma", |t| Wma::new().threads(t).solve(&inst).unwrap());
+}
+
+#[test]
+fn wma_naive_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    assert_thread_invariant("WmaNaive", |t| {
+        WmaNaive::new().threads(t).solve(&inst).unwrap()
+    });
+}
+
+#[test]
+fn uniform_first_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    assert_thread_invariant("UniformFirst", |t| {
+        UniformFirst::new().threads(t).solve(&inst).unwrap()
+    });
+}
+
+#[test]
+fn brnn_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    assert_thread_invariant("Brnn", |t| {
+        BrnnBaseline::new().threads(t).solve(&inst).unwrap()
+    });
+}
+
+#[test]
+fn greedy_addition_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    assert_thread_invariant("Greedy", |t| {
+        GreedyAddition::new().threads(t).solve(&inst).unwrap()
+    });
+}
+
+#[test]
+fn local_search_refinement_is_thread_invariant() {
+    let (g, customers) = workload();
+    let inst = instance(&g, &customers);
+    let base = Wma::new().threads(1).solve(&inst).unwrap();
+    assert_thread_invariant("LocalSearch", |t| {
+        LocalSearch::default()
+            .threads(t)
+            .refine(&inst, &base)
+            .unwrap()
+    });
+}
+
+/// Cross-check on a second, sparser workload where the network is likely
+/// disconnected — the regime where distance ties and `INF` handling differ
+/// most between the lazy and batched substrates.
+#[test]
+fn thread_invariance_holds_on_a_sparse_disconnected_workload() {
+    let g = generate_synthetic(&SyntheticConfig::uniform(120, 1.2, 23));
+    let customers = uniform_customers(&g, 16, 5);
+    let inst = McfsInstance::builder(&g)
+        .customers(customers.iter().copied())
+        .facilities(g.nodes().map(|node| Facility { node, capacity: 3 }))
+        .k(8)
+        .build()
+        .unwrap();
+    assert_thread_invariant("Wma/sparse", |t| {
+        Wma::new().threads(t).solve(&inst).unwrap()
+    });
+    assert_thread_invariant("Brnn/sparse", |t| {
+        BrnnBaseline::new().threads(t).solve(&inst).unwrap()
+    });
+}

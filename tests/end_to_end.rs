@@ -32,8 +32,11 @@ fn all_solvers_agree_on_feasibility_uniform() {
         .unwrap();
     let mut objectives = Vec::new();
     for solver in lineup() {
-        let sol = solver.solve(&inst).unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
-        inst.verify(&sol).unwrap_or_else(|e| panic!("{} invalid: {e:?}", solver.name()));
+        let sol = solver
+            .solve(&inst)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+        inst.verify(&sol)
+            .unwrap_or_else(|e| panic!("{} invalid: {e:?}", solver.name()));
         objectives.push((solver.name(), sol.objective));
     }
     // WMA is the best heuristic in the lineup on this workload.
@@ -51,7 +54,11 @@ fn clustered_quality_ordering() {
     let customers = uniform_customers(&g, 24, 5);
     let inst = McfsInstance::builder(&g)
         .customers(customers)
-        .facilities(g.nodes().step_by(10).map(|node| Facility { node, capacity: 6 }))
+        .facilities(
+            g.nodes()
+                .step_by(10)
+                .map(|node| Facility { node, capacity: 6 }),
+        )
         .k(6)
         .build()
         .unwrap();
@@ -109,14 +116,21 @@ fn infeasibility_is_uniformly_reported() {
     let customers = uniform_customers(&g, 50, 7);
     let inst = McfsInstance::builder(&g)
         .customers(customers)
-        .facilities(g.nodes().take(30).map(|node| Facility { node, capacity: 1 }))
+        .facilities(
+            g.nodes()
+                .take(30)
+                .map(|node| Facility { node, capacity: 1 }),
+        )
         .k(3) // 3 facilities × capacity 1 < 50 customers
         .build()
         .unwrap();
     for solver in lineup() {
         match solver.solve(&inst) {
             Err(SolveError::Infeasible(_)) => {}
-            other => panic!("{} returned {other:?} on an infeasible instance", solver.name()),
+            other => panic!(
+                "{} returned {other:?} on an infeasible instance",
+                solver.name()
+            ),
         }
     }
 }

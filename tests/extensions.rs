@@ -18,7 +18,11 @@ fn clustered_instance(g: &mcfs_repro::graph::Graph) -> McfsInstance<'_> {
     let customers = uniform_customers(g, 50, 11);
     McfsInstance::builder(g)
         .customers(customers)
-        .facilities(g.nodes().step_by(3).map(|node| Facility { node, capacity: 4 }))
+        .facilities(
+            g.nodes()
+                .step_by(3)
+                .map(|node| Facility { node, capacity: 4 }),
+        )
         .k(15)
         .build()
         .unwrap()
@@ -39,7 +43,9 @@ fn quality_sandwich_on_clustered_workload() {
     inst.verify(&refined).unwrap();
     // The exact run always returns its incumbent (optimal or not); it is an
     // upper bound on the optimum and at least the LB.
-    let bb = BranchAndBound::with_budget(std::time::Duration::from_secs(2)).run(&inst).unwrap();
+    let bb = BranchAndBound::with_budget(std::time::Duration::from_secs(2))
+        .run(&inst)
+        .unwrap();
     assert!(lb <= bb.solution.objective);
     assert!(refined.objective <= wma.objective);
     assert!(lb <= refined.objective as u64);
@@ -64,7 +70,10 @@ fn refinement_is_monotone_and_idempotent() {
     let once = LocalSearch::default().refine(&inst, &base).unwrap();
     let twice = LocalSearch::default().refine(&inst, &once).unwrap();
     assert!(once.objective <= base.objective);
-    assert_eq!(twice.objective, once.objective, "second pass finds nothing new");
+    assert_eq!(
+        twice.objective, once.objective,
+        "second pass finds nothing new"
+    );
 }
 
 /// ALT answers customer→facility distance questions identically to Dijkstra
@@ -105,8 +114,14 @@ fn archive_cycle_preserves_everything() {
     let owned = read_instance(BufReader::new(buf.as_slice())).unwrap();
     let loaded = owned.instance().unwrap();
 
-    let a = LocalSearch::default().wrap(Wma::new()).solve(&inst).unwrap();
-    let b = LocalSearch::default().wrap(Wma::new()).solve(&loaded).unwrap();
+    let a = LocalSearch::default()
+        .wrap(Wma::new())
+        .solve(&inst)
+        .unwrap();
+    let b = LocalSearch::default()
+        .wrap(Wma::new())
+        .solve(&loaded)
+        .unwrap();
     assert_eq!(a, b, "persistence must not perturb the solve");
     loaded.verify(&b).unwrap();
 }

@@ -1,0 +1,172 @@
+//! Cache-correctness suite for the shared distance oracle.
+//!
+//! The contract under test: no matter how queries are interleaved or batched,
+//! and no matter how small the row cache is (evictions included), every
+//! distance the oracle hands out is exactly what a fresh Dijkstra run would
+//! produce — with unreachable nodes reported as `INF`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mcfs_repro::graph::{
+    dijkstra_all, dijkstra_to_targets, multi_source_dijkstra, DistanceOracle, Graph, GraphBuilder,
+    NodeId, INF,
+};
+
+/// Build a graph with `n` nodes from a raw edge list (node ids taken mod `n`,
+/// self-loops dropped). Sparse lists leave the graph disconnected on purpose.
+fn build_graph(n: usize, edges: &[(u32, u32, u64)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        let (u, v) = (u % n as u32, v % n as u32);
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of single-row and batched queries against a
+    /// deliberately tiny cache (0–3 rows, so most states are eviction-heavy)
+    /// always return the fresh-Dijkstra row, including on disconnected
+    /// graphs where missing nodes must come back as `INF`.
+    #[test]
+    fn interleaved_queries_match_fresh_dijkstra(
+        n in 2usize..=24,
+        edges in vec((0u32..24, 0u32..24, 1u64..=50), 0..40),
+        batches in vec(vec(0u32..24, 1..6), 1..8),
+        cache_rows in 0usize..=3,
+        threads in 1usize..=4,
+    ) {
+        let g = build_graph(n, &edges);
+        let oracle = DistanceOracle::new().with_threads(threads).with_cache_rows(cache_rows);
+        for batch in &batches {
+            let sources: Vec<NodeId> = batch.iter().map(|&s| s % n as u32).collect();
+            let rows = oracle.distances_for_sources(&g, &sources);
+            prop_assert_eq!(rows.len(), sources.len());
+            for (&s, row) in sources.iter().zip(&rows) {
+                let fresh = dijkstra_all(&g, s);
+                prop_assert_eq!(row.as_slice(), fresh.as_slice());
+            }
+            // Re-query one source through the scalar path: same row again,
+            // whether it survived in cache or gets recomputed post-eviction.
+            let s = sources[0];
+            let (again, fresh) = (oracle.row(&g, s), dijkstra_all(&g, s));
+            prop_assert_eq!(again.as_slice(), fresh.as_slice());
+        }
+        let st = oracle.stats();
+        prop_assert_eq!(st.capacity, cache_rows);
+        prop_assert!(st.cached_rows <= cache_rows);
+    }
+
+    /// The derived views (point queries, target projections, multi-source
+    /// envelopes) agree with their eager single-shot counterparts.
+    #[test]
+    fn derived_views_match_eager_counterparts(
+        n in 2usize..=20,
+        edges in vec((0u32..20, 0u32..20, 1u64..=30), 0..30),
+        sources in vec(0u32..20, 1..5),
+        targets in vec(0u32..20, 1..5),
+    ) {
+        let g = build_graph(n, &edges);
+        let sources: Vec<NodeId> = sources.iter().map(|&s| s % n as u32).collect();
+        let targets: Vec<NodeId> = targets.iter().map(|&t| t % n as u32).collect();
+        let oracle = DistanceOracle::new().with_threads(2);
+
+        let (env, owner) = oracle.multi_source(&g, &sources);
+        let (env_ref, owner_ref) = multi_source_dijkstra(&g, &sources);
+        prop_assert_eq!(env, env_ref);
+        prop_assert_eq!(owner, owner_ref);
+
+        for &s in &sources {
+            prop_assert_eq!(
+                oracle.to_targets(&g, s, &targets),
+                dijkstra_to_targets(&g, s, &targets)
+            );
+            for &t in &targets {
+                prop_assert_eq!(oracle.distance(&g, s, t), dijkstra_all(&g, s)[t as usize]);
+            }
+        }
+    }
+}
+
+/// Explicit disconnected-graph check: rows across components are `INF`, and
+/// the cached copy of a row stays correct after unrelated queries evict and
+/// refill the cache around it.
+#[test]
+fn disconnected_components_report_inf_through_the_cache() {
+    // Two components: {0,1,2} and {3,4}.
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1, 4);
+    b.add_edge(1, 2, 4);
+    b.add_edge(3, 4, 7);
+    let g = b.build();
+
+    let oracle = DistanceOracle::new().with_threads(2).with_cache_rows(2);
+    let rows = oracle.distances_for_sources(&g, &[0, 3]);
+    assert_eq!(rows[0].as_slice(), &[0, 4, 8, INF, INF]);
+    assert_eq!(rows[1].as_slice(), &[INF, INF, INF, 0, 7]);
+    assert_eq!(oracle.distance(&g, 0, 4), INF);
+    assert_eq!(oracle.distance(&g, 4, 4), 0);
+
+    // Churn the 2-row cache with every other source, then re-read row 0.
+    for s in [1u32, 2, 4, 3, 2, 1] {
+        oracle.row(&g, s);
+    }
+    assert_eq!(oracle.row(&g, 0).as_slice(), &[0, 4, 8, INF, INF]);
+
+    let st = oracle.stats();
+    assert!(
+        st.evictions > 0,
+        "2-row cache over 5 sources must evict: {st:?}"
+    );
+    assert!(st.misses >= 5);
+}
+
+/// Duplicate sources inside one batch hit the same computation and come back
+/// in input order, once per occurrence.
+#[test]
+fn duplicate_sources_in_a_batch_are_deduplicated_but_replayed_in_order() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, 2);
+    b.add_edge(1, 2, 3);
+    b.add_edge(2, 3, 5);
+    let g = b.build();
+
+    let oracle = DistanceOracle::new().with_threads(4);
+    let rows = oracle.distances_for_sources(&g, &[2, 0, 2, 0, 2]);
+    assert_eq!(rows.len(), 5);
+    for (i, &s) in [2u32, 0, 2, 0, 2].iter().enumerate() {
+        assert_eq!(
+            rows[i].as_slice(),
+            dijkstra_all(&g, s).as_slice(),
+            "slot {i}"
+        );
+    }
+    // Only two distinct Dijkstra expansions ran.
+    assert_eq!(oracle.stats().misses, 2);
+    // All five slots plus the duplicates resolved from at most two rows.
+    assert!(std::sync::Arc::ptr_eq(&rows[0], &rows[2]));
+    assert!(std::sync::Arc::ptr_eq(&rows[1], &rows[3]));
+}
+
+/// A zero-capacity cache still answers correctly — it just never retains.
+#[test]
+fn zero_capacity_cache_disables_retention_not_correctness() {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, 1);
+    b.add_edge(1, 2, 1);
+    let g = b.build();
+
+    let oracle = DistanceOracle::new().with_cache_rows(0);
+    for _ in 0..3 {
+        assert_eq!(oracle.row(&g, 0).as_slice(), &[0, 1, 2]);
+    }
+    let st = oracle.stats();
+    assert_eq!(st.cached_rows, 0);
+    assert_eq!(st.hits, 0, "nothing can hit a zero-row cache");
+    assert_eq!(st.misses, 3);
+}

@@ -1,0 +1,198 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the benchmarking API surface it uses: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then runs batches until the measurement time elapses (minimum
+//! `sample_size` batches) and reports min / median / mean iteration time
+//! on stdout. No statistical outlier analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    /// Measured iteration times, one entry per `iter` batch element.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per invocation.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.iters_per_sample {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Measurement backends (only wall time is provided).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c, M = measurement::WallTime> {
+    name: String,
+    config: GroupConfig,
+    _parent: &'c mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of recorded samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), &self.config, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, config: &GroupConfig, f: &mut F) {
+    // Warm-up: run until the warm-up budget is spent.
+    let warm_until = Instant::now() + config.warm_up_time;
+    while Instant::now() < warm_until {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            break; // closure never called iter(); nothing to time
+        }
+    }
+
+    // Measurement: batches of `iter` calls until the time budget is spent,
+    // with at least `sample_size` samples collected.
+    let mut samples: Vec<Duration> = Vec::new();
+    let measure_until = Instant::now() + config.measurement_time;
+    while samples.len() < config.sample_size
+        || (Instant::now() < measure_until && samples.len() < 10_000)
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            break;
+        }
+        samples.extend(b.samples);
+        if Instant::now() >= measure_until && samples.len() >= config.sample_size {
+            break;
+        }
+    }
+
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{label:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Benchmark registry and entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: GroupConfig::default(),
+            _parent: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark with default configuration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, &GroupConfig::default(), &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

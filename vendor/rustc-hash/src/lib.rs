@@ -1,0 +1,119 @@
+//! Minimal vendored stand-in for the `rustc-hash` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the handful of external crates it needs. This one
+//! provides the `Fx` multiply-rotate hasher and the `FxHashMap` /
+//! `FxHashSet` aliases with the same API surface the workspace uses.
+//! It is an independent implementation of the well-known FxHash scheme
+//! (multiply by a 64-bit constant derived from the golden ratio, fold
+//! input words in with rotate + xor), not a copy of the upstream crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the fast non-cryptographic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast non-cryptographic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasherDefault` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit constant from the fractional part of the golden ratio, the
+/// classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const ROTATE: u32 = 26;
+
+/// Fast, deterministic, non-cryptographic hasher (FxHash scheme).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.fold(n as u64);
+        self.fold((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world");
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello worle");
+        assert_ne!(a.finish(), c.finish());
+    }
+}
