@@ -1,0 +1,128 @@
+//! Criterion benches for the `ReSolver` delta-update engine on the bikes
+//! workload: a docking-demand instance is solved once, then a small edit
+//! script (a few commuter arrivals/departures and a rack capacity tweak)
+//! is re-solved cold versus warm. The warm path re-runs the deterministic
+//! selection phase but keeps the oracle's row cache and warm-starts the
+//! final matching from the surviving assignment; asserts outside the
+//! timing loops pin the cost-equality invariant so the bench cannot
+//! silently drift into measuring two different answers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcfs::{Edit, Facility, McfsInstance, ReSolver, Solver, Wma};
+use mcfs_gen::bikes::{docking_demand, generate_flow_field, generate_stations};
+use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_gen::customers::{mask_to_reachable, sample_weighted};
+use mcfs_graph::{DistanceOracle, Graph, NodeId};
+
+struct BikesWorld {
+    graph: Graph,
+    customers: Vec<NodeId>,
+    stations: Vec<Facility>,
+    k: usize,
+    script: Vec<Edit>,
+}
+
+fn bikes_world() -> BikesWorld {
+    let spec = CitySpec {
+        name: "resolve-bench-city",
+        target_nodes: 900,
+        style: CityStyle::Grid,
+        avg_edge_len: 80.0,
+        seed: 20260807,
+    };
+    let graph = generate_city(&spec);
+    let stations: Vec<Facility> = generate_stations(&graph, 40, 7)
+        .into_iter()
+        .map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
+    let field = generate_flow_field(&graph, 11);
+    let demand = docking_demand(&graph, &field);
+    let anchors: Vec<NodeId> = stations.iter().map(|f| f.node).collect();
+    let weights = mask_to_reachable(&graph, &demand, &anchors);
+    let customers = sample_weighted(&weights, 160, 41);
+
+    // A morning micro-shift: 4 departures, 4 arrivals, one rack retuned.
+    let arrivals = sample_weighted(&weights, 4, 17);
+    let mut script: Vec<Edit> = (0..4)
+        .map(|i| Edit::RemoveCustomer { index: i * 29 })
+        .collect();
+    script.extend(arrivals.iter().map(|&node| Edit::AddCustomer { node }));
+    script.push(Edit::SetCapacity {
+        index: 3,
+        capacity: stations[3].capacity + 2,
+    });
+    BikesWorld {
+        graph,
+        customers,
+        stations,
+        k: 20,
+        script,
+    }
+}
+
+impl BikesWorld {
+    fn instance(&self) -> McfsInstance<'_> {
+        McfsInstance::builder(&self.graph)
+            .customers(self.customers.iter().copied())
+            .facilities(self.stations.iter().copied())
+            .k(self.k)
+            .build()
+            .unwrap()
+    }
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let world = bikes_world();
+    let inst = world.instance();
+
+    // Invariant check outside the timing loop: the warm re-solve must cost
+    // exactly what a cold solve of the edited instance costs.
+    let mut rs = ReSolver::new(&inst, Wma::new());
+    rs.solve().unwrap();
+    rs.apply(&world.script).unwrap();
+    let warm_run = rs.solve().unwrap();
+    let cold_ref = Wma::new().solve(&rs.instance()).unwrap();
+    assert_eq!(warm_run.solution.objective, cold_ref.objective);
+
+    let mut g = c.benchmark_group("resolve_bikes");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    // Cold: a fresh solver and a fresh oracle per edit cycle — what a
+    // stateless deployment pays for every re-plan.
+    g.bench_function("cold_resolve", |b| {
+        b.iter(|| {
+            let mut rs = ReSolver::new(
+                &inst,
+                Wma::new().with_oracle(Arc::new(DistanceOracle::new().with_threads(2))),
+            );
+            rs.apply(&world.script).unwrap();
+            std::hint::black_box(rs.solve().unwrap().solution.objective)
+        })
+    });
+
+    // Warm: one long-lived engine; each iteration applies the shift and
+    // its inverse-shape follow-up, re-solving warm both times.
+    g.bench_function("warm_resolve", |b| {
+        let mut rs = ReSolver::new(&inst, Wma::new());
+        rs.solve().unwrap();
+        b.iter(|| {
+            rs.apply(&world.script).unwrap();
+            let a = rs.solve().unwrap().solution.objective;
+            std::hint::black_box(a)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_resolve);
+criterion_main!(benches);

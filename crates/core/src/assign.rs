@@ -13,11 +13,14 @@ use mcfs_graph::{DistanceOracle, NodeId};
 use rustc_hash::FxHashMap;
 
 use crate::instance::McfsInstance;
-use crate::streams::{CustomerStream, NetworkStream};
+use crate::streams::{CustomerStream, FacilityMap, NetworkStream};
 use crate::SolveError;
 
 /// Map node → positions-within-`selection` for the selected facilities.
-fn selection_map(inst: &McfsInstance, selection: &[u32]) -> Rc<FxHashMap<NodeId, Vec<u32>>> {
+pub(crate) fn selection_map(
+    inst: &McfsInstance,
+    selection: &[u32],
+) -> Rc<FxHashMap<NodeId, Vec<u32>>> {
     let mut map: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
     for (pos, &j) in selection.iter().enumerate() {
         let node = inst.facilities()[j as usize].node;
@@ -49,19 +52,41 @@ pub fn optimal_assignment_with(
     selection: &[u32],
     oracle: Option<&DistanceOracle>,
 ) -> Result<(Vec<u32>, u64), SolveError> {
+    let (mut matcher, _) = assignment_matcher(inst, selection, oracle);
+    complete_assignment(&mut matcher, inst.num_customers())
+}
+
+/// Build (but do not run) the final-assignment matcher for `selection`:
+/// one stream per customer over the selected facilities, unit demands.
+/// Returns the matcher together with the node→selection-positions map so
+/// warm callers ([`crate::ReSolver`]) can mint streams for later arrivals.
+pub(crate) fn assignment_matcher<'g>(
+    inst: &McfsInstance<'g>,
+    selection: &[u32],
+    oracle: Option<&DistanceOracle>,
+) -> (Matcher<CustomerStream<'g>>, FacilityMap) {
     let caps: Vec<u32> = selection
         .iter()
         .map(|&j| inst.facilities()[j as usize].capacity)
         .collect();
     let map = selection_map(inst, selection);
-    let streams = CustomerStream::for_customers(inst.graph(), inst.customers(), map, oracle);
-    let mut matcher = Matcher::new(streams, caps);
-    for i in 0..inst.num_customers() {
+    let streams =
+        CustomerStream::for_customers(inst.graph(), inst.customers(), Rc::clone(&map), oracle);
+    (Matcher::new(streams, caps), map)
+}
+
+/// Drive an assignment matcher to completion: one `find_pair` per customer
+/// `0..m`, then extract the dense assignment and total cost.
+pub(crate) fn complete_assignment<S: EdgeStream>(
+    matcher: &mut Matcher<S>,
+    m: usize,
+) -> Result<(Vec<u32>, u64), SolveError> {
+    for i in 0..m {
         matcher
             .find_pair(i)
             .map_err(|_| SolveError::AssignmentFailed { customer: i })?;
     }
-    let assignment = (0..inst.num_customers())
+    let assignment = (0..m)
         .map(|i| matcher.matches_of(i).next().expect("matched above").0)
         .collect();
     Ok((assignment, matcher.total_cost()))

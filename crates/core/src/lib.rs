@@ -51,6 +51,7 @@ pub mod instance;
 pub mod naive;
 pub mod parallel;
 pub mod refine;
+pub mod resolve;
 pub mod stats;
 pub mod streams;
 pub mod uniform_first;
@@ -61,6 +62,7 @@ pub use instance::{
 };
 pub use naive::WmaNaive;
 pub use parallel::{effective_threads, resolve_oracle};
+pub use resolve::{Edit, EditError, ReSolveRun, ReSolver};
 pub use stats::SolveStats;
 pub use uniform_first::UniformFirst;
 pub use wma::{DemandPolicy, TieBreak, Wma, WmaRun};

@@ -80,6 +80,15 @@ pub struct SolveStats {
     /// Distance-oracle row-cache misses (fresh Dijkstra expansions) during
     /// this run.
     pub cache_misses: u64,
+    /// Nodes the oracle settled computing missed rows during this run. Zero
+    /// on the legacy lazy path (no oracle) and near-zero for warm re-solves
+    /// that find their rows already cached.
+    pub oracle_nodes_settled: u64,
+    /// Matcher augmentations performed across the run's matching phases
+    /// (selection loop plus final assignment). A warm-started re-solve pays
+    /// one augmentation per *arriving* customer in its assignment phase
+    /// instead of one per customer.
+    pub augmentations: u64,
 }
 
 impl SolveStats {
@@ -119,6 +128,7 @@ impl SolveStats {
     pub fn record_oracle(&mut self, before: &OracleStats, after: &OracleStats) {
         self.cache_hits += after.hits.saturating_sub(before.hits);
         self.cache_misses += after.misses.saturating_sub(before.misses);
+        self.oracle_nodes_settled += after.nodes_settled.saturating_sub(before.nodes_settled);
     }
 }
 
@@ -159,14 +169,17 @@ mod tests {
         let before = OracleStats {
             hits: 2,
             misses: 1,
+            nodes_settled: 100,
             ..Default::default()
         };
         let after = OracleStats {
             hits: 10,
             misses: 4,
+            nodes_settled: 460,
             ..Default::default()
         };
         s.record_oracle(&before, &after);
         assert_eq!((s.cache_hits, s.cache_misses), (8, 3));
+        assert_eq!(s.oracle_nodes_settled, 360);
     }
 }

@@ -26,11 +26,11 @@ use std::time::{Duration, Instant};
 use mcfs_flow::{Matcher, PruningRule};
 use mcfs_graph::DistanceOracle;
 
-use crate::assign::optimal_assignment_with;
+use crate::assign::{assignment_matcher, complete_assignment};
 use crate::components::{capacity_suffices, cover_components};
 use crate::cover::check_cover;
 use crate::greedy_add::select_greedy;
-use crate::instance::{McfsInstance, Solution};
+use crate::instance::{FeasibilityReport, McfsInstance, Solution};
 use crate::parallel::resolve_oracle;
 use crate::stats::{IterationStats, RunStats, SolveStats};
 use crate::streams::CustomerStream;
@@ -133,13 +133,53 @@ impl Wma {
     /// Run WMA, returning the solution and the instrumentation trace.
     pub fn run(&self, inst: &McfsInstance) -> Result<WmaRun, SolveError> {
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
-        let m = inst.num_customers();
-        let l = inst.num_facilities();
-        let k = inst.k();
-
         let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
         let mut solve_stats = SolveStats::for_threads(oracle.as_ref().map_or(1, |o| o.threads()));
         let oracle_before = oracle.as_ref().map(|o| o.stats());
+
+        let (selection, stats) =
+            self.select_facilities(inst, oracle.as_deref(), &feas, &mut solve_stats)?;
+
+        // --- Final optimal assignment onto F (lines 14–15). ---
+        let t_assign = Instant::now();
+        let (mut matcher, _) = assignment_matcher(inst, &selection, oracle.as_deref());
+        let (assignment, objective) = complete_assignment(&mut matcher, inst.num_customers())?;
+        solve_stats.augmentations += matcher.augmentations();
+        solve_stats.add_phase("assignment", t_assign.elapsed());
+        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
+            solve_stats.record_oracle(before, &o.stats());
+        }
+        Ok(WmaRun {
+            solution: Solution {
+                facilities: selection,
+                assignment,
+                objective,
+            },
+            stats,
+            solve_stats,
+        })
+    }
+
+    /// The deterministic facility-selection phase of Algorithm 1: prefetch,
+    /// the matching/cover/demand main loop, and the closing provisions
+    /// (`SelectGreedy` + `CoverComponents`). Shared verbatim by
+    /// [`run`](Self::run) and the warm [`crate::ReSolver`] path — re-solving
+    /// re-derives the selection with *identical* code on the edited
+    /// instance, which is what makes warm and cold solutions provably agree.
+    ///
+    /// Phase timings and matcher augmentations are recorded into
+    /// `solve_stats`; the per-iteration trace is returned (empty unless
+    /// `collect_stats`).
+    pub(crate) fn select_facilities(
+        &self,
+        inst: &McfsInstance,
+        oracle: Option<&DistanceOracle>,
+        feas: &FeasibilityReport,
+        solve_stats: &mut SolveStats,
+    ) -> Result<(Vec<u32>, RunStats), SolveError> {
+        let m = inst.num_customers();
+        let l = inst.num_facilities();
+        let k = inst.k();
 
         // Stream construction is the prefetch phase: with an oracle it pays
         // for (or reuses) every customer's distance row in one batched
@@ -147,12 +187,8 @@ impl Wma {
         // paid lazily inside the matching phase instead.
         let t_prefetch = Instant::now();
         let fac_map = Rc::new(inst.facilities_by_node());
-        let streams = CustomerStream::for_customers(
-            inst.graph(),
-            inst.customers(),
-            fac_map,
-            oracle.as_deref(),
-        );
+        let streams =
+            CustomerStream::for_customers(inst.graph(), inst.customers(), fac_map, oracle);
         let mut matcher = Matcher::with_pruning(streams, inst.capacities(), self.pruning);
         solve_stats.add_phase("prefetch", t_prefetch.elapsed());
 
@@ -233,6 +269,7 @@ impl Wma {
 
         solve_stats.add_phase("matching", total_matching);
         solve_stats.add_phase("cover", total_cover);
+        solve_stats.augmentations += matcher.augmentations();
 
         // --- Special provisions (lines 10–13). ---
         let t_prov = Instant::now();
@@ -244,22 +281,7 @@ impl Wma {
         }
         solve_stats.add_phase("provisions", t_prov.elapsed());
 
-        // --- Final optimal assignment onto F (lines 14–15). ---
-        let t_assign = Instant::now();
-        let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
-        solve_stats.add_phase("assignment", t_assign.elapsed());
-        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
-            solve_stats.record_oracle(before, &o.stats());
-        }
-        Ok(WmaRun {
-            solution: Solution {
-                facilities: selection,
-                assignment,
-                objective,
-            },
-            stats,
-            solve_stats,
-        })
+        Ok((selection, stats))
     }
 }
 

@@ -77,6 +77,10 @@ struct CustomerState<S> {
     /// Number of used edges (= facilities this customer is matched to).
     matched: u32,
     potential: u64,
+    /// Detached by [`Matcher::remove_customer`]; holds no flow and must not
+    /// be passed to `find_pair` again. The slot stays allocated so other
+    /// customers' indices remain stable.
+    removed: bool,
 }
 
 struct FacilityState {
@@ -133,6 +137,8 @@ pub struct Matcher<S> {
     dijkstra_runs: u64,
     /// Statistics: edges pulled from streams into `G_b`.
     edges_added: u64,
+    /// Statistics: successful augmentations (units of flow committed).
+    augmentations: u64,
     pruning: PruningRule,
 }
 
@@ -149,19 +155,7 @@ impl<S: EdgeStream> Matcher<S> {
     pub fn with_pruning(streams: Vec<S>, capacities: Vec<u32>, pruning: PruningRule) -> Self {
         let m = streams.len();
         let l = capacities.len();
-        let customers = streams
-            .into_iter()
-            .map(|stream| CustomerState {
-                stream,
-                lookahead: None,
-                exhausted: false,
-                last_cost: 0,
-                edges: Vec::new(),
-                edge_index: FxHashMap::default(),
-                matched: 0,
-                potential: 0,
-            })
-            .collect();
+        let customers = streams.into_iter().map(Self::fresh_customer).collect();
         let facilities = capacities
             .into_iter()
             .map(|capacity| FacilityState {
@@ -181,7 +175,22 @@ impl<S: EdgeStream> Matcher<S> {
             version: 0,
             dijkstra_runs: 0,
             edges_added: 0,
+            augmentations: 0,
             pruning,
+        }
+    }
+
+    fn fresh_customer(stream: S) -> CustomerState<S> {
+        CustomerState {
+            stream,
+            lookahead: None,
+            exhausted: false,
+            last_cost: 0,
+            edges: Vec::new(),
+            edge_index: FxHashMap::default(),
+            matched: 0,
+            potential: 0,
+            removed: false,
         }
     }
 
@@ -238,6 +247,107 @@ impl<S: EdgeStream> Matcher<S> {
     /// Number of `G_b` edges materialized so far (the paper's |E'|).
     pub fn edges_added(&self) -> u64 {
         self.edges_added
+    }
+
+    /// Number of successful augmentations (units of flow committed) so far.
+    pub fn augmentations(&self) -> u64 {
+        self.augmentations
+    }
+
+    /// Whether customer `i` has been detached by
+    /// [`remove_customer`](Self::remove_customer).
+    pub fn is_removed(&self, i: usize) -> bool {
+        self.customers[i].removed
+    }
+
+    /// Append a new customer fed by `stream`; returns its index.
+    ///
+    /// The newcomer starts unmatched at zero potential, so every dual
+    /// invariant (nonnegative reduced costs on known *and* undiscovered
+    /// edges) holds trivially for it and the matching stays optimal for the
+    /// unchanged demand vector. A subsequent [`find_pair`](Self::find_pair)
+    /// folds it in incrementally.
+    pub fn push_customer(&mut self, stream: S) -> usize {
+        let i = self.customers.len();
+        self.customers.push(Self::fresh_customer(stream));
+        // Facility scratch slots shift from `m..m+l` to `m+1..m+1+l`;
+        // rebuild the versioned arrays. Stale stamps are harmless: searches
+        // pre-increment `version`, so a zero stamp never reads as fresh.
+        let n = self.customers.len() + self.facilities.len();
+        self.dist = vec![0; n];
+        self.parent = vec![u32::MAX; n];
+        self.stamp = vec![0; n];
+        i
+    }
+
+    /// Detach customer `i`: every unit of flow it holds is released (loads
+    /// and total cost drop accordingly) and the slot is tombstoned.
+    ///
+    /// Potentials are untouched, which keeps all remaining reduced costs
+    /// nonnegative — but facilities that regain slack here may hold nonzero
+    /// potentials, in which case the surviving matching is *not* necessarily
+    /// optimal for the reduced demands (see
+    /// [`slack_is_free`](Self::slack_is_free) for the certificate).
+    ///
+    /// Idempotent; panics only if `i` is out of range.
+    pub fn remove_customer(&mut self, i: usize) {
+        for ei in 0..self.customers[i].edges.len() {
+            let (used, j, w) = {
+                let e = &self.customers[i].edges[ei];
+                (e.used, e.facility as usize, e.cost)
+            };
+            if !used {
+                continue;
+            }
+            self.customers[i].edges[ei].used = false;
+            let pos = self.facilities[j]
+                .holders
+                .iter()
+                .position(|&(c, _)| c as usize == i)
+                .expect("holder entry missing during removal");
+            self.facilities[j].holders.swap_remove(pos);
+            self.total_cost -= w;
+        }
+        let c = &mut self.customers[i];
+        c.matched = 0;
+        c.removed = true;
+        c.lookahead = None;
+        c.exhausted = true;
+    }
+
+    /// Change facility `j`'s capacity. Panics if the new capacity is below
+    /// the facility's current load — callers must rebuild (or shed load)
+    /// instead, since the matcher never revokes committed flow on its own.
+    pub fn set_capacity(&mut self, j: usize, capacity: u32) {
+        assert!(
+            self.facilities[j].holders.len() <= capacity as usize,
+            "capacity {capacity} below current load {} of facility {j}",
+            self.facilities[j].holders.len()
+        );
+        self.facilities[j].capacity = capacity;
+    }
+
+    /// Warm-start certificate: `true` iff every facility with spare capacity
+    /// sits at zero potential.
+    ///
+    /// `find_pair` maintains this on its own (the nearest free facility is
+    /// always the augmentation target, and only nodes strictly closer than
+    /// the target gain potential), so on a matcher driven purely by
+    /// `find_pair` this always holds. After external surgery —
+    /// [`remove_customer`](Self::remove_customer) or a capacity increase —
+    /// it can fail, and when it fails the surviving matching may admit a
+    /// negative residual cycle through the implicit sink (a customer parked
+    /// on a far facility while a freed near one has slack). When it holds,
+    /// the current matching is minimum-cost for the current demand vector
+    /// over the *complete* bipartite graph: reduced costs are nonnegative on
+    /// known edges (maintained invariant), on undiscovered edges (each
+    /// customer's potential never exceeds its next stream cost, by the
+    /// Theorem-1 threshold), and on implicit sink arcs (zero slack
+    /// potentials admit a zero sink potential).
+    pub fn slack_is_free(&self) -> bool {
+        self.facilities
+            .iter()
+            .all(|f| f.holders.len() >= f.capacity as usize || f.potential == 0)
     }
 
     /// Make sure customer `i`'s lookahead holds the next *new* candidate
@@ -300,6 +410,10 @@ impl<S: EdgeStream> Matcher<S> {
     /// match count as its demand) is minimum-cost over the *complete*
     /// bipartite graph, per Theorem 1.
     pub fn find_pair(&mut self, customer: usize) -> Result<usize, MatcherError> {
+        assert!(
+            !self.customers[customer].removed,
+            "find_pair on removed customer {customer}"
+        );
         let m = self.customers.len();
         loop {
             // Shortest-path search over the currently known residual graph.
@@ -459,6 +573,7 @@ impl<S: EdgeStream> Matcher<S> {
     /// Flip the edges of the found augmenting path and update potentials
     /// (paper Algorithm 2, lines 13–17).
     fn apply_augmentation(&mut self, source: usize, dt: u64, t: u32, m: usize) {
+        self.augmentations += 1;
         // Potentials: π_v += δ(t) − min(δ(v), δ(t)) over touched nodes.
         // Unsettled touched nodes have δ(v) ≥ δ(t), so only strictly closer
         // nodes move — exactly line 17 of Algorithm 2.
@@ -695,6 +810,130 @@ mod tests {
         m.find_pair(1).unwrap();
         assert!(m.dijkstra_runs() >= 2);
         assert!(m.edges_added() >= 2);
+        assert_eq!(m.augmentations(), 2);
+    }
+
+    #[test]
+    fn remove_customer_releases_flow() {
+        let rows = vec![vec![3, 7], vec![4, 1]];
+        let mut m = matcher_from_rows(&rows, &[1, 1]);
+        m.find_pair(0).unwrap();
+        m.find_pair(1).unwrap();
+        assert_eq!(m.total_cost(), 4);
+        m.remove_customer(1);
+        assert!(m.is_removed(1));
+        assert_eq!(m.match_count(1), 0);
+        assert_eq!(m.total_cost(), 3);
+        assert_eq!(m.load(0) + m.load(1), 1);
+        // Idempotent.
+        m.remove_customer(1);
+        assert_eq!(m.total_cost(), 3);
+    }
+
+    #[test]
+    fn removal_can_break_optimality_and_certificate_detects_it() {
+        // Customers A,B; facility X (cap 1) free for both, facility Y costs
+        // A:10, B:100. Optimum for both: A→Y, B→X (10). After B leaves, the
+        // survivor A→Y (10) is NOT optimal for A alone (A→X costs 0): X
+        // regains slack while carrying the nonzero potential that justified
+        // parking A on Y. `slack_is_free` must report the hazard.
+        let rows = vec![vec![0, 10], vec![0, 100]];
+        let mut m = matcher_from_rows(&rows, &[1, 1]);
+        m.find_pair(0).unwrap();
+        m.find_pair(1).unwrap();
+        assert_eq!(m.total_cost(), 10);
+        assert!(m.slack_is_free(), "fully driven by find_pair");
+        m.remove_customer(1);
+        assert_eq!(m.total_cost(), 10, "survivor still parked on Y");
+        assert!(
+            !m.slack_is_free(),
+            "freed facility holds nonzero potential; warm reuse must rebuild"
+        );
+    }
+
+    #[test]
+    fn certified_removal_keeps_optimality_for_arrivals() {
+        // Far-apart customers: removals leave slack only on zero-potential
+        // facilities, so the surviving matching plus incremental arrivals
+        // must equal a cold rebuild.
+        let rows = vec![vec![1, 50], vec![50, 1], vec![2, 49]];
+        let caps = vec![2u32, 2];
+        let mut m = matcher_from_rows(&rows, &caps);
+        for i in 0..3 {
+            m.find_pair(i).unwrap();
+        }
+        m.remove_customer(2);
+        assert!(m.slack_is_free());
+        // Arrival identical to the removed customer, via push.
+        let slot = m.push_customer(VecStream::from_row(&[2, 49]));
+        assert_eq!(slot, 3);
+        m.find_pair(slot).unwrap();
+        let want = brute_min_cost_assignment(&rows, &caps, &[1, 1, 1]).unwrap();
+        assert_eq!(m.total_cost(), want);
+        assert_eq!(m.match_count(slot), 1);
+    }
+
+    #[test]
+    fn set_capacity_bounds_and_slack() {
+        let rows = vec![vec![1, 5], vec![2, 5]];
+        let mut m = matcher_from_rows(&rows, &[2, 1]);
+        m.find_pair(0).unwrap();
+        m.find_pair(1).unwrap();
+        assert_eq!(m.load(0), 2);
+        m.set_capacity(0, 3);
+        assert_eq!(m.capacity(0), 3);
+        m.set_capacity(0, 2); // down to the load is fine
+        assert_eq!(m.capacity(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below current load")]
+    fn set_capacity_below_load_panics() {
+        let rows = vec![vec![1, 5]];
+        let mut m = matcher_from_rows(&rows, &[1, 1]);
+        m.find_pair(0).unwrap();
+        m.set_capacity(0, 0);
+    }
+
+    proptest! {
+        /// Warm continuation after certified removals equals a cold rebuild:
+        /// remove a random subset, and where the certificate holds, push the
+        /// removed customers back and re-augment — the result must match a
+        /// fresh matcher over the same demands.
+        #[test]
+        fn certified_warm_restart_equals_cold(
+            m_cnt in 2usize..6,
+            l_cnt in 1usize..5,
+            costs in proptest::collection::vec(0u64..100, 30),
+            caps in proptest::collection::vec(1u32..4, 5),
+            drop_mask in proptest::collection::vec(proptest::bool::ANY, 6),
+        ) {
+            let rows: Vec<Vec<u64>> = (0..m_cnt)
+                .map(|i| (0..l_cnt).map(|j| costs[(i * 5 + j) % 30]).collect())
+                .collect();
+            let capacities: Vec<u32> = caps[..l_cnt].to_vec();
+            prop_assume!(capacities.iter().sum::<u32>() as usize >= m_cnt);
+            let mut m = matcher_from_rows(&rows, &capacities);
+            for i in 0..m_cnt {
+                m.find_pair(i).unwrap();
+            }
+            let dropped: Vec<usize> =
+                (0..m_cnt).filter(|&i| drop_mask[i]).collect();
+            for &i in &dropped {
+                m.remove_customer(i);
+            }
+            prop_assume!(m.slack_is_free());
+            // Push each dropped customer back and re-match.
+            for &i in &dropped {
+                let slot = m.push_customer(VecStream::from_row(&rows[i]));
+                m.find_pair(slot).unwrap();
+            }
+            let mut cold = matcher_from_rows(&rows, &capacities);
+            for i in 0..m_cnt {
+                cold.find_pair(i).unwrap();
+            }
+            prop_assert_eq!(m.total_cost(), cold.total_cost());
+        }
     }
 
     proptest! {

@@ -106,6 +106,14 @@ impl AltIndex {
         best
     }
 
+    /// Exact shortest-path distance `s → t`, or `None` if unreachable —
+    /// the point-to-point counterpart of
+    /// [`DistanceOracle::try_distance`](crate::DistanceOracle::try_distance).
+    /// No [`INF`] sentinel ever escapes this API.
+    pub fn distance(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.query(g, s, t).map(|(d, _)| d)
+    }
+
     /// Exact shortest-path distance `s → t` via A*, or `None` if
     /// unreachable. Returns the settled-node count alongside the distance
     /// so callers (and benches) can observe the search effort.
@@ -262,6 +270,39 @@ mod tests {
             // Admissibility of the bound against the true distance.
             if oracle[t as usize] != INF {
                 prop_assert!(idx.lower_bound(s, t) <= oracle[t as usize]);
+            }
+        }
+
+        /// ALT agrees with the brute-force Bellman–Ford APSP oracle on
+        /// *every* pair of a random graph — deliberately sparse enough that
+        /// many instances are disconnected, so unreachable pairs exercise
+        /// the `None` contract (never an INF sentinel) in both directions.
+        #[test]
+        fn alt_matches_brute_force_apsp_including_disconnected(
+            n in 2usize..14,
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 1u64..30), 0..10),
+            lm in 1usize..4,
+            seed in 0u32..14,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let want = crate::apsp::apsp_reference(&g);
+            let idx = AltIndex::build(&g, lm, seed % n as u32);
+            for s in 0..n as u32 {
+                for t in 0..n as u32 {
+                    let got = idx.distance(&g, s, t);
+                    if want[s as usize][t as usize] == INF {
+                        prop_assert_eq!(got, None, "{} -> {} should be unreachable", s, t);
+                    } else {
+                        prop_assert_eq!(got, Some(want[s as usize][t as usize]), "{} -> {}", s, t);
+                    }
+                }
             }
         }
     }

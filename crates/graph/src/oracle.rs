@@ -47,6 +47,11 @@ pub struct OracleStats {
     pub misses: u64,
     /// Rows dropped by the FIFO bound.
     pub evictions: u64,
+    /// Total Dijkstra-settled nodes across all cache misses (each computed
+    /// row settles every node reachable from its source). Cache hits settle
+    /// nothing, so this counter is the oracle-side "search effort" a warm
+    /// caller avoids by reusing rows.
+    pub nodes_settled: u64,
     /// Rows currently resident.
     pub cached_rows: usize,
     /// Maximum resident rows.
@@ -71,6 +76,12 @@ impl Fingerprint {
             num_arcs: g.num_arcs(),
         }
     }
+}
+
+/// Settled nodes of a completed one-to-all expansion: Dijkstra settles
+/// exactly the reachable nodes, which are the finite row entries.
+fn settled_in(row: &[Dist]) -> u64 {
+    row.iter().filter(|&&d| d != INF).count() as u64
 }
 
 struct RowCache {
@@ -100,6 +111,7 @@ pub struct DistanceOracle {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    nodes_settled: AtomicU64,
 }
 
 impl std::fmt::Debug for DistanceOracle {
@@ -137,6 +149,7 @@ impl DistanceOracle {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            nodes_settled: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +183,7 @@ impl DistanceOracle {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            nodes_settled: self.nodes_settled.load(Ordering::Relaxed),
             cached_rows: cache.rows.len(),
             capacity: self.capacity,
             threads: self.threads,
@@ -181,6 +195,7 @@ impl DistanceOracle {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.nodes_settled.store(0, Ordering::Relaxed);
     }
 
     /// Drop every cached row (counters are kept).
@@ -238,6 +253,8 @@ impl DistanceOracle {
         // second insert is a no-op overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let row = Arc::new(dijkstra_all(g, source));
+        self.nodes_settled
+            .fetch_add(settled_in(&row), Ordering::Relaxed);
         let mut cache = self.cache.lock().unwrap();
         self.insert_row(&mut cache, source, Arc::clone(&row));
         row
@@ -277,6 +294,10 @@ impl DistanceOracle {
         let computed = par_map_indexed(missing.len(), self.threads, |i| {
             Arc::new(dijkstra_all(g, missing[i]))
         });
+        self.nodes_settled.fetch_add(
+            computed.iter().map(|row| settled_in(row)).sum::<u64>(),
+            Ordering::Relaxed,
+        );
 
         // Phase 3 (under the lock): publish new rows in input order.
         {
@@ -295,8 +316,18 @@ impl DistanceOracle {
     }
 
     /// Distance from `source` to a single `target` (cached-row-backed).
+    /// Unreachable pairs yield the [`INF`] sentinel; prefer
+    /// [`try_distance`](Self::try_distance) for point-to-point queries so
+    /// unreachability is a typed `None` instead of a magic value.
     pub fn distance(&self, g: &Graph, source: NodeId, target: NodeId) -> Dist {
         self.row(g, source)[target as usize]
+    }
+
+    /// Distance from `source` to `target`, or `None` when `target` is
+    /// unreachable — the well-defined point-to-point API.
+    pub fn try_distance(&self, g: &Graph, source: NodeId, target: NodeId) -> Option<Dist> {
+        let d = self.row(g, source)[target as usize];
+        (d != INF).then_some(d)
     }
 
     /// Distances from `source` to each of `targets`, in the order given.
@@ -429,6 +460,31 @@ mod tests {
         let o = DistanceOracle::new();
         o.row(&g1, 0);
         o.row(&g2, 0);
+    }
+
+    #[test]
+    fn settled_nodes_counted_on_misses_only() {
+        let g = sample(); // nodes 0..3 connected, node 4 isolated
+        let o = DistanceOracle::new().with_threads(1);
+        o.row(&g, 0);
+        assert_eq!(o.stats().nodes_settled, 4, "row from 0 settles 0..=3");
+        o.row(&g, 0); // hit: no new settling
+        assert_eq!(o.stats().nodes_settled, 4);
+        o.distances_for_sources(&g, &[0, 1, 4]);
+        // Row 0 cached; rows 1 (settles 4 nodes) and 4 (settles itself).
+        assert_eq!(o.stats().nodes_settled, 4 + 4 + 1);
+        o.reset_stats();
+        assert_eq!(o.stats().nodes_settled, 0);
+    }
+
+    #[test]
+    fn try_distance_is_none_when_unreachable() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(1);
+        assert_eq!(o.try_distance(&g, 0, 3), Some(5));
+        assert_eq!(o.try_distance(&g, 0, 4), None);
+        assert_eq!(o.distance(&g, 0, 4), INF);
+        assert_eq!(o.try_distance(&g, 4, 4), Some(0));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Checkpoints: an instance and its verified solution in one file.
+//!
+//! The dynamic re-solving engine (`mcfs::ReSolver`) is built around long
+//! sessions — solve, edit, re-solve — and a session must survive a process
+//! restart. A checkpoint archives the *current* (post-edit) instance
+//! together with its last solution, so a restarted process can call
+//! `ReSolver::from_solved` and regain the warm-start state without
+//! re-solving from scratch:
+//!
+//! ```text
+//! mcfs-checkpoint v1
+//! mcfs-instance v1
+//! ...
+//! end
+//! mcfs-solution v1
+//! ...
+//! end
+//! end
+//! ```
+//!
+//! The embedded blocks are the ordinary instance and solution formats,
+//! delimited by their own `end` terminators; the outer `end` closes the
+//! checkpoint. [`read_checkpoint`] *verifies* the pair on load — a
+//! checkpoint whose solution does not verify against its instance is
+//! rejected as malformed, never returned for the caller to trip over.
+
+use std::io::{self, BufRead, Write};
+
+use mcfs::{McfsInstance, Solution};
+
+use crate::instance::{read_instance, write_instance, OwnedInstance, ParseError};
+use crate::solution::{read_solution, write_solution};
+
+/// Serialize an instance/solution pair as a checkpoint.
+pub fn write_checkpoint(mut w: impl Write, inst: &McfsInstance, sol: &Solution) -> io::Result<()> {
+    writeln!(w, "mcfs-checkpoint v1")?;
+    write_instance(&mut w, inst)?;
+    write_solution(&mut w, sol)?;
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Parse a checkpoint written by [`write_checkpoint`] and verify that the
+/// solution actually solves the instance. Verification failure is a parse
+/// error: a checkpoint is a claim ("this solution belongs to this
+/// instance"), and a file that cannot back the claim is corrupt.
+pub fn read_checkpoint(mut r: impl BufRead) -> Result<(OwnedInstance, Solution), ParseError> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(malformed(1, "empty file"));
+    }
+    if header.trim() != "mcfs-checkpoint v1" {
+        return Err(malformed(1, format!("bad header {:?}", header.trim_end())));
+    }
+    let owned = read_instance(&mut r)?;
+    let sol = read_solution(&mut r)?;
+    let mut ended = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        match line.trim() {
+            "" => {}
+            "end" => {
+                ended = true;
+                break;
+            }
+            other => return Err(malformed(0, format!("trailing content {other:?}"))),
+        }
+    }
+    if !ended {
+        return Err(malformed(0, "missing outer `end` terminator"));
+    }
+    let inst = owned
+        .instance()
+        .map_err(|e| malformed(0, format!("embedded instance invalid: {e}")))?;
+    inst.verify(&sol)
+        .map_err(|e| malformed(0, format!("checkpoint solution does not verify: {e:?}")))?;
+    drop(inst);
+    Ok((owned, sol))
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs::{ReSolver, Solver, Wma};
+    use mcfs_graph::GraphBuilder;
+
+    fn solved_pair() -> (OwnedInstance, Solution) {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 10 + i as u64);
+        }
+        let g = b.build();
+        let owned = OwnedInstance {
+            graph: g,
+            customers: vec![0, 2, 5, 3],
+            facilities: vec![
+                mcfs::Facility {
+                    node: 1,
+                    capacity: 2,
+                },
+                mcfs::Facility {
+                    node: 4,
+                    capacity: 3,
+                },
+            ],
+            k: 2,
+        };
+        let sol = Wma::new().solve(&owned.instance().unwrap()).unwrap();
+        (owned, sol)
+    }
+
+    #[test]
+    fn round_trip_restores_a_warm_resolver() {
+        let (owned, sol) = solved_pair();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &owned.instance().unwrap(), &sol).unwrap();
+        let (back, back_sol) = read_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(back_sol, sol);
+        assert_eq!(back.customers, owned.customers);
+        assert_eq!(back.facilities, owned.facilities);
+        assert_eq!(back.k, owned.k);
+
+        // The restored pair seeds a ReSolver whose next solve matches a
+        // cold solve of the same instance.
+        let inst = back.instance().unwrap();
+        let mut rs = ReSolver::from_solved(&inst, Wma::new(), &back_sol).unwrap();
+        rs.apply(&[mcfs::Edit::AddCustomer { node: 1 }]).unwrap();
+        let run = rs.solve().unwrap();
+        let cold = Wma::new().solve(&rs.instance()).unwrap();
+        assert_eq!(run.solution.objective, cold.objective);
+    }
+
+    #[test]
+    fn rejects_garbage_and_mismatched_pairs() {
+        let (owned, sol) = solved_pair();
+        let mut good = Vec::new();
+        write_checkpoint(&mut good, &owned.instance().unwrap(), &sol).unwrap();
+        let good = String::from_utf8(good).unwrap();
+
+        // Bad outer header.
+        let err = read_checkpoint("nope\n".as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("bad header"), "{err}");
+        // Truncated: missing the outer end.
+        let cut = good.trim_end().trim_end_matches("end").to_string();
+        let err = read_checkpoint(cut.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("missing outer `end`"), "{err}");
+        // Trailing junk after the solution block.
+        let junk = good.trim_end().trim_end_matches("end").to_string() + "wat\nend\n";
+        let err = read_checkpoint(junk.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("trailing content"), "{err}");
+        // A tampered objective must fail verification on load.
+        let tampered = good.replace(
+            &format!("objective {}", sol.objective),
+            &format!("objective {}", sol.objective + 1),
+        );
+        let err = read_checkpoint(tampered.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("does not verify"), "{err}");
+    }
+}

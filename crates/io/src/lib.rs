@@ -26,8 +26,10 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod instance;
 pub mod solution;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint};
 pub use instance::{read_instance, write_instance, OwnedInstance, ParseError};
 pub use solution::{read_solution, write_solution};

@@ -1,0 +1,95 @@
+//! Golden-instance verification through the `mcfs-io` checkpoint format.
+//!
+//! `tests/data/bikes_small.ckpt` is a committed checkpoint: a small
+//! deterministic bikes-workload instance together with the solution WMA
+//! produced when the file was recorded. The test re-reads it with
+//! [`mcfs_repro::io::read_checkpoint`] — which verifies the solution
+//! against the instance on load — and then re-solves the instance with
+//! today's WMA, asserting the recorded objective is still reproduced
+//! exactly. Any drift in the solver, the matcher, the distance substrate
+//! or the text format shows up here as a diff against a file under version
+//! control.
+//!
+//! Regenerate (after an *intentional* change) with:
+//!
+//! ```text
+//! MCFS_WRITE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use std::fs;
+
+use mcfs_repro::core::{Facility, McfsInstance, ReSolver, Solver, Wma};
+use mcfs_repro::gen::bikes::{docking_demand, generate_flow_field, generate_stations};
+use mcfs_repro::gen::customers::{mask_to_reachable, sample_weighted};
+use mcfs_repro::gen::{generate_city, CitySpec, CityStyle};
+use mcfs_repro::graph::{Graph, NodeId};
+use mcfs_repro::io::{read_checkpoint, write_checkpoint};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/bikes_small.ckpt");
+
+/// The deterministic world the golden file was recorded from.
+fn golden_world() -> (Graph, Vec<NodeId>, Vec<Facility>, usize) {
+    let spec = CitySpec {
+        name: "golden-bikes",
+        target_nodes: 320,
+        style: CityStyle::Grid,
+        avg_edge_len: 90.0,
+        seed: 0x601D,
+    };
+    let g = generate_city(&spec);
+    let stations: Vec<Facility> = generate_stations(&g, 16, 3)
+        .into_iter()
+        .map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
+    let field = generate_flow_field(&g, 5);
+    let demand = docking_demand(&g, &field);
+    let anchors: Vec<NodeId> = stations.iter().map(|f| f.node).collect();
+    let weights = mask_to_reachable(&g, &demand, &anchors);
+    let customers = sample_weighted(&weights, 60, 9);
+    (g, customers, stations, 6)
+}
+
+#[test]
+fn golden_checkpoint_verifies_and_is_reproduced() {
+    let (g, customers, stations, k) = golden_world();
+    let inst = McfsInstance::builder(&g)
+        .customers(customers.iter().copied())
+        .facilities(stations.iter().copied())
+        .k(k)
+        .build()
+        .unwrap();
+
+    if std::env::var("MCFS_WRITE_GOLDEN").is_ok() {
+        let sol = Wma::new().solve(&inst).unwrap();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &inst, &sol).unwrap();
+        fs::write(GOLDEN, &buf).unwrap();
+    }
+
+    // Loading verifies the (instance, solution) pair internally.
+    let text = fs::read(GOLDEN).expect("golden checkpoint missing — see module docs");
+    let (owned, recorded) = read_checkpoint(text.as_slice()).unwrap();
+
+    // The committed instance is byte-reproducible from the generators.
+    let mut regenerated = Vec::new();
+    let fresh_sol = Wma::new().solve(&inst).unwrap();
+    write_checkpoint(&mut regenerated, &inst, &fresh_sol).unwrap();
+    assert_eq!(
+        text, regenerated,
+        "golden checkpoint drifted: generator, solver or io format changed \
+         (regenerate deliberately with MCFS_WRITE_GOLDEN=1 if intended)"
+    );
+
+    // Today's solver reproduces the recorded objective on the loaded copy.
+    let loaded = owned.instance().unwrap();
+    let resolved = Wma::new().solve(&loaded).unwrap();
+    assert_eq!(resolved.objective, recorded.objective);
+
+    // And the checkpoint restores a ReSolver that agrees with a cold solve.
+    let mut rs = ReSolver::from_solved(&loaded, Wma::new(), &recorded).unwrap();
+    let run = rs.solve().unwrap();
+    assert_eq!(run.solution.objective, recorded.objective);
+}

@@ -1,0 +1,388 @@
+//! Metamorphic invariants shared by every solver in the workspace.
+//!
+//! No oracle knows the *right* objective for a heuristic on an arbitrary
+//! instance — but we know how the objective must *transform* when the
+//! instance is transformed. Three relations, checked across all six
+//! solvers (WMA, WMA-Naïve, Uniform-First, BRNN, Greedy-Addition,
+//! Hilbert):
+//!
+//! 1. **Node relabeling** is pure bookkeeping: permuting node ids (and
+//!    carrying coordinates, customers and candidates along) must leave
+//!    every distance-driven solver's objective unchanged. BRNN is the one
+//!    principled exception — its MaxSum argmax ties on *integer attraction
+//!    counts* (ties are common and broken by node id, which relabeling
+//!    permutes by design), so for BRNN the invariant is feasibility, not
+//!    the exact objective.
+//! 2. **Uniform edge scaling** by `c` scales every network distance by `c`
+//!    and nothing else, so each solver's decisions are preserved and its
+//!    objective scales *exactly* linearly.
+//! 3. **Relaxation monotonicity**: adding a candidate or slack capacity
+//!    enlarges the feasible region, so the *optimal* cost never increases —
+//!    checked strictly against the exact solver. Heuristics are *not*
+//!    unconditionally monotone (an extra candidate participates in WMA's
+//!    selection-phase matching and can perturb the selected set for the
+//!    worse — e.g. seed 20 moves plain WMA from 5430 to 6376), so for the
+//!    six heuristics the sound form is conditional: when the returned
+//!    selection is unchanged, the cost must not get worse; when it changed,
+//!    the new solution must still verify.
+//!
+//! Instances are deterministic (seeded LCG) with irregular weights, so
+//! shortest-path ties — which would let relabeling legitimately flip
+//! tie-breaks — are vanishingly unlikely, and the suite is reproducible.
+
+use mcfs_repro::baselines::{BrnnBaseline, GreedyAddition, HilbertBaseline};
+use mcfs_repro::core::{Facility, McfsInstance, Solver, UniformFirst, Wma, WmaNaive};
+use mcfs_repro::exact::enumerate_optimal;
+use mcfs_repro::graph::{Graph, GraphBuilder, NodeId, Point};
+
+/// Deterministic splitmix-style generator; good enough spread for test
+/// workloads without dragging in an RNG dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One owned random world: graph (with coordinates, for the Hilbert
+/// baseline), customers, candidates, budget.
+struct World {
+    graph: Graph,
+    customers: Vec<NodeId>,
+    facilities: Vec<Facility>,
+    k: usize,
+    /// Kept so transforms can rebuild the graph edge-by-edge.
+    edges: Vec<(NodeId, NodeId, u64)>,
+    coords: Vec<Point>,
+}
+
+impl World {
+    fn instance(&self) -> McfsInstance<'_> {
+        McfsInstance::builder(&self.graph)
+            .customers(self.customers.iter().copied())
+            .facilities(self.facilities.iter().copied())
+            .k(self.k)
+            .build()
+            .unwrap()
+    }
+}
+
+fn random_world(seed: u64) -> World {
+    let mut rng = Lcg(seed.wrapping_mul(2654435769).wrapping_add(11));
+    let n = 18 + rng.below(14) as usize;
+    let coords: Vec<Point> = (0..n)
+        .map(|v| {
+            Point::new(
+                (v % 6) as f64 + rng.below(100) as f64 / 150.0,
+                (v / 6) as f64 + rng.below(100) as f64 / 150.0,
+            )
+        })
+        .collect();
+    // A spanning path keeps the world connected; extra chords add route
+    // diversity. Irregular weights keep shortest paths tie-free.
+    let mut edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    for v in 0..n as NodeId - 1 {
+        edges.push((v, v + 1, 101 + rng.below(900) * 2));
+    }
+    for _ in 0..n {
+        let u = rng.below(n as u64) as NodeId;
+        let v = rng.below(n as u64) as NodeId;
+        if u != v {
+            edges.push((u, v, 101 + rng.below(900) * 2));
+        }
+    }
+    let graph = build_graph(&coords, &edges);
+
+    let m = 6 + rng.below(6) as usize;
+    let customers: Vec<NodeId> = (0..m).map(|_| rng.below(n as u64) as NodeId).collect();
+    let l = 4 + rng.below(3) as usize;
+    let facilities: Vec<Facility> = (0..l)
+        .map(|_| Facility {
+            node: rng.below(n as u64) as NodeId,
+            capacity: 2 + rng.below(3) as u32,
+        })
+        .collect();
+    let k = 2 + rng.below(l as u64 - 1) as usize;
+    World {
+        graph,
+        customers,
+        facilities,
+        k,
+        edges,
+        coords,
+    }
+}
+
+fn build_graph(coords: &[Point], edges: &[(NodeId, NodeId, u64)]) -> Graph {
+    let mut b = GraphBuilder::with_coords(coords.to_vec());
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    b.build()
+}
+
+fn solvers() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(Wma::new()),
+        Box::new(WmaNaive::new()),
+        Box::new(UniformFirst::new()),
+        Box::new(BrnnBaseline::new()),
+        Box::new(GreedyAddition::new()),
+        Box::new(HilbertBaseline::new()),
+    ]
+}
+
+const SEEDS: std::ops::Range<u64> = 1..9;
+
+/// Relation 1: a node-relabel permutation changes nothing observable.
+#[test]
+fn node_relabeling_preserves_every_objective() {
+    for seed in SEEDS {
+        let w = random_world(seed);
+        let inst = w.instance();
+
+        // Random permutation perm[v] = new id of old node v.
+        let mut rng = Lcg(seed ^ 0x9e3779b97f4a7c15);
+        let n = w.graph.num_nodes();
+        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+
+        let mut coords = vec![Point::new(0.0, 0.0); n];
+        for v in 0..n {
+            coords[perm[v] as usize] = w.coords[v];
+        }
+        let edges: Vec<(NodeId, NodeId, u64)> = w
+            .edges
+            .iter()
+            .map(|&(u, v, wt)| (perm[u as usize], perm[v as usize], wt))
+            .collect();
+        let relabeled = World {
+            graph: build_graph(&coords, &edges),
+            customers: w.customers.iter().map(|&c| perm[c as usize]).collect(),
+            facilities: w
+                .facilities
+                .iter()
+                .map(|f| Facility {
+                    node: perm[f.node as usize],
+                    capacity: f.capacity,
+                })
+                .collect(),
+            k: w.k,
+            edges,
+            coords,
+        };
+        let rinst = relabeled.instance();
+
+        for solver in solvers() {
+            let a = solver.solve(&inst);
+            let b = solver.solve(&rinst);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    inst.verify(&a).unwrap();
+                    rinst.verify(&b).unwrap();
+                    // BRNN's argmax over integer attraction counts ties
+                    // constantly; ties break by node id, which is exactly
+                    // what a relabeling permutes. Feasibility (asserted
+                    // above) is its invariant; the objective is not.
+                    if solver.name() != "BRNN" {
+                        assert_eq!(
+                            a.objective,
+                            b.objective,
+                            "{} (seed {seed}): relabeling moved the objective",
+                            solver.name()
+                        );
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{} (seed {seed}): feasibility flipped under relabeling: {a:?} vs {b:?}",
+                    solver.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Relation 2: scaling every edge weight by `c` scales every objective by
+/// exactly `c`.
+#[test]
+fn uniform_edge_scaling_scales_objectives_linearly() {
+    const C: u64 = 7;
+    for seed in SEEDS {
+        let w = random_world(seed);
+        let inst = w.instance();
+        let scaled_edges: Vec<(NodeId, NodeId, u64)> =
+            w.edges.iter().map(|&(u, v, wt)| (u, v, wt * C)).collect();
+        let scaled = World {
+            graph: build_graph(&w.coords, &scaled_edges),
+            customers: w.customers.clone(),
+            facilities: w.facilities.clone(),
+            k: w.k,
+            edges: scaled_edges,
+            coords: w.coords.clone(),
+        };
+        let sinst = scaled.instance();
+
+        for solver in solvers() {
+            let a = solver.solve(&inst);
+            let b = solver.solve(&sinst);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.objective * C,
+                        b.objective,
+                        "{} (seed {seed}): objective did not scale linearly",
+                        solver.name()
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{} (seed {seed}): feasibility flipped under scaling: {a:?} vs {b:?}",
+                    solver.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Relation 3a: adding a candidate enlarges the feasible region — the
+/// *optimal* cost never increases (strict, via the exact solver), and a
+/// heuristic whose selection is undisturbed must return the same cost.
+#[test]
+fn extra_candidate_never_increases_cost() {
+    for seed in SEEDS {
+        let w = random_world(seed);
+        let inst = w.instance();
+
+        // Place the extra candidate at the node farthest (by total network
+        // distance) from all customers — the least attractive spot.
+        let far_node = (0..w.graph.num_nodes() as NodeId)
+            .max_by_key(|&v| {
+                let d = mcfs_repro::graph::dijkstra_all(&w.graph, v);
+                w.customers
+                    .iter()
+                    .map(|&c| d[c as usize].min(1 << 40))
+                    .sum::<u64>()
+            })
+            .unwrap();
+        let mut extended = World {
+            graph: build_graph(&w.coords, &w.edges),
+            customers: w.customers.clone(),
+            facilities: w.facilities.clone(),
+            k: w.k,
+            edges: w.edges.clone(),
+            coords: w.coords.clone(),
+        };
+        extended.facilities.push(Facility {
+            node: far_node,
+            capacity: 1,
+        });
+        let einst = extended.instance();
+
+        // The theorem form: the optimum over a superset of candidates can
+        // only improve.
+        if let (Ok(opt), Ok(eopt)) = (enumerate_optimal(&inst), enumerate_optimal(&einst)) {
+            assert!(
+                eopt.objective <= opt.objective,
+                "seed {seed}: extra candidate raised the OPTIMAL cost {} -> {}",
+                opt.objective,
+                eopt.objective
+            );
+        }
+
+        for solver in solvers() {
+            let (Ok(base), Ok(ext)) = (solver.solve(&inst), solver.solve(&einst)) else {
+                continue; // infeasible either way: relation vacuous
+            };
+            einst.verify(&ext).unwrap_or_else(|e| {
+                panic!(
+                    "{} (seed {seed}): invalid extended solution: {e:?}",
+                    solver.name()
+                )
+            });
+            // Same selection ⇒ same assignment procedure on the same set ⇒
+            // same cost. A changed selection is legal for a heuristic (the
+            // new candidate joins the selection-phase matching), and then
+            // only feasibility — asserted above — is guaranteed.
+            if ext.facilities == base.facilities {
+                assert_eq!(
+                    ext.objective,
+                    base.objective,
+                    "{} (seed {seed}): unselected candidate moved cost {} -> {}",
+                    solver.name(),
+                    base.objective,
+                    ext.objective
+                );
+            }
+        }
+    }
+}
+
+/// Relation 3b: slack capacity on the already-selected set enlarges the
+/// feasible region — the optimal cost never increases (strict), and a
+/// heuristic that keeps its selection must not get worse.
+#[test]
+fn slack_capacity_on_selected_set_never_increases_cost() {
+    for seed in SEEDS {
+        let w = random_world(seed);
+        let inst = w.instance();
+        for solver in solvers() {
+            let Ok(base) = solver.solve(&inst) else {
+                continue;
+            };
+            let mut relaxed = World {
+                graph: build_graph(&w.coords, &w.edges),
+                customers: w.customers.clone(),
+                facilities: w.facilities.clone(),
+                k: w.k,
+                edges: w.edges.clone(),
+                coords: w.coords.clone(),
+            };
+            for &j in &base.facilities {
+                relaxed.facilities[j as usize].capacity += 3;
+            }
+            let rinst = relaxed.instance();
+
+            if let (Ok(opt), Ok(ropt)) = (enumerate_optimal(&inst), enumerate_optimal(&rinst)) {
+                assert!(
+                    ropt.objective <= opt.objective,
+                    "seed {seed}: slack capacity raised the OPTIMAL cost {} -> {}",
+                    opt.objective,
+                    ropt.objective
+                );
+            }
+
+            let relaxed_sol = solver
+                .solve(&rinst)
+                .expect("relaxing capacities cannot make a feasible instance infeasible");
+            rinst.verify(&relaxed_sol).unwrap();
+            // Capacities feed WMA's selection-phase demand matching, so a
+            // heuristic may re-select (and legitimately land worse — e.g.
+            // seed 2 moves WMA-Naïve from 6779 to 8208). With the selection
+            // unchanged, extra slack can only help the assignment.
+            if relaxed_sol.facilities == base.facilities {
+                assert!(
+                    relaxed_sol.objective <= base.objective,
+                    "{} (seed {seed}): slack capacity raised cost {} -> {}",
+                    solver.name(),
+                    base.objective,
+                    relaxed_sol.objective
+                );
+            }
+        }
+    }
+}
