@@ -1,0 +1,128 @@
+//! Loadgen for `mcfs-server`: N concurrent sessions, each owned by its own
+//! pre-connected in-process client, each iteration applying the bikes
+//! morning-shift edit script and warm re-solving. Sweeping N ∈ {1, 4, 16}
+//! shows how the worker pool scales across sessions while each session
+//! stays strictly FIFO.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcfs::{Edit, Facility, McfsInstance};
+use mcfs_gen::bikes::{docking_demand, generate_flow_field, generate_stations};
+use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_gen::customers::{mask_to_reachable, sample_weighted};
+use mcfs_graph::{Graph, NodeId};
+use mcfs_io::write_instance;
+use mcfs_server::{Client, OpenKind, ServerConfig, ServerHandle};
+
+struct BikesWorld {
+    graph: Graph,
+    customers: Vec<NodeId>,
+    stations: Vec<Facility>,
+    k: usize,
+    script: Vec<Edit>,
+}
+
+fn bikes_world() -> BikesWorld {
+    let spec = CitySpec {
+        name: "serve-bench-city",
+        target_nodes: 900,
+        style: CityStyle::Grid,
+        avg_edge_len: 80.0,
+        seed: 20260807,
+    };
+    let graph = generate_city(&spec);
+    let stations: Vec<Facility> = generate_stations(&graph, 40, 7)
+        .into_iter()
+        .map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
+    let field = generate_flow_field(&graph, 11);
+    let demand = docking_demand(&graph, &field);
+    let anchors: Vec<NodeId> = stations.iter().map(|f| f.node).collect();
+    let weights = mask_to_reachable(&graph, &demand, &anchors);
+    let customers = sample_weighted(&weights, 160, 41);
+
+    // The resolve bench's morning micro-shift: net-zero customer churn, so
+    // the instance stays the same size across iterations.
+    let arrivals = sample_weighted(&weights, 4, 17);
+    let mut script: Vec<Edit> = (0..4)
+        .map(|i| Edit::RemoveCustomer { index: i * 29 })
+        .collect();
+    script.extend(arrivals.iter().map(|&node| Edit::AddCustomer { node }));
+    script.push(Edit::SetCapacity {
+        index: 3,
+        capacity: stations[3].capacity + 2,
+    });
+    BikesWorld {
+        graph,
+        customers,
+        stations,
+        k: 20,
+        script,
+    }
+}
+
+fn instance_text(world: &BikesWorld) -> String {
+    let inst = McfsInstance::builder(&world.graph)
+        .customers(world.customers.iter().copied())
+        .facilities(world.stations.iter().copied())
+        .k(world.k)
+        .build()
+        .unwrap();
+    let mut buf = Vec::new();
+    write_instance(&mut buf, &inst).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let world = bikes_world();
+    let text = instance_text(&world);
+
+    let mut g = c.benchmark_group("serve_bikes");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    for &n in &[1usize, 4, 16] {
+        let server = ServerHandle::start(ServerConfig {
+            workers: n.min(8),
+            queue_limit: 4,
+            ..ServerConfig::default()
+        });
+        // Connections, sessions and warm solver state are set up outside
+        // the timing loop: the bench measures steady-state serving.
+        let mut clients: Vec<(Client, String)> = (0..n)
+            .map(|i| {
+                let mut client = server.connect().unwrap();
+                let name = format!("s{i}");
+                client.open_text(&name, OpenKind::Instance, &text).unwrap();
+                client.solve(&name).unwrap();
+                (client, name)
+            })
+            .collect();
+
+        g.bench_function(&format!("edit_solve_x{n:02}_sessions"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for (client, name) in clients.iter_mut() {
+                        let script = world.script.as_slice();
+                        s.spawn(move || {
+                            client.edit(name, script).unwrap();
+                            let reply = client.solve(name).unwrap();
+                            std::hint::black_box(reply.kv("objective").map(str::to_owned));
+                        });
+                    }
+                });
+            })
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -195,6 +195,32 @@ pub struct ReSolveRun {
     pub warm: bool,
 }
 
+impl ReSolveRun {
+    /// Render as stable `key value` lines: the solution headline followed by
+    /// the [`SolveStats`] rendering. This is the payload the serving layer's
+    /// `STATS` reply carries and what the examples print — one format, no
+    /// ad-hoc debug dumps.
+    pub fn to_kv_lines(&self) -> Vec<String> {
+        let mut out = vec![
+            format!("warm {}", u8::from(self.warm)),
+            format!("objective {}", self.solution.objective),
+            format!("selected {}", self.solution.facilities.len()),
+            format!("assigned {}", self.solution.assignment.len()),
+        ];
+        out.extend(self.solve_stats.to_kv_lines());
+        out
+    }
+}
+
+impl std::fmt::Display for ReSolveRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in self.to_kv_lines() {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Retained assignment-phase state between solves.
 struct WarmState<'g> {
     matcher: Matcher<CustomerStream<'g>>,
@@ -778,5 +804,22 @@ mod tests {
         assert_eq!(second.solve_stats.cache_misses, 0);
         assert_eq!(second.solve_stats.oracle_nodes_settled, 0);
         assert_eq!(second.solution, first.solution);
+    }
+
+    #[test]
+    fn run_kv_lines_lead_with_the_headline() {
+        let g = grid(5);
+        let inst = base_instance(&g);
+        let mut rs = ReSolver::new(&inst, Wma::new());
+        let run = rs.solve().unwrap();
+        let lines = run.to_kv_lines();
+        assert_eq!(lines[0], "warm 0");
+        assert_eq!(lines[1], format!("objective {}", run.solution.objective));
+        assert_eq!(
+            lines[2],
+            format!("selected {}", run.solution.facilities.len())
+        );
+        assert!(lines.iter().any(|l| l.starts_with("augmentations ")));
+        assert_eq!(run.to_string(), lines.join("\n") + "\n");
     }
 }

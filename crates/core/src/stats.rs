@@ -130,6 +130,42 @@ impl SolveStats {
         self.cache_misses += after.misses.saturating_sub(before.misses);
         self.oracle_nodes_settled += after.nodes_settled.saturating_sub(before.nodes_settled);
     }
+
+    /// Render as stable `key value` lines — the machine-readable shape shared
+    /// by the serving layer's `STATS`/`METRICS` replies and the examples.
+    /// Keys are fixed; per-phase times appear as `phase.<name>_us` in
+    /// recording order (repeated phases are pre-summed by [`phase`](Self::phase)
+    /// semantics, so each name appears once).
+    pub fn to_kv_lines(&self) -> Vec<String> {
+        let mut out = vec![format!("threads {}", self.threads)];
+        let mut seen: Vec<&str> = Vec::new();
+        for p in &self.phases {
+            if seen.contains(&p.name) {
+                continue;
+            }
+            seen.push(p.name);
+            let total = self.phase(p.name).unwrap_or(Duration::ZERO);
+            out.push(format!("phase.{}_us {}", p.name, total.as_micros()));
+        }
+        out.push(format!("total_wall_us {}", self.total_wall().as_micros()));
+        out.push(format!("cache_hits {}", self.cache_hits));
+        out.push(format!("cache_misses {}", self.cache_misses));
+        out.push(format!(
+            "oracle_nodes_settled {}",
+            self.oracle_nodes_settled
+        ));
+        out.push(format!("augmentations {}", self.augmentations));
+        out
+    }
+}
+
+impl std::fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in self.to_kv_lines() {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +217,31 @@ mod tests {
         s.record_oracle(&before, &after);
         assert_eq!((s.cache_hits, s.cache_misses), (8, 3));
         assert_eq!(s.oracle_nodes_settled, 360);
+    }
+
+    #[test]
+    fn kv_lines_are_stable_and_dedupe_phases() {
+        let mut s = SolveStats::for_threads(2);
+        s.add_phase("matching", Duration::from_micros(10));
+        s.add_phase("assignment", Duration::from_micros(7));
+        s.add_phase("matching", Duration::from_micros(5));
+        s.cache_hits = 4;
+        s.augmentations = 9;
+        let lines = s.to_kv_lines();
+        assert_eq!(
+            lines,
+            vec![
+                "threads 2",
+                "phase.matching_us 15",
+                "phase.assignment_us 7",
+                "total_wall_us 22",
+                "cache_hits 4",
+                "cache_misses 0",
+                "oracle_nodes_settled 0",
+                "augmentations 9",
+            ]
+        );
+        // Display is the same lines, newline-terminated.
+        assert_eq!(s.to_string(), lines.join("\n") + "\n");
     }
 }

@@ -68,6 +68,14 @@ fn malformed(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Hard sanity bound on the node count a file may declare. A tiny header
+/// like `nodes 4000000000` would otherwise force a multi-gigabyte
+/// allocation (or trip the graph builder's id-space assertion) before a
+/// single node line is read — an easy way for malformed input to abort a
+/// long-lived process. 16M nodes is ~80× the largest road network in the
+/// paper while keeping the worst-case parse allocation modest.
+pub const MAX_NODES: usize = 1 << 24;
+
 /// Serialize an instance. The graph is written as directed arcs, so
 /// directed and undirected inputs both round-trip exactly.
 pub fn write_instance(mut w: impl Write, inst: &McfsInstance) -> io::Result<()> {
@@ -119,6 +127,12 @@ pub fn read_instance(r: impl BufRead) -> Result<OwnedInstance, ParseError> {
         ["nodes", n, "coords"] => (parse_num::<usize>(ln, n)?, true),
         _ => return Err(malformed(ln, format!("bad nodes line {nodes_line:?}"))),
     };
+    if n > MAX_NODES {
+        return Err(malformed(
+            ln,
+            format!("node count {n} exceeds the format bound {MAX_NODES}"),
+        ));
+    }
 
     let mut builder = if with_coords {
         let mut coords = vec![Point::new(0.0, 0.0); n];
@@ -163,11 +177,23 @@ pub fn read_instance(r: impl BufRead) -> Result<OwnedInstance, ParseError> {
                 }
                 builder.add_arc(u, v, parse_num(ln, w)?);
             }
-            ["customer", c] => customers.push(parse_num::<NodeId>(ln, c)?),
-            ["facility", node, cap] => facilities.push(Facility {
-                node: parse_num(ln, node)?,
-                capacity: parse_num(ln, cap)?,
-            }),
+            ["customer", c] => {
+                let c = parse_num::<NodeId>(ln, c)?;
+                if c as usize >= n {
+                    return Err(malformed(ln, format!("customer node {c} out of range")));
+                }
+                customers.push(c);
+            }
+            ["facility", node, cap] => {
+                let node = parse_num::<NodeId>(ln, node)?;
+                if node as usize >= n {
+                    return Err(malformed(ln, format!("facility node {node} out of range")));
+                }
+                facilities.push(Facility {
+                    node,
+                    capacity: parse_num(ln, cap)?,
+                });
+            }
             ["k", val] => k = Some(parse_num(ln, val)?),
             ["end"] => {
                 ended = true;
@@ -316,6 +342,25 @@ mod tests {
             (
                 "mcfs-instance v1\nnodes 2 coords\nnode 0 0.0 0.0\nnode 0 1.0 1.0\nk 1\nend\n",
                 "duplicate node",
+            ),
+            // Resource-bomb headers must be a ParseError, not a panic or a
+            // multi-gigabyte allocation (the server feeds client bytes here).
+            (
+                "mcfs-instance v1\nnodes 4000000000\nk 1\nend\n",
+                "exceeds the format bound",
+            ),
+            (
+                "mcfs-instance v1\nnodes 18446744073709551615 coords\nk 1\nend\n",
+                "exceeds the format bound",
+            ),
+            // Out-of-range customers/facilities fail at their own line.
+            (
+                "mcfs-instance v1\nnodes 2\ncustomer 9\nk 1\nend\n",
+                "customer node 9 out of range",
+            ),
+            (
+                "mcfs-instance v1\nnodes 2\nfacility 5 1\nk 1\nend\n",
+                "facility node 5 out of range",
             ),
         ] {
             let err = read_instance(text.as_bytes()).unwrap_err().to_string();

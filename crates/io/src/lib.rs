@@ -23,6 +23,13 @@
 //! (coordinates use Rust's shortest-round-trip float formatting), and
 //! strict parsing (unknown directives, wrong counts, and missing `end` are
 //! errors — silent truncation is how benchmark data rots).
+//!
+//! Every read path is panic-free on malformed input: all structural
+//! violations — including resource-bomb headers like `nodes 4000000000`
+//! and out-of-range node references — surface as line-numbered
+//! [`ParseError`]s, never as `unwrap`/assert aborts. The serving layer
+//! (`mcfs-server`) feeds raw client bytes straight into these parsers, so a
+//! panic here would take down every session in the process.
 
 #![warn(missing_docs)]
 
@@ -31,5 +38,5 @@ pub mod instance;
 pub mod solution;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint};
-pub use instance::{read_instance, write_instance, OwnedInstance, ParseError};
+pub use instance::{read_instance, write_instance, OwnedInstance, ParseError, MAX_NODES};
 pub use solution::{read_solution, write_solution};

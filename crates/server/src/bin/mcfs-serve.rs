@@ -1,0 +1,107 @@
+//! `mcfs-serve`: run the facility-selection service on a TCP port.
+//!
+//! ```text
+//! mcfs-serve [--addr 127.0.0.1:4816] [--workers N] [--queue-limit N]
+//!            [--snapshot-dir PATH] [--solver-threads N]
+//! ```
+//!
+//! The process serves until stdin reports EOF or a line reading
+//! `shutdown`, then drains in-flight work, snapshots dirty sessions (when
+//! `--snapshot-dir` is set), and prints the final metrics to stdout.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mcfs_server::{ServerConfig, ServerHandle};
+
+struct Args {
+    addr: String,
+    config: ServerConfig,
+}
+
+fn usage() -> String {
+    "usage: mcfs-serve [--addr HOST:PORT] [--workers N] [--queue-limit N] \
+     [--snapshot-dir PATH] [--solver-threads N]"
+        .to_owned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:4816".to_owned(),
+        config: ServerConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(usage());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let num = || -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr.clone_from(value),
+            "--workers" => args.config.workers = num()?.max(1),
+            "--queue-limit" => args.config.queue_limit = num()?.max(1),
+            "--snapshot-dir" => args.config.snapshot_dir = Some(PathBuf::from(value)),
+            "--solver-threads" => {
+                args.config.solver = args.config.solver.clone().threads(num()?.max(1));
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.config.snapshot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "mcfs-serve: cannot create snapshot dir {}: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut server = ServerHandle::start(args.config);
+    let addr = match server.serve_tcp(&args.addr) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("mcfs-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("mcfs-serve listening on {addr}");
+    println!("type 'shutdown' (or close stdin) for a graceful stop");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    let metrics = server.metrics();
+    server.shutdown();
+    println!("mcfs-serve: drained; final metrics:");
+    for line in metrics.to_kv_lines() {
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}

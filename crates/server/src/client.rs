@@ -1,0 +1,189 @@
+//! A blocking wire-protocol client. Works over any `Read`/`Write` pair —
+//! the in-process pipe from [`crate::ServerHandle::connect`] or a
+//! `TcpStream` — because both sides speak exactly the same bytes.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use mcfs::{Edit, McfsInstance, Solution};
+use mcfs_io::{read_solution, write_instance};
+
+use crate::protocol::{OpenKind, ProtoError, Reply, Request, DEFAULT_MAX_PAYLOAD_LINES};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server sent something that is not a valid reply frame.
+    Proto(ProtoError),
+    /// The server answered, but not with `ok` (or the payload did not
+    /// parse); the reply is preserved for inspection.
+    Rejected(Reply),
+    /// The greeting did not announce a protocol this client speaks.
+    Version(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "malformed reply: {e}"),
+            ClientError::Rejected(r) => write!(f, "request rejected: {r:?}"),
+            ClientError::Version(got) => write!(f, "unexpected greeting {got:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A connected client speaking `mcfs-wire v1`.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    max_payload: usize,
+}
+
+impl Client {
+    /// Wrap a transport and consume the server greeting.
+    pub fn new(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> Result<Client, ClientError> {
+        let mut client = Client {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(writer),
+            max_payload: DEFAULT_MAX_PAYLOAD_LINES,
+        };
+        let mut greeting = String::new();
+        client.reader.read_line(&mut greeting)?;
+        let greeting = greeting.trim_end();
+        if greeting != crate::protocol::WIRE_VERSION {
+            return Err(ClientError::Version(greeting.to_owned()));
+        }
+        Ok(client)
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Client::new(read_half, stream)
+    }
+
+    /// Send one request and block for its reply. This is the primitive the
+    /// typed helpers below are built on.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        request.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(Reply::read_from(&mut self.reader, self.max_payload)?)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let reply = self.request(request)?;
+        if reply.is_ok() {
+            Ok(reply)
+        } else {
+            Err(ClientError::Rejected(reply))
+        }
+    }
+
+    /// `OPEN` a session from an in-memory instance.
+    pub fn open_instance(
+        &mut self,
+        session: &str,
+        inst: &McfsInstance,
+    ) -> Result<Reply, ClientError> {
+        let mut buf = Vec::new();
+        write_instance(&mut buf, inst)?;
+        let text = String::from_utf8(buf).expect("instance text is ASCII");
+        self.open_text(session, OpenKind::Instance, &text)
+    }
+
+    /// `OPEN` a session from serialized text (an `mcfs-instance v1` or
+    /// `mcfs-checkpoint v1` block, per `kind`).
+    pub fn open_text(
+        &mut self,
+        session: &str,
+        kind: OpenKind,
+        text: &str,
+    ) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Open {
+            session: session.to_owned(),
+            kind,
+            payload: crate::protocol::text_to_lines(text),
+        })
+    }
+
+    /// `EDIT`: apply a typed edit script.
+    pub fn edit(&mut self, session: &str, edits: &[Edit]) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Edit {
+            session: session.to_owned(),
+            edits: edits.to_vec(),
+            deadline_ms: None,
+        })
+    }
+
+    /// `SOLVE` and return the reply (kvs: `objective`, `warm`, `selected`,
+    /// `wall_us`).
+    pub fn solve(&mut self, session: &str) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Solve {
+            session: session.to_owned(),
+            deadline_ms: None,
+        })
+    }
+
+    /// `ASSIGNMENT`: fetch and parse the current solution.
+    pub fn solution(&mut self, session: &str) -> Result<Solution, ClientError> {
+        let reply = self.expect_ok(&Request::Assignment {
+            session: session.to_owned(),
+        })?;
+        let mut text = reply.payload().join("\n");
+        text.push('\n');
+        read_solution(text.as_bytes()).map_err(|_| ClientError::Rejected(reply))
+    }
+
+    /// `STATS`: the last run's `key value` lines.
+    pub fn stats(&mut self, session: &str) -> Result<Vec<String>, ClientError> {
+        let reply = self.expect_ok(&Request::Stats {
+            session: session.to_owned(),
+        })?;
+        Ok(reply.payload().to_vec())
+    }
+
+    /// `SNAPSHOT`: checkpoint the session; returns the checkpoint text.
+    pub fn snapshot(&mut self, session: &str) -> Result<String, ClientError> {
+        let reply = self.expect_ok(&Request::Snapshot {
+            session: session.to_owned(),
+            deadline_ms: None,
+        })?;
+        let mut text = reply.payload().join("\n");
+        text.push('\n');
+        Ok(text)
+    }
+
+    /// `CLOSE` the session.
+    pub fn close(&mut self, session: &str) -> Result<Reply, ClientError> {
+        self.expect_ok(&Request::Close {
+            session: session.to_owned(),
+        })
+    }
+
+    /// `METRICS`: the server's live counters as `key value` lines.
+    pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
+        let reply = self.expect_ok(&Request::Metrics)?;
+        Ok(reply.payload().to_vec())
+    }
+}

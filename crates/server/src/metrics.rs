@@ -1,0 +1,272 @@
+//! Live service metrics: lock-free counters and a log2 latency histogram.
+//!
+//! Every reply site records exactly one `(verb, outcome)` event, so the
+//! counters reconcile with the requests clients actually sent — the
+//! integration suite asserts this. Counters are plain relaxed atomics: the
+//! metrics path must never contend with the solve path.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use mcfs::SolveStats;
+
+use crate::protocol::Verb;
+
+/// Reply outcomes, mirroring the four reply statuses on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `ok` reply.
+    Ok,
+    /// `busy` shed by admission control.
+    Busy,
+    /// `timeout` of a queued request.
+    Timeout,
+    /// `err` reply.
+    Err,
+}
+
+impl Outcome {
+    /// Every outcome, in wire order.
+    pub const ALL: [Outcome; 4] = [Outcome::Ok, Outcome::Busy, Outcome::Timeout, Outcome::Err];
+
+    /// The lowercase name used in metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Busy => "busy",
+            Outcome::Timeout => "timeout",
+            Outcome::Err => "err",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Busy => 1,
+            Outcome::Timeout => 2,
+            Outcome::Err => 3,
+        }
+    }
+}
+
+const VERBS: usize = Verb::ALL.len();
+const OUTCOMES: usize = Outcome::ALL.len();
+
+/// Number of histogram buckets: bucket `i < LATENCY_BUCKETS - 1` counts
+/// requests whose wall time was in `[2^(i-1), 2^i)` microseconds (bucket 0
+/// is `< 1µs`); the last bucket is the catch-all.
+pub const LATENCY_BUCKETS: usize = 28;
+
+fn verb_index(v: Verb) -> usize {
+    Verb::ALL
+        .iter()
+        .position(|&x| x == v)
+        .expect("Verb::ALL is exhaustive")
+}
+
+/// The shared, live counter set.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [[AtomicU64; OUTCOMES]; VERBS],
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    queue_depth_highwater: AtomicU64,
+    solves_warm: AtomicU64,
+    solves_cold: AtomicU64,
+    oracle_cache_hits: AtomicU64,
+    oracle_cache_misses: AtomicU64,
+    oracle_nodes_settled: AtomicU64,
+    sessions_open: AtomicU64,
+    sessions_opened_total: AtomicU64,
+    snapshots_written: AtomicU64,
+    /// Frames that never parsed to a verb (counted outside the grid).
+    unparsed: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one reply. `latency` is admission-to-reply wall time where it
+    /// is meaningful (queued requests); inline replies pass `None`.
+    pub fn record_request(&self, verb: Verb, outcome: Outcome, latency: Option<Duration>) {
+        self.requests[verb_index(verb)][outcome.index()].fetch_add(1, Relaxed);
+        if let Some(lat) = latency {
+            let us = lat.as_micros().min(u64::MAX as u128) as u64;
+            // Bucket i covers [2^(i-1), 2^i) µs; 65 - leading_zeros(us) maps
+            // us=0 to bucket 0 and saturates into the catch-all.
+            let bucket = if us == 0 {
+                0
+            } else {
+                (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+            };
+            self.latency[bucket].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Record a frame that failed protocol parsing — it has no verb, so it
+    /// lives outside the `(verb, outcome)` grid.
+    pub fn record_unparsed(&self) {
+        self.unparsed.fetch_add(1, Relaxed);
+    }
+
+    /// Track the per-session queue-depth high-water mark.
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.queue_depth_highwater.fetch_max(depth as u64, Relaxed);
+    }
+
+    /// Account one solver run: warm/cold classification and the oracle
+    /// cache activity its [`SolveStats`] attribute to it.
+    pub fn record_solve(&self, warm: bool, stats: &SolveStats) {
+        if warm {
+            self.solves_warm.fetch_add(1, Relaxed);
+        } else {
+            self.solves_cold.fetch_add(1, Relaxed);
+        }
+        self.oracle_cache_hits.fetch_add(stats.cache_hits, Relaxed);
+        self.oracle_cache_misses
+            .fetch_add(stats.cache_misses, Relaxed);
+        self.oracle_nodes_settled
+            .fetch_add(stats.oracle_nodes_settled, Relaxed);
+    }
+
+    /// A session was created.
+    pub fn session_opened(&self) {
+        self.sessions_open.fetch_add(1, Relaxed);
+        self.sessions_opened_total.fetch_add(1, Relaxed);
+    }
+
+    /// A session was closed.
+    pub fn session_closed(&self) {
+        self.sessions_open.fetch_sub(1, Relaxed);
+    }
+
+    /// A checkpoint file was written (SNAPSHOT verb or shutdown drain).
+    pub fn snapshot_written(&self) {
+        self.snapshots_written.fetch_add(1, Relaxed);
+    }
+
+    /// Number of snapshots written so far.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots_written.load(Relaxed)
+    }
+
+    /// Render the counters as stable `key value` lines — the `METRICS`
+    /// reply payload. Zero counters are included so clients can reconcile
+    /// against the full verb × outcome grid without special-casing.
+    pub fn to_kv_lines(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(VERBS * OUTCOMES + LATENCY_BUCKETS + 12);
+        for verb in Verb::ALL {
+            for outcome in Outcome::ALL {
+                out.push(format!(
+                    "requests.{}.{} {}",
+                    verb.name(),
+                    outcome.name(),
+                    self.requests[verb_index(verb)][outcome.index()].load(Relaxed)
+                ));
+            }
+        }
+        out.push(format!("requests.unparsed {}", self.unparsed.load(Relaxed)));
+        out.push(format!(
+            "queue_depth_highwater {}",
+            self.queue_depth_highwater.load(Relaxed)
+        ));
+        out.push(format!("solves.warm {}", self.solves_warm.load(Relaxed)));
+        out.push(format!("solves.cold {}", self.solves_cold.load(Relaxed)));
+        out.push(format!(
+            "oracle.cache_hits {}",
+            self.oracle_cache_hits.load(Relaxed)
+        ));
+        out.push(format!(
+            "oracle.cache_misses {}",
+            self.oracle_cache_misses.load(Relaxed)
+        ));
+        out.push(format!(
+            "oracle.nodes_settled {}",
+            self.oracle_nodes_settled.load(Relaxed)
+        ));
+        out.push(format!(
+            "sessions.open {}",
+            self.sessions_open.load(Relaxed)
+        ));
+        out.push(format!(
+            "sessions.opened_total {}",
+            self.sessions_opened_total.load(Relaxed)
+        ));
+        out.push(format!(
+            "snapshots.written {}",
+            self.snapshots_written.load(Relaxed)
+        ));
+        for (i, bucket) in self.latency.iter().enumerate() {
+            let label = if i + 1 == LATENCY_BUCKETS {
+                format!("latency_us.ge_{}", 1u64 << (LATENCY_BUCKETS - 2))
+            } else {
+                format!("latency_us.lt_{}", 1u64 << i)
+            };
+            out.push(format!("{label} {}", bucket.load(Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_right_cells() {
+        let m = Metrics::new();
+        m.record_request(Verb::Solve, Outcome::Ok, Some(Duration::from_micros(3)));
+        m.record_request(Verb::Solve, Outcome::Ok, Some(Duration::from_micros(900)));
+        m.record_request(Verb::Solve, Outcome::Busy, None);
+        m.record_request(Verb::Open, Outcome::Err, None);
+        m.note_queue_depth(3);
+        m.note_queue_depth(2);
+        let lines = m.to_kv_lines();
+        let get = |key: &str| -> u64 {
+            lines
+                .iter()
+                .find_map(|l| l.strip_prefix(&format!("{key} ")))
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(get("requests.solve.ok"), 2);
+        assert_eq!(get("requests.solve.busy"), 1);
+        assert_eq!(get("requests.open.err"), 1);
+        assert_eq!(get("requests.close.ok"), 0);
+        assert_eq!(get("queue_depth_highwater"), 3);
+        // 3µs lands in [2,4) = lt_4; 900µs in [512,1024) = lt_1024.
+        assert_eq!(get("latency_us.lt_4"), 1);
+        assert_eq!(get("latency_us.lt_1024"), 1);
+    }
+
+    #[test]
+    fn solve_accounting_accumulates_oracle_activity() {
+        let m = Metrics::new();
+        let mut s = SolveStats::for_threads(1);
+        s.cache_hits = 5;
+        s.cache_misses = 2;
+        s.oracle_nodes_settled = 100;
+        m.record_solve(true, &s);
+        m.record_solve(false, &s);
+        let lines = m.to_kv_lines();
+        assert!(lines.contains(&"solves.warm 1".to_string()));
+        assert!(lines.contains(&"solves.cold 1".to_string()));
+        assert!(lines.contains(&"oracle.cache_hits 10".to_string()));
+        assert!(lines.contains(&"oracle.nodes_settled 200".to_string()));
+    }
+
+    #[test]
+    fn latency_extremes_hit_the_edge_buckets() {
+        let m = Metrics::new();
+        m.record_request(Verb::Stats, Outcome::Ok, Some(Duration::ZERO));
+        m.record_request(Verb::Stats, Outcome::Ok, Some(Duration::from_secs(10_000)));
+        let lines = m.to_kv_lines();
+        assert!(lines.contains(&"latency_us.lt_1 1".to_string()));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("latency_us.ge_") && l.ends_with(" 1")));
+    }
+}

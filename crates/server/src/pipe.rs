@@ -1,0 +1,92 @@
+//! An in-memory byte pipe implementing `Read`/`Write`, so an in-process
+//! client can drive the *real* wire protocol — same parser, same framing,
+//! same connection loop — without a socket.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Write half: each `write` ships one chunk to the reader.
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+/// Read half: yields chunks in write order; EOF when the writer drops.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+/// A unidirectional in-memory pipe. Use two for a duplex connection.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = channel();
+    (
+        PipeWriter { tx },
+        PipeReader {
+            rx,
+            pending: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader closed"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                // Writer dropped: clean EOF, like a closed socket.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn round_trips_lines_and_signals_eof() {
+        let (mut w, r) = pipe();
+        w.write_all(b"hello\nwor").unwrap();
+        w.write_all(b"ld\n").unwrap();
+        drop(w);
+        let mut lines = BufReader::new(r).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "hello");
+        assert_eq!(lines.next().unwrap().unwrap(), "world");
+        assert!(lines.next().is_none(), "EOF after the writer drops");
+    }
+
+    #[test]
+    fn write_after_reader_drop_is_broken_pipe() {
+        let (mut w, r) = pipe();
+        drop(r);
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+}

@@ -1,0 +1,1006 @@
+//! The `mcfs-wire v1` protocol: a line-oriented, versioned request/reply
+//! format in the style of the `mcfs-io` file formats (plain text, strict
+//! parsing, line-numbered errors).
+//!
+//! # Grammar
+//!
+//! On connect the server sends one greeting line, [`WIRE_VERSION`]. After
+//! that the client sends framed requests and reads one framed reply per
+//! request. Every frame is a *verb line* optionally followed by a
+//! count-prefixed payload: a `lines=<n>` token on the verb line announces
+//! exactly `n` payload lines. Count-prefixed framing keeps the parser
+//! trivial and makes truncation detectable (`n` lines promised, EOF
+//! delivered).
+//!
+//! ```text
+//! request  := "OPEN" session ("instance" | "checkpoint") "lines=" n payload
+//!           | "EDIT" session "lines=" n ["deadline_ms=" d] payload
+//!           | "SOLVE" session ["deadline_ms=" d]
+//!           | "ASSIGNMENT" session
+//!           | "STATS" session
+//!           | "SNAPSHOT" session ["deadline_ms=" d]
+//!           | "CLOSE" session
+//!           | "METRICS"
+//!
+//! reply    := "ok" verb {key "=" value} ["lines=" n payload]
+//!           | "busy" {key "=" value}
+//!           | "timeout" {key "=" value}
+//!           | "err" code message-to-end-of-line
+//! ```
+//!
+//! `OPEN` payloads are verbatim `mcfs-instance v1` / `mcfs-checkpoint v1`
+//! blocks (the `mcfs-io` formats, reused as-is); `EDIT` payloads are typed
+//! edit lines (`add-customer 7`, `set-capacity 2 5`, …) mapped 1:1 onto
+//! [`mcfs::Edit`]. Session names are restricted to `[A-Za-z0-9_.-]`, at
+//! most [`MAX_SESSION_NAME`] bytes.
+//!
+//! Malformed frames yield a structured [`ProtoError`] carrying the
+//! frame-relative line number — never a panic: the server feeds raw client
+//! bytes into this parser. Errors that desynchronize the framing (truncated
+//! payloads, I/O failures) are marked [`ProtoError::fatal`] so the
+//! connection loop knows to hang up instead of misparsing the remainder of
+//! the stream.
+
+use std::io::{self, BufRead, Write};
+
+use mcfs::Edit;
+use mcfs_graph::NodeId;
+
+/// Greeting line the server sends on connect; also the protocol version.
+pub const WIRE_VERSION: &str = "mcfs-wire v1";
+
+/// Longest accepted session name, in bytes.
+pub const MAX_SESSION_NAME: usize = 64;
+
+/// Default bound on `lines=<n>` payload sizes. A frame promising more lines
+/// than this is rejected before anything is buffered, so a one-line header
+/// cannot commit the server to an unbounded allocation.
+pub const DEFAULT_MAX_PAYLOAD_LINES: usize = 1 << 20;
+
+/// The eight request verbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Verb {
+    /// Create a session from an instance or checkpoint payload.
+    Open,
+    /// Apply a typed edit script to a session.
+    Edit,
+    /// Re-solve a session (warm where possible).
+    Solve,
+    /// Fetch the last solution as an `mcfs-solution v1` block.
+    Assignment,
+    /// Fetch the last solve's `key value` statistics.
+    Stats,
+    /// Write a checkpoint of the session and return it.
+    Snapshot,
+    /// Tear a session down.
+    Close,
+    /// Fetch the server-wide counters and latency histogram.
+    Metrics,
+}
+
+impl Verb {
+    /// Every verb, in wire order.
+    pub const ALL: [Verb; 8] = [
+        Verb::Open,
+        Verb::Edit,
+        Verb::Solve,
+        Verb::Assignment,
+        Verb::Stats,
+        Verb::Snapshot,
+        Verb::Close,
+        Verb::Metrics,
+    ];
+
+    /// The lowercase wire name (used in replies and metrics keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Open => "open",
+            Verb::Edit => "edit",
+            Verb::Solve => "solve",
+            Verb::Assignment => "assignment",
+            Verb::Stats => "stats",
+            Verb::Snapshot => "snapshot",
+            Verb::Close => "close",
+            Verb::Metrics => "metrics",
+        }
+    }
+
+    /// The uppercase request token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Verb::Open => "OPEN",
+            Verb::Edit => "EDIT",
+            Verb::Solve => "SOLVE",
+            Verb::Assignment => "ASSIGNMENT",
+            Verb::Stats => "STATS",
+            Verb::Snapshot => "SNAPSHOT",
+            Verb::Close => "CLOSE",
+            Verb::Metrics => "METRICS",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Verb> {
+        Verb::ALL.into_iter().find(|v| v.name() == s)
+    }
+
+    fn from_token(s: &str) -> Option<Verb> {
+        Verb::ALL.into_iter().find(|v| v.token() == s)
+    }
+}
+
+/// What an `OPEN` payload contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenKind {
+    /// An `mcfs-instance v1` block; the session starts unsolved.
+    Instance,
+    /// An `mcfs-checkpoint v1` block; the session restores warm via
+    /// `ReSolver::from_solved`.
+    Checkpoint,
+}
+
+impl OpenKind {
+    fn token(self) -> &'static str {
+        match self {
+            OpenKind::Instance => "instance",
+            OpenKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `OPEN <session> <kind> lines=<n>` + payload.
+    Open {
+        /// Target session name.
+        session: String,
+        /// Payload interpretation.
+        kind: OpenKind,
+        /// The raw `mcfs-io` block, one entry per line.
+        payload: Vec<String>,
+    },
+    /// `EDIT <session> lines=<n> [deadline_ms=<d>]` + edit lines.
+    Edit {
+        /// Target session name.
+        session: String,
+        /// The typed script, applied atomically.
+        edits: Vec<Edit>,
+        /// Queued-request deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// `SOLVE <session> [deadline_ms=<d>]`.
+    Solve {
+        /// Target session name.
+        session: String,
+        /// Queued-request deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// `ASSIGNMENT <session>`.
+    Assignment {
+        /// Target session name.
+        session: String,
+    },
+    /// `STATS <session>`.
+    Stats {
+        /// Target session name.
+        session: String,
+    },
+    /// `SNAPSHOT <session> [deadline_ms=<d>]`.
+    Snapshot {
+        /// Target session name.
+        session: String,
+        /// Queued-request deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// `CLOSE <session>`.
+    Close {
+        /// Target session name.
+        session: String,
+    },
+    /// `METRICS`.
+    Metrics,
+}
+
+/// Structured error codes carried by `err` replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was malformed.
+    Proto,
+    /// An `OPEN` payload failed `mcfs-io` parsing or verification.
+    Parse,
+    /// An edit script was rejected (`mcfs::EditError`).
+    Edit,
+    /// The named session does not exist.
+    NoSession,
+    /// `OPEN` of a name that is already registered.
+    SessionExists,
+    /// The session name violates the naming rule.
+    BadName,
+    /// The session's instance is infeasible.
+    Infeasible,
+    /// The solver failed for a non-feasibility reason.
+    Solve,
+    /// The request needs state the session does not have yet (e.g.
+    /// `ASSIGNMENT` before the first `SOLVE`).
+    State,
+    /// The server is draining and no longer admits work.
+    ShuttingDown,
+    /// A server-side I/O failure (e.g. writing a snapshot file).
+    Io,
+}
+
+impl ErrorCode {
+    /// Every code, in wire order.
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::Proto,
+        ErrorCode::Parse,
+        ErrorCode::Edit,
+        ErrorCode::NoSession,
+        ErrorCode::SessionExists,
+        ErrorCode::BadName,
+        ErrorCode::Infeasible,
+        ErrorCode::Solve,
+        ErrorCode::State,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Io,
+    ];
+
+    /// The kebab-case wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "proto",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Edit => "edit",
+            ErrorCode::NoSession => "no-session",
+            ErrorCode::SessionExists => "session-exists",
+            ErrorCode::BadName => "bad-name",
+            ErrorCode::Infeasible => "infeasible",
+            ErrorCode::Solve => "solve",
+            ErrorCode::State => "state",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Io => "io",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.token() == s)
+    }
+}
+
+/// A parsed server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The request succeeded.
+    Ok {
+        /// The verb being answered.
+        verb: Verb,
+        /// Structured `key=value` attributes (e.g. `objective=1234`).
+        kvs: Vec<(String, String)>,
+        /// Optional payload block (solution text, kv lines, checkpoint).
+        payload: Vec<String>,
+    },
+    /// Admission control shed the request: the session's queue is full.
+    Busy {
+        /// Structured attributes (`session`, `depth`, `limit`).
+        kvs: Vec<(String, String)>,
+    },
+    /// The request's deadline expired while it was still queued.
+    Timeout {
+        /// Structured attributes (`session`, `waited_ms`).
+        kvs: Vec<(String, String)>,
+    },
+    /// The request failed.
+    Err {
+        /// Structured failure class.
+        code: ErrorCode,
+        /// Human-readable detail (rest of the line; may be empty).
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Look up a `key=value` attribute on `ok`/`busy`/`timeout` replies.
+    pub fn kv(&self, key: &str) -> Option<&str> {
+        let kvs = match self {
+            Reply::Ok { kvs, .. } | Reply::Busy { kvs } | Reply::Timeout { kvs } => kvs,
+            Reply::Err { .. } => return None,
+        };
+        kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The payload block of an `ok` reply (empty otherwise).
+    pub fn payload(&self) -> &[String] {
+        match self {
+            Reply::Ok { payload, .. } => payload,
+            _ => &[],
+        }
+    }
+
+    /// `true` for `ok` replies.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok { .. })
+    }
+}
+
+/// A malformed frame, with the frame-relative 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Line within the frame (1 = the verb line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// `true` when the framing may be desynchronized (truncated payload,
+    /// invalid UTF-8, I/O failure) and the connection should be dropped
+    /// rather than parsed further.
+    pub fatal: bool,
+}
+
+impl ProtoError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+            fatal: false,
+        }
+    }
+
+    fn fatal(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+            fatal: true,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Is `name` an acceptable session name? (`[A-Za-z0-9_.-]{1,64}`.)
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_SESSION_NAME
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+fn check_payload_line(line: &str) -> io::Result<()> {
+    if line.contains('\n') || line.contains('\r') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "payload line contains a line break",
+        ));
+    }
+    Ok(())
+}
+
+/// Split `text` into payload lines (the shape `lines=<n>` framing carries).
+/// A single trailing newline is not an extra empty line.
+pub fn text_to_lines(text: &str) -> Vec<String> {
+    text.lines().map(str::to_owned).collect()
+}
+
+impl Request {
+    /// The request's verb.
+    pub fn verb(&self) -> Verb {
+        match self {
+            Request::Open { .. } => Verb::Open,
+            Request::Edit { .. } => Verb::Edit,
+            Request::Solve { .. } => Verb::Solve,
+            Request::Assignment { .. } => Verb::Assignment,
+            Request::Stats { .. } => Verb::Stats,
+            Request::Snapshot { .. } => Verb::Snapshot,
+            Request::Close { .. } => Verb::Close,
+            Request::Metrics => Verb::Metrics,
+        }
+    }
+
+    /// The session the request addresses (`None` for `METRICS`).
+    pub fn session(&self) -> Option<&str> {
+        match self {
+            Request::Open { session, .. }
+            | Request::Edit { session, .. }
+            | Request::Solve { session, .. }
+            | Request::Assignment { session }
+            | Request::Stats { session }
+            | Request::Snapshot { session, .. }
+            | Request::Close { session } => Some(session),
+            Request::Metrics => None,
+        }
+    }
+
+    /// The request's queued-work deadline, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Request::Edit { deadline_ms, .. }
+            | Request::Solve { deadline_ms, .. }
+            | Request::Snapshot { deadline_ms, .. } => *deadline_ms,
+            _ => None,
+        }
+    }
+
+    /// Serialize the frame (verb line plus payload).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        match self {
+            Request::Open {
+                session,
+                kind,
+                payload,
+            } => {
+                writeln!(w, "OPEN {session} {} lines={}", kind.token(), payload.len())?;
+                for line in payload {
+                    check_payload_line(line)?;
+                    writeln!(w, "{line}")?;
+                }
+            }
+            Request::Edit {
+                session,
+                edits,
+                deadline_ms,
+            } => {
+                write!(w, "EDIT {session} lines={}", edits.len())?;
+                if let Some(d) = deadline_ms {
+                    write!(w, " deadline_ms={d}")?;
+                }
+                writeln!(w)?;
+                for e in edits {
+                    writeln!(w, "{}", render_edit(e))?;
+                }
+            }
+            Request::Solve {
+                session,
+                deadline_ms,
+            } => {
+                write!(w, "SOLVE {session}")?;
+                if let Some(d) = deadline_ms {
+                    write!(w, " deadline_ms={d}")?;
+                }
+                writeln!(w)?;
+            }
+            Request::Assignment { session } => writeln!(w, "ASSIGNMENT {session}")?,
+            Request::Stats { session } => writeln!(w, "STATS {session}")?,
+            Request::Snapshot {
+                session,
+                deadline_ms,
+            } => {
+                write!(w, "SNAPSHOT {session}")?;
+                if let Some(d) = deadline_ms {
+                    write!(w, " deadline_ms={d}")?;
+                }
+                writeln!(w)?;
+            }
+            Request::Close { session } => writeln!(w, "CLOSE {session}")?,
+            Request::Metrics => writeln!(w, "METRICS")?,
+        }
+        Ok(())
+    }
+
+    /// Read one request frame. `Ok(None)` is a clean EOF at a frame
+    /// boundary; mid-frame EOF is a fatal [`ProtoError`].
+    pub fn read_from(
+        r: &mut impl BufRead,
+        max_payload: usize,
+    ) -> Result<Option<Request>, ProtoError> {
+        let Some(line) = read_frame_line(r, 1)? else {
+            return Ok(None);
+        };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&head, rest)) = tokens.split_first() else {
+            return Err(ProtoError::new(1, "empty request line"));
+        };
+        let verb = Verb::from_token(head)
+            .ok_or_else(|| ProtoError::new(1, format!("unknown verb {head:?}")))?;
+
+        // METRICS takes no arguments at all.
+        if verb == Verb::Metrics {
+            if !rest.is_empty() {
+                return Err(ProtoError::new(1, "METRICS takes no arguments"));
+            }
+            return Ok(Some(Request::Metrics));
+        }
+
+        let Some((&session, rest)) = rest.split_first() else {
+            return Err(ProtoError::new(1, format!("{head} needs a session name")));
+        };
+        if !valid_session_name(session) {
+            return Err(ProtoError::new(1, format!("bad session name {session:?}")));
+        }
+        let session = session.to_owned();
+
+        // OPEN has a positional payload-kind token before its kvs.
+        let (kind, rest) = if verb == Verb::Open {
+            let Some((&k, rest)) = rest.split_first() else {
+                return Err(ProtoError::new(1, "OPEN needs `instance` or `checkpoint`"));
+            };
+            let kind = match k {
+                "instance" => OpenKind::Instance,
+                "checkpoint" => OpenKind::Checkpoint,
+                other => {
+                    return Err(ProtoError::new(
+                        1,
+                        format!("bad OPEN payload kind {other:?}"),
+                    ))
+                }
+            };
+            (Some(kind), rest)
+        } else {
+            (None, rest)
+        };
+
+        let (lines, deadline_ms) = parse_frame_kvs(rest, max_payload)?;
+        let wants_payload = matches!(verb, Verb::Open | Verb::Edit);
+        if wants_payload && lines.is_none() {
+            return Err(ProtoError::new(1, format!("{head} needs lines=<n>")));
+        }
+        if !wants_payload && lines.is_some() {
+            return Err(ProtoError::new(1, format!("{head} takes no payload")));
+        }
+        let takes_deadline = matches!(verb, Verb::Edit | Verb::Solve | Verb::Snapshot);
+        if !takes_deadline && deadline_ms.is_some() {
+            return Err(ProtoError::new(1, format!("{head} takes no deadline")));
+        }
+
+        let payload = read_payload(r, lines.unwrap_or(0))?;
+        Ok(Some(match verb {
+            Verb::Open => Request::Open {
+                session,
+                kind: kind.expect("set above for OPEN"),
+                payload,
+            },
+            Verb::Edit => {
+                let mut edits = Vec::with_capacity(payload.len());
+                for (i, line) in payload.iter().enumerate() {
+                    edits.push(parse_edit(line).map_err(|m| ProtoError::new(i + 2, m))?);
+                }
+                Request::Edit {
+                    session,
+                    edits,
+                    deadline_ms,
+                }
+            }
+            Verb::Solve => Request::Solve {
+                session,
+                deadline_ms,
+            },
+            Verb::Assignment => Request::Assignment { session },
+            Verb::Stats => Request::Stats { session },
+            Verb::Snapshot => Request::Snapshot {
+                session,
+                deadline_ms,
+            },
+            Verb::Close => Request::Close { session },
+            Verb::Metrics => unreachable!("handled above"),
+        }))
+    }
+}
+
+impl Reply {
+    /// Serialize the frame (status line plus payload).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        match self {
+            Reply::Ok { verb, kvs, payload } => {
+                write!(w, "ok {}", verb.name())?;
+                write_kvs(w, kvs)?;
+                if !payload.is_empty() {
+                    write!(w, " lines={}", payload.len())?;
+                }
+                writeln!(w)?;
+                for line in payload {
+                    check_payload_line(line)?;
+                    writeln!(w, "{line}")?;
+                }
+            }
+            Reply::Busy { kvs } => {
+                write!(w, "busy")?;
+                write_kvs(w, kvs)?;
+                writeln!(w)?;
+            }
+            Reply::Timeout { kvs } => {
+                write!(w, "timeout")?;
+                write_kvs(w, kvs)?;
+                writeln!(w)?;
+            }
+            Reply::Err { code, message } => {
+                check_payload_line(message)?;
+                if message.is_empty() {
+                    writeln!(w, "err {}", code.token())?;
+                } else {
+                    writeln!(w, "err {} {message}", code.token())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one reply frame. EOF at a frame boundary is a fatal error here
+    /// (the client was promised a reply).
+    pub fn read_from(r: &mut impl BufRead, max_payload: usize) -> Result<Reply, ProtoError> {
+        let line = read_frame_line(r, 1)?
+            .ok_or_else(|| ProtoError::fatal(1, "connection closed before reply"))?;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&head, rest)) = tokens.split_first() else {
+            return Err(ProtoError::new(1, "empty reply line"));
+        };
+        match head {
+            "ok" => {
+                let Some((&vn, rest)) = rest.split_first() else {
+                    return Err(ProtoError::new(1, "ok reply without a verb"));
+                };
+                let verb = Verb::from_name(vn)
+                    .ok_or_else(|| ProtoError::new(1, format!("unknown reply verb {vn:?}")))?;
+                let (kvs, lines) = parse_reply_kvs(rest, max_payload)?;
+                let payload = read_payload(r, lines)?;
+                Ok(Reply::Ok { verb, kvs, payload })
+            }
+            "busy" => {
+                let (kvs, lines) = parse_reply_kvs(rest, max_payload)?;
+                if lines != 0 {
+                    return Err(ProtoError::new(1, "busy reply carries no payload"));
+                }
+                Ok(Reply::Busy { kvs })
+            }
+            "timeout" => {
+                let (kvs, lines) = parse_reply_kvs(rest, max_payload)?;
+                if lines != 0 {
+                    return Err(ProtoError::new(1, "timeout reply carries no payload"));
+                }
+                Ok(Reply::Timeout { kvs })
+            }
+            "err" => {
+                let Some((&ct, _)) = rest.split_first() else {
+                    return Err(ProtoError::new(1, "err reply without a code"));
+                };
+                let code = ErrorCode::from_token(ct)
+                    .ok_or_else(|| ProtoError::new(1, format!("unknown error code {ct:?}")))?;
+                // The message is the rest of the raw line (it may contain
+                // spaces), not the rest of the token list.
+                let after_code = line
+                    .splitn(3, ' ')
+                    .nth(2)
+                    .map(str::to_owned)
+                    .unwrap_or_default();
+                Ok(Reply::Err {
+                    code,
+                    message: after_code,
+                })
+            }
+            other => Err(ProtoError::new(
+                1,
+                format!("unknown reply status {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Render an [`Edit`] as one wire line.
+pub fn render_edit(e: &Edit) -> String {
+    match e {
+        Edit::AddCustomer { node } => format!("add-customer {node}"),
+        Edit::RemoveCustomer { index } => format!("remove-customer {index}"),
+        Edit::AddFacility { node, capacity } => format!("add-facility {node} {capacity}"),
+        Edit::RemoveFacility { index } => format!("remove-facility {index}"),
+        Edit::SetCapacity { index, capacity } => format!("set-capacity {index} {capacity}"),
+        Edit::SetBudget { k } => format!("set-budget {k}"),
+    }
+}
+
+/// Parse one wire edit line.
+pub fn parse_edit(line: &str) -> Result<Edit, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+        s.parse().map_err(|_| format!("cannot parse {s:?}"))
+    }
+    match tokens.as_slice() {
+        ["add-customer", node] => Ok(Edit::AddCustomer {
+            node: num::<NodeId>(node)?,
+        }),
+        ["remove-customer", index] => Ok(Edit::RemoveCustomer { index: num(index)? }),
+        ["add-facility", node, capacity] => Ok(Edit::AddFacility {
+            node: num::<NodeId>(node)?,
+            capacity: num(capacity)?,
+        }),
+        ["remove-facility", index] => Ok(Edit::RemoveFacility { index: num(index)? }),
+        ["set-capacity", index, capacity] => Ok(Edit::SetCapacity {
+            index: num(index)?,
+            capacity: num(capacity)?,
+        }),
+        ["set-budget", k] => Ok(Edit::SetBudget { k: num(k)? }),
+        _ => Err(format!("unknown edit {line:?}")),
+    }
+}
+
+fn write_kvs(w: &mut impl Write, kvs: &[(String, String)]) -> io::Result<()> {
+    for (k, v) in kvs {
+        if k.is_empty()
+            || k == "lines"
+            || k.chars().any(char::is_whitespace)
+            || v.chars().any(char::is_whitespace)
+            || k.contains('=')
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("kv {k:?}={v:?} is not wire-safe"),
+            ));
+        }
+        write!(w, " {k}={v}")?;
+    }
+    Ok(())
+}
+
+/// Parse trailing request tokens as the (`lines`, `deadline_ms`) kv set.
+fn parse_frame_kvs(
+    tokens: &[&str],
+    max_payload: usize,
+) -> Result<(Option<usize>, Option<u64>), ProtoError> {
+    let mut lines = None;
+    let mut deadline = None;
+    for t in tokens {
+        let (k, v) = split_kv(t)?;
+        match k {
+            "lines" => lines = Some(parse_payload_count(v, max_payload)?),
+            "deadline_ms" => {
+                deadline = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| ProtoError::new(1, format!("bad deadline_ms {v:?}")))?,
+                )
+            }
+            other => return Err(ProtoError::new(1, format!("unknown attribute {other:?}"))),
+        }
+    }
+    Ok((lines, deadline))
+}
+
+/// Parse trailing reply tokens as free-form kvs plus an optional `lines=`.
+fn parse_reply_kvs(
+    tokens: &[&str],
+    max_payload: usize,
+) -> Result<(Vec<(String, String)>, usize), ProtoError> {
+    let mut kvs = Vec::new();
+    let mut lines = 0usize;
+    for t in tokens {
+        let (k, v) = split_kv(t)?;
+        if k == "lines" {
+            lines = parse_payload_count(v, max_payload)?;
+        } else {
+            kvs.push((k.to_owned(), v.to_owned()));
+        }
+    }
+    Ok((kvs, lines))
+}
+
+fn split_kv(token: &str) -> Result<(&str, &str), ProtoError> {
+    let (k, v) = token
+        .split_once('=')
+        .ok_or_else(|| ProtoError::new(1, format!("expected key=value, got {token:?}")))?;
+    if k.is_empty() {
+        return Err(ProtoError::new(1, format!("empty key in {token:?}")));
+    }
+    Ok((k, v))
+}
+
+fn parse_payload_count(v: &str, max_payload: usize) -> Result<usize, ProtoError> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| ProtoError::new(1, format!("bad lines count {v:?}")))?;
+    if n > max_payload {
+        return Err(ProtoError::new(
+            1,
+            format!("payload of {n} lines exceeds the limit of {max_payload}"),
+        ));
+    }
+    Ok(n)
+}
+
+/// Read one line of a frame; strips the trailing newline. `Ok(None)` = EOF.
+fn read_frame_line(r: &mut impl BufRead, line_no: usize) -> Result<Option<String>, ProtoError> {
+    let mut buf = String::new();
+    match r.read_line(&mut buf) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            while buf.ends_with('\n') || buf.ends_with('\r') {
+                buf.pop();
+            }
+            Ok(Some(buf))
+        }
+        // Invalid UTF-8 and transport failures both land here; the stream
+        // position is unknown afterwards, so the connection must close.
+        Err(e) => Err(ProtoError::fatal(line_no, format!("read failed: {e}"))),
+    }
+}
+
+fn read_payload(r: &mut impl BufRead, n: usize) -> Result<Vec<String>, ProtoError> {
+    let mut payload = Vec::with_capacity(n.min(4096));
+    for i in 0..n {
+        match read_frame_line(r, i + 2)? {
+            Some(line) => payload.push(line),
+            None => {
+                return Err(ProtoError::fatal(
+                    i + 2,
+                    format!("payload truncated: promised {n} lines, got {i}"),
+                ))
+            }
+        }
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn rt_request(req: Request) {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        let back = Request::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, req);
+        // Exactly one frame: the stream must now be at EOF.
+        assert_eq!(
+            Request::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn request_round_trips() {
+        rt_request(Request::Open {
+            session: "bikes-1".into(),
+            kind: OpenKind::Instance,
+            payload: vec!["mcfs-instance v1".into(), "nodes 2".into(), "end".into()],
+        });
+        rt_request(Request::Edit {
+            session: "s".into(),
+            edits: vec![
+                Edit::AddCustomer { node: 7 },
+                Edit::RemoveCustomer { index: 0 },
+                Edit::AddFacility {
+                    node: 3,
+                    capacity: 9,
+                },
+                Edit::RemoveFacility { index: 2 },
+                Edit::SetCapacity {
+                    index: 1,
+                    capacity: 4,
+                },
+                Edit::SetBudget { k: 5 },
+            ],
+            deadline_ms: Some(250),
+        });
+        rt_request(Request::Solve {
+            session: "a.b-c_d".into(),
+            deadline_ms: None,
+        });
+        rt_request(Request::Assignment {
+            session: "s".into(),
+        });
+        rt_request(Request::Stats {
+            session: "s".into(),
+        });
+        rt_request(Request::Snapshot {
+            session: "s".into(),
+            deadline_ms: Some(0),
+        });
+        rt_request(Request::Close {
+            session: "s".into(),
+        });
+        rt_request(Request::Metrics);
+    }
+
+    fn rt_reply(reply: Reply) {
+        let mut buf = Vec::new();
+        reply.write_to(&mut buf).unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        let back = Reply::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        rt_reply(Reply::Ok {
+            verb: Verb::Solve,
+            kvs: vec![
+                ("objective".into(), "1234".into()),
+                ("warm".into(), "1".into()),
+            ],
+            payload: vec![],
+        });
+        rt_reply(Reply::Ok {
+            verb: Verb::Stats,
+            kvs: vec![],
+            payload: vec!["warm 1".into(), "objective 12".into()],
+        });
+        rt_reply(Reply::Busy {
+            kvs: vec![
+                ("session".into(), "s".into()),
+                ("depth".into(), "4".into()),
+                ("limit".into(), "4".into()),
+            ],
+        });
+        rt_reply(Reply::Timeout {
+            kvs: vec![("waited_ms".into(), "31".into())],
+        });
+        rt_reply(Reply::Err {
+            code: ErrorCode::NoSession,
+            message: "no session \"x\"".into(),
+        });
+        rt_reply(Reply::Err {
+            code: ErrorCode::ShuttingDown,
+            message: String::new(),
+        });
+    }
+
+    #[test]
+    fn malformed_frames_are_structured_errors() {
+        for (text, needle, fatal) in [
+            ("WAT s\n", "unknown verb", false),
+            ("OPEN\n", "needs a session", false),
+            ("OPEN s wat lines=0\n", "payload kind", false),
+            ("OPEN bad name instance lines=0\n", "payload kind", false),
+            ("OPEN s/s instance lines=0\n", "bad session name", false),
+            ("SOLVE s lines=3\nx\ny\nz\n", "takes no payload", false),
+            ("EDIT s\n", "needs lines=", false),
+            ("EDIT s lines=2\nadd-customer 1\n", "truncated", true),
+            ("EDIT s lines=1\nwarp-customer 1\n", "unknown edit", false),
+            ("SOLVE s deadline_ms=abc\n", "bad deadline_ms", false),
+            ("ASSIGNMENT s deadline_ms=1\n", "takes no deadline", false),
+            ("METRICS now\n", "no arguments", false),
+            (
+                "OPEN s instance lines=99999999999\n",
+                "exceeds the limit",
+                false,
+            ),
+        ] {
+            let err =
+                Request::read_from(&mut BufReader::new(text.as_bytes()), 1 << 20).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?} => {err:?} (wanted {needle:?})"
+            );
+            assert_eq!(err.fatal, fatal, "{text:?}");
+        }
+        for (text, needle) in [
+            ("yes sir\n", "unknown reply status"),
+            ("ok warp\n", "unknown reply verb"),
+            ("err whatever boom\n", "unknown error code"),
+            ("busy lines=2\na\nb\n", "no payload"),
+            ("ok stats lines=5\nonly-one\n", "truncated"),
+        ] {
+            let err = Reply::read_from(&mut BufReader::new(text.as_bytes()), 1 << 20).unwrap_err();
+            assert!(err.message.contains(needle), "{text:?} => {err:?}");
+        }
+    }
+
+    #[test]
+    fn session_name_rule() {
+        assert!(valid_session_name("bikes_2026-08.a"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("has space"));
+        assert!(!valid_session_name("sla/sh"));
+        assert!(!valid_session_name(&"x".repeat(MAX_SESSION_NAME + 1)));
+    }
+
+    #[test]
+    fn unsafe_kvs_and_payload_lines_refuse_to_render() {
+        let r = Reply::Ok {
+            verb: Verb::Solve,
+            kvs: vec![("bad key".into(), "v".into())],
+            payload: vec![],
+        };
+        assert!(r.write_to(&mut Vec::new()).is_err());
+        let r = Reply::Ok {
+            verb: Verb::Stats,
+            kvs: vec![],
+            payload: vec!["line\nbreak".into()],
+        };
+        assert!(r.write_to(&mut Vec::new()).is_err());
+    }
+}

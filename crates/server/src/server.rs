@@ -1,0 +1,415 @@
+//! Server core: session registry, admission control, connection handling
+//! and lifecycle (startup, TCP accept loop, graceful shutdown).
+//!
+//! Requests flow: connection thread parses a frame → admission checks the
+//! registry and the per-session queue bound → the job is pinned to the
+//! session's worker and the connection thread blocks on the reply channel.
+//! `METRICS` is answered inline so it stays responsive when workers are
+//! saturated — that is the whole point of a health endpoint.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mcfs::Wma;
+
+use crate::client::{Client, ClientError};
+use crate::metrics::{Metrics, Outcome};
+use crate::pipe::pipe;
+use crate::protocol::{
+    valid_session_name, ErrorCode, Reply, Request, Verb, DEFAULT_MAX_PAYLOAD_LINES, WIRE_VERSION,
+};
+use crate::worker::{run_worker, Job};
+
+/// Tunables for a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; sessions are pinned round-robin at `OPEN`.
+    pub workers: usize,
+    /// Outstanding requests (queued + running) allowed per session before
+    /// admission sheds with `busy`. `CLOSE` is always admitted.
+    pub queue_limit: usize,
+    /// Where `SNAPSHOT` and the shutdown drain write `<session>.ckpt`
+    /// files. `None` disables file snapshots (`SNAPSHOT` still returns the
+    /// checkpoint text inline).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Bound on `lines=<n>` payloads accepted from clients.
+    pub max_payload_lines: usize,
+    /// Solver template cloned into every session. Leave the oracle unset —
+    /// each session's graph gets its own.
+    pub solver: Wma,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_limit: 8,
+            snapshot_dir: None,
+            max_payload_lines: DEFAULT_MAX_PAYLOAD_LINES,
+            // Sessions already run on parallel workers; keep each solve
+            // single-threaded so concurrent sessions do not oversubscribe.
+            solver: Wma::new().threads(1),
+        }
+    }
+}
+
+/// A registered session: which worker owns it and how deep its queue is.
+#[derive(Clone)]
+pub(crate) struct SessionEntry {
+    worker: usize,
+    /// Outstanding requests (queued + running). Incremented at admission,
+    /// decremented by the worker when the job leaves the system.
+    depth: Arc<AtomicUsize>,
+}
+
+/// State shared by connection threads and workers.
+pub(crate) struct ServerCore {
+    pub config: ServerConfig,
+    pub metrics: Arc<Metrics>,
+    pub registry: Mutex<HashMap<String, SessionEntry>>,
+    senders: Vec<Mutex<Option<Sender<Job>>>>,
+    shutting_down: AtomicBool,
+    next_worker: AtomicUsize,
+}
+
+impl ServerCore {
+    fn reject(&self, verb: Verb, code: ErrorCode, message: impl Into<String>) -> Reply {
+        self.metrics.record_request(verb, Outcome::Err, None);
+        Reply::Err {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Admit, enqueue, and wait for `request`'s reply. This is the only
+    /// path requests take — the in-process client and TCP connections meet
+    /// here.
+    pub(crate) fn submit(&self, request: Request) -> Reply {
+        let verb = request.verb();
+        if verb == Verb::Metrics {
+            // Snapshot first, then count ourselves: the reported counters
+            // describe the requests *before* this one, so a client can
+            // reconcile a script exactly without racing its own METRICS.
+            let payload = self.metrics.to_kv_lines();
+            self.metrics.record_request(verb, Outcome::Ok, None);
+            return Reply::Ok {
+                verb,
+                kvs: vec![],
+                payload,
+            };
+        }
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return self.reject(verb, ErrorCode::ShuttingDown, "server is shutting down");
+        }
+
+        let session = request
+            .session()
+            .expect("every queued verb names a session")
+            .to_owned();
+        if !valid_session_name(&session) {
+            return self.reject(
+                verb,
+                ErrorCode::BadName,
+                format!("invalid session name {session:?}"),
+            );
+        }
+
+        // Registry transition under the lock; queueing happens outside it.
+        let entry = {
+            let mut reg = self.registry.lock().unwrap();
+            match verb {
+                Verb::Open => {
+                    if reg.contains_key(&session) {
+                        drop(reg);
+                        return self.reject(
+                            verb,
+                            ErrorCode::SessionExists,
+                            format!("session {session:?} already exists"),
+                        );
+                    }
+                    let worker =
+                        self.next_worker.fetch_add(1, Ordering::Relaxed) % self.config.workers;
+                    let entry = SessionEntry {
+                        worker,
+                        depth: Arc::new(AtomicUsize::new(0)),
+                    };
+                    reg.insert(session.clone(), entry.clone());
+                    entry
+                }
+                Verb::Close => match reg.remove(&session) {
+                    Some(entry) => entry,
+                    None => {
+                        drop(reg);
+                        return self.reject(
+                            verb,
+                            ErrorCode::NoSession,
+                            format!("no session {session:?}"),
+                        );
+                    }
+                },
+                _ => match reg.get(&session) {
+                    Some(entry) => entry.clone(),
+                    None => {
+                        drop(reg);
+                        return self.reject(
+                            verb,
+                            ErrorCode::NoSession,
+                            format!("no session {session:?}"),
+                        );
+                    }
+                },
+            }
+        };
+
+        // Admission bound. CLOSE is always admitted: a client must be able
+        // to tear down the very session whose queue is full.
+        if verb == Verb::Close {
+            let depth = entry.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.metrics.note_queue_depth(depth);
+        } else {
+            let admitted = entry
+                .depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    (d < self.config.queue_limit).then_some(d + 1)
+                });
+            match admitted {
+                Ok(prev) => self.metrics.note_queue_depth(prev + 1),
+                Err(depth) => {
+                    // OPEN reserved the name above; un-reserve on shed.
+                    // (Unreachable in practice: a fresh OPEN has depth 0.)
+                    if verb == Verb::Open {
+                        self.registry.lock().unwrap().remove(&session);
+                    }
+                    self.metrics.record_request(verb, Outcome::Busy, None);
+                    return Reply::Busy {
+                        kvs: vec![
+                            ("session".into(), session),
+                            ("depth".into(), depth.to_string()),
+                            ("limit".into(), self.config.queue_limit.to_string()),
+                        ],
+                    };
+                }
+            }
+        }
+
+        let enqueued = Instant::now();
+        let deadline = request
+            .deadline_ms()
+            .map(|ms| enqueued + Duration::from_millis(ms));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            request,
+            reply_tx,
+            depth: entry.depth.clone(),
+            enqueued,
+            deadline,
+        };
+        let sent = {
+            let guard = self.senders[entry.worker].lock().unwrap();
+            match guard.as_ref() {
+                Some(tx) => tx.send(job).is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            // Shutdown closed the queues between our flag check and the
+            // send. Undo the admission and report the state honestly.
+            entry.depth.fetch_sub(1, Ordering::Relaxed);
+            if verb == Verb::Open {
+                self.registry.lock().unwrap().remove(&session);
+            }
+            return self.reject(verb, ErrorCode::ShuttingDown, "server is shutting down");
+        }
+        match reply_rx.recv() {
+            Ok(reply) => reply,
+            // Only a worker panic can drop the sender without replying.
+            Err(_) => Reply::Err {
+                code: ErrorCode::Io,
+                message: "worker abandoned the request".into(),
+            },
+        }
+    }
+}
+
+/// Serve one connection: greeting, then a frame/reply loop until EOF or a
+/// fatal protocol error.
+pub(crate) fn handle_connection(
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+    core: &ServerCore,
+) {
+    if writeln!(writer, "{WIRE_VERSION}")
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match Request::read_from(&mut reader, core.config.max_payload_lines) {
+            Ok(None) => return, // clean EOF
+            Ok(Some(request)) => {
+                let reply = core.submit(request);
+                if reply
+                    .write_to(&mut writer)
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e) => {
+                core.metrics.record_unparsed();
+                let reply = Reply::Err {
+                    code: ErrorCode::Proto,
+                    message: e.to_string(),
+                };
+                let wrote = reply.write_to(&mut writer).and_then(|()| writer.flush());
+                if e.fatal || wrote.is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts it down gracefully (see
+/// [`ServerHandle::shutdown`]).
+pub struct ServerHandle {
+    core: Arc<ServerCore>,
+    workers: Vec<JoinHandle<()>>,
+    accept: Option<(SocketAddr, JoinHandle<()>)>,
+    down: bool,
+}
+
+impl ServerHandle {
+    /// Start the worker pool. No listener yet — use [`Self::connect`] for
+    /// in-process clients or [`Self::serve_tcp`] to accept sockets.
+    pub fn start(config: ServerConfig) -> ServerHandle {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_limit >= 1, "queue limit must admit something");
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut receivers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = mpsc::channel();
+            senders.push(Mutex::new(Some(tx)));
+            receivers.push(rx);
+        }
+        let core = Arc::new(ServerCore {
+            config,
+            metrics: Arc::new(Metrics::new()),
+            registry: Mutex::new(HashMap::new()),
+            senders,
+            shutting_down: AtomicBool::new(false),
+            next_worker: AtomicUsize::new(0),
+        });
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("mcfs-worker-{i}"))
+                    .spawn(move || run_worker(rx, core))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        ServerHandle {
+            core,
+            workers,
+            accept: None,
+            down: false,
+        }
+    }
+
+    /// The live metrics, for embedding callers.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.core.metrics)
+    }
+
+    /// Connect an in-process client. The client speaks the real wire
+    /// protocol over an in-memory byte pipe; a thread per connection runs
+    /// the same `handle_connection` loop TCP uses.
+    pub fn connect(&self) -> Result<Client, ClientError> {
+        let (client_tx, server_rx) = pipe();
+        let (server_tx, client_rx) = pipe();
+        let core = Arc::clone(&self.core);
+        std::thread::Builder::new()
+            .name("mcfs-conn-pipe".into())
+            .spawn(move || {
+                handle_connection(BufReader::new(server_rx), server_tx, &core);
+            })
+            .expect("spawning a connection thread");
+        Client::new(client_rx, client_tx)
+    }
+
+    /// Bind `addr` and accept TCP connections until shutdown. Returns the
+    /// bound address (useful with port 0).
+    pub fn serve_tcp(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let core = Arc::clone(&self.core);
+        let accept = std::thread::Builder::new()
+            .name("mcfs-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if core.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let core = Arc::clone(&core);
+                    let _ = std::thread::Builder::new()
+                        .name("mcfs-conn-tcp".into())
+                        .spawn(move || {
+                            let Ok(read_half) = stream.try_clone() else {
+                                return;
+                            };
+                            handle_connection(BufReader::new(read_half), stream, &core);
+                        });
+                }
+            })?;
+        self.accept = Some((local, accept));
+        Ok(local)
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queued and running
+    /// request (clients get their replies), snapshot dirty sessions, join
+    /// the pool. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.core.shutting_down.store(true, Ordering::SeqCst);
+        // Closing the channels is the drain signal: workers finish what was
+        // admitted, then exit their recv loop and snapshot dirty sessions.
+        for slot in &self.core.senders {
+            slot.lock().unwrap().take();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some((addr, handle)) = self.accept.take() {
+            // The accept loop only observes the flag on its next
+            // connection; poke it so it wakes and exits.
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,67 @@
+//! The serving layer end to end: restore the committed bikes checkpoint
+//! into a server session, apply a ~5% customer delta, and warm re-solve —
+//! all through the in-process client, which speaks the same wire protocol
+//! a TCP client would.
+//!
+//! ```text
+//! cargo run --release --example serve_bikes
+//! ```
+
+use mcfs_repro::core::Edit;
+use mcfs_repro::server::{OpenKind, ServerConfig, ServerHandle};
+
+const CKPT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/bikes_small.ckpt");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerHandle::start(ServerConfig::default());
+    let mut client = server.connect()?;
+
+    // OPEN from the golden checkpoint: the session restores the recorded
+    // solution warm via ReSolver::from_solved — no cold solve on startup.
+    let text = std::fs::read_to_string(CKPT)?;
+    let opened = client.open_text("bikes", OpenKind::Checkpoint, &text)?;
+    let customers: usize = opened.kv("customers").unwrap().parse()?;
+    println!(
+        "opened session 'bikes': {customers} customers, {} stations, k={}, warm={}",
+        opened.kv("facilities").unwrap(),
+        opened.kv("k").unwrap(),
+        opened.kv("warm").unwrap(),
+    );
+
+    // A morning shift in demand: ~5% of the customer base changes (the
+    // first two riders leave, one new rider appears downtown).
+    let delta = [
+        Edit::RemoveCustomer { index: 0 },
+        Edit::RemoveCustomer {
+            index: customers - 2,
+        },
+        Edit::AddCustomer { node: 17 },
+    ];
+    client.edit("bikes", &delta)?;
+    println!("applied a {}-edit customer delta", delta.len());
+
+    let solved = client.solve("bikes")?;
+    println!(
+        "re-solved: objective={} warm={} ({}µs)",
+        solved.kv("objective").unwrap(),
+        solved.kv("warm").unwrap(),
+        solved.kv("wall_us").unwrap(),
+    );
+
+    println!("\nSTATS bikes");
+    for line in client.stats("bikes")? {
+        println!("  {line}");
+    }
+
+    println!("\nMETRICS");
+    for line in client.metrics()? {
+        // The full grid is long; print only the non-zero counters here.
+        if !line.ends_with(" 0") {
+            println!("  {line}");
+        }
+    }
+
+    client.close("bikes")?;
+    server.shutdown();
+    Ok(())
+}

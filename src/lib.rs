@@ -15,6 +15,8 @@
 //! * [`exact`] — exact branch-and-bound solver (the paper's Gurobi stand-in).
 //! * [`gen`] — workload generators for every experiment in the paper.
 //! * [`io`] — plain-text persistence for instances and solutions.
+//! * [`server`] — multi-session service: wire protocol, worker pool,
+//!   admission control and live metrics (`mcfs-serve`).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use mcfs_flow as flow;
 pub use mcfs_gen as gen;
 pub use mcfs_graph as graph;
 pub use mcfs_io as io;
+pub use mcfs_server as server;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {

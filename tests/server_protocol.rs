@@ -1,0 +1,243 @@
+//! Wire-protocol robustness: property-based round-trips of request and
+//! reply frames, plus malformed-input fuzzing. Whatever bytes a client
+//! sends, the parser must return a structured [`ProtoError`] — never
+//! panic, never misframe.
+
+use mcfs_repro::core::Edit;
+use mcfs_repro::server::{ErrorCode, OpenKind, Reply, Request, Verb};
+use proptest::prelude::*;
+
+/// Session-name alphabet (the full legal set).
+const NAME_CHARS: &[u8] = b"abcwXYZ019_.-";
+/// Payload-line alphabet: printable, includes the wire's own metacharacters
+/// (spaces, `=`, `#`) to prove count-prefixed framing ignores content.
+const LINE_CHARS: &[u8] = b"abz XYZ=019_.:#/ ";
+
+fn pick_string(chars: &[u8], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| chars[i % chars.len()] as char)
+        .collect()
+}
+
+fn build_edit(tag: usize, a: u32, b: u32) -> Edit {
+    match tag % 6 {
+        0 => Edit::AddCustomer { node: a },
+        1 => Edit::RemoveCustomer { index: a as usize },
+        2 => Edit::AddFacility {
+            node: a,
+            capacity: b + 1,
+        },
+        3 => Edit::RemoveFacility { index: a as usize },
+        4 => Edit::SetCapacity {
+            index: a as usize,
+            capacity: b + 1,
+        },
+        _ => Edit::SetBudget { k: a as usize },
+    }
+}
+
+fn build_request(
+    variant: usize,
+    session: String,
+    edits: Vec<Edit>,
+    payload: Vec<String>,
+    deadline_ms: Option<u64>,
+) -> Request {
+    match variant % 8 {
+        0 => Request::Open {
+            session,
+            kind: if deadline_ms.unwrap_or(0).is_multiple_of(2) {
+                OpenKind::Instance
+            } else {
+                OpenKind::Checkpoint
+            },
+            payload,
+        },
+        1 => Request::Edit {
+            session,
+            edits,
+            deadline_ms,
+        },
+        2 => Request::Solve {
+            session,
+            deadline_ms,
+        },
+        3 => Request::Assignment { session },
+        4 => Request::Stats { session },
+        5 => Request::Snapshot {
+            session,
+            deadline_ms,
+        },
+        6 => Request::Close { session },
+        _ => Request::Metrics,
+    }
+}
+
+fn roundtrip_request(req: &Request) -> Request {
+    let mut buf = Vec::new();
+    req.write_to(&mut buf).expect("rendering a valid request");
+    let mut reader = buf.as_slice();
+    let back = Request::read_from(&mut reader, 1 << 20)
+        .expect("parsing a rendered request")
+        .expect("a frame, not EOF");
+    assert!(reader.is_empty(), "frame did not consume its own bytes");
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every renderable request parses back to itself, and consumes
+    /// exactly the bytes it wrote (framing stays synchronized).
+    #[test]
+    fn request_frames_round_trip(
+        variant in 0usize..8,
+        name_picks in proptest::collection::vec(0usize..64, 1..12),
+        edit_specs in proptest::collection::vec((0usize..6, 0u32..5000, 0u32..50), 0..6),
+        line_specs in proptest::collection::vec(
+            proptest::collection::vec(0usize..64, 0..30), 0..8),
+        deadline in proptest::option::weighted(0.5, 0u64..100_000),
+    ) {
+        let session = pick_string(NAME_CHARS, &name_picks);
+        let edits: Vec<Edit> =
+            edit_specs.iter().map(|&(t, a, b)| build_edit(t, a, b)).collect();
+        let payload: Vec<String> =
+            line_specs.iter().map(|p| pick_string(LINE_CHARS, p)).collect();
+        let req = build_request(variant, session, edits, payload, deadline);
+        prop_assert_eq!(roundtrip_request(&req), req);
+    }
+
+    /// Every renderable reply parses back to itself.
+    #[test]
+    fn reply_frames_round_trip(
+        variant in 0usize..4,
+        verb_pick in 0usize..8,
+        code_pick in 0usize..11,
+        kv_specs in proptest::collection::vec(
+            (proptest::collection::vec(0usize..64, 1..8),
+             proptest::collection::vec(0usize..64, 0..8)), 0..4),
+        line_specs in proptest::collection::vec(
+            proptest::collection::vec(0usize..64, 0..30), 0..6),
+        msg_picks in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        let kvs: Vec<(String, String)> = kv_specs
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| {
+                // Prefix with the index so keys stay unique and never
+                // collide with the reserved `lines` attribute.
+                (format!("k{i}{}", pick_string(NAME_CHARS, k)),
+                 pick_string(NAME_CHARS, v))
+            })
+            .collect();
+        let payload: Vec<String> =
+            line_specs.iter().map(|p| pick_string(LINE_CHARS, p)).collect();
+        let reply = match variant {
+            0 => Reply::Ok {
+                verb: Verb::ALL[verb_pick % Verb::ALL.len()],
+                kvs,
+                payload,
+            },
+            1 => Reply::Busy { kvs },
+            2 => Reply::Timeout { kvs },
+            _ => {
+                // `err` carries the message to end-of-line, so leading and
+                // trailing whitespace is not preserved; trim to the wire's
+                // canonical form before comparing.
+                let message = pick_string(LINE_CHARS, &msg_picks).trim().to_owned();
+                Reply::Err {
+                    code: ErrorCode::ALL[code_pick % ErrorCode::ALL.len()],
+                    message,
+                }
+            }
+        };
+        let mut buf = Vec::new();
+        reply.write_to(&mut buf).expect("rendering a valid reply");
+        let mut reader = buf.as_slice();
+        let back = Reply::read_from(&mut reader, 1 << 20).expect("parsing a rendered reply");
+        prop_assert!(reader.is_empty(), "frame did not consume its own bytes");
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Arbitrary bytes never panic the request parser: they produce a
+    /// request, a clean EOF, or a structured error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let mut reader = bytes.as_slice();
+        match Request::read_from(&mut reader, 64) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.line >= 1),
+        }
+        let mut reader = bytes.as_slice();
+        let _ = Reply::read_from(&mut reader, 64);
+    }
+
+    /// Near-miss frames — a valid request with one mutation — never panic
+    /// and never parse as something else silently.
+    #[test]
+    fn mutated_valid_frames_stay_structured(
+        variant in 0usize..8,
+        name_picks in proptest::collection::vec(0usize..64, 1..12),
+        cut in 0usize..256,
+    ) {
+        let req = build_request(
+            variant,
+            pick_string(NAME_CHARS, &name_picks),
+            vec![Edit::AddCustomer { node: 3 }],
+            vec!["mcfs-instance v1".into(), "nodes 2".into()],
+            Some(17),
+        );
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        // Truncate mid-frame: must be EOF (empty prefix) or a structured
+        // error — truncated payloads are fatal, never misframed.
+        let cut = cut % (buf.len() + 1);
+        let mut reader = &buf[..cut];
+        match Request::read_from(&mut reader, 64) {
+            Ok(Some(parsed)) => {
+                if cut == buf.len() {
+                    prop_assert_eq!(parsed, req);
+                } else {
+                    // A strict prefix can parse only when the cut landed
+                    // mid-line (the parser accepts a lenient EOF-terminated
+                    // final line). A prefix ending at a line boundary is
+                    // missing whole promised lines and must error instead
+                    // (covered by the Err arm below).
+                    prop_assert!(!buf[..cut].ends_with(b"\n"));
+                }
+            }
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Err(e) => prop_assert!(e.fatal || e.line >= 1),
+        }
+    }
+}
+
+/// A table of specific malformed frames and the line each error reports.
+#[test]
+fn malformed_frames_report_structured_errors() {
+    let cases: &[(&str, usize, bool)] = &[
+        ("FROB x\n", 1, false),                         // unknown verb
+        ("OPEN\n", 1, false),                           // missing session
+        ("OPEN bad!name instance lines=0\n", 1, false), // illegal name
+        ("OPEN s instance\n", 1, false),                // missing lines=
+        ("OPEN s tarball lines=0\n", 1, false),         // bad payload kind
+        ("SOLVE s lines=1\nx\n", 1, false),             // payload on SOLVE
+        ("SOLVE s deadline_ms=abc\n", 1, false),        // bad deadline
+        ("CLOSE s deadline_ms=5\n", 1, false),          // deadline on CLOSE
+        ("EDIT s lines=1\nfrob 1\n", 2, false),         // bad edit line
+        ("EDIT s lines=2\nadd-customer 1\n", 3, true),  // truncated payload
+        ("OPEN s instance lines=999\nx\n", 1, false),   // over payload bound
+        ("STATS\n", 1, false),                          // missing session
+        ("METRICS now\n", 1, false),                    // METRICS takes no args
+    ];
+    for &(frame, line, fatal) in cases {
+        let mut reader = frame.as_bytes();
+        let err =
+            Request::read_from(&mut reader, 64).expect_err(&format!("{frame:?} should not parse"));
+        assert_eq!(err.line, line, "error line for {frame:?}: {err}");
+        assert_eq!(err.fatal, fatal, "fatality for {frame:?}: {err}");
+    }
+}
