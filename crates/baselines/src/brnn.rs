@@ -74,7 +74,9 @@ impl BrnnBaseline {
 
         let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
         let mut stats = SolveStats::for_threads(oracle.as_ref().map_or(1, |o| o.threads()));
-        let oracle_before = oracle.as_ref().map(|o| o.stats());
+        // Per-run attribution: count only this call stack's queries, even if
+        // the oracle is shared with other concurrently running solvers.
+        let oracle_run = oracle.as_ref().map(|o| o.begin_run());
 
         // Candidate lookup: node -> candidate indices (largest capacity
         // first so node-level picks take the most capable twin).
@@ -224,8 +226,8 @@ impl BrnnBaseline {
         let (assignment, objective) = optimal_assignment_with(inst, &selection, oracle.as_deref())?;
         stats.add_phase("assignment", t_assign.elapsed());
 
-        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
-            stats.record_oracle(before, &o.stats());
+        if let Some(run) = &oracle_run {
+            stats.record_oracle_run(&run.stats());
         }
         Ok((
             Solution {

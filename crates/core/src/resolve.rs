@@ -59,7 +59,7 @@
 //! ```
 
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use mcfs_flow::Matcher;
@@ -70,6 +70,30 @@ use crate::assign::{assignment_matcher, complete_assignment};
 use crate::instance::{Facility, McfsInstance, Solution};
 use crate::parallel::effective_threads;
 use crate::stats::SolveStats;
+
+/// Process-wide warm/cold re-solve decision counters (Prometheus
+/// exposition via `mcfs-obs`).
+struct ResolveCounters {
+    warm: mcfs_obs::Counter,
+    cold: mcfs_obs::Counter,
+}
+
+fn resolve_counters() -> &'static ResolveCounters {
+    static CELL: OnceLock<ResolveCounters> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let r = mcfs_obs::Registry::global();
+        ResolveCounters {
+            warm: r.counter(
+                "mcfs_resolve_warm_total",
+                "Re-solves whose final assignment was warm-started",
+            ),
+            cold: r.counter(
+                "mcfs_resolve_cold_total",
+                "Re-solves that rebuilt the final assignment cold",
+            ),
+        }
+    })
+}
 use crate::streams::{CustomerStream, FacilityMap};
 use crate::wma::Wma;
 use crate::SolveError;
@@ -448,21 +472,28 @@ impl<'g> ReSolver<'g> {
     /// later calls warm-start it from the surviving matching. The returned
     /// cost always equals a cold `Wma` solve of the same instance.
     pub fn solve(&mut self) -> Result<ReSolveRun, SolveError> {
+        let _solve_span = mcfs_obs::span("resolve.solve");
         let inst = self.instance();
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
         let mut solve_stats = SolveStats::for_threads(self.oracle.threads());
-        let before = self.oracle.stats();
+        // Per-run attribution: the oracle may be shared (e.g. several
+        // sessions over one graph), so count only this call stack's queries
+        // rather than diffing the global counters.
+        let oracle_run = self.oracle.begin_run();
 
         // Selection: identical deterministic code to a cold Wma::run.
+        let selection_span = mcfs_obs::span("resolve.selection");
         let (selection, _trace) =
             self.wma
                 .select_facilities(&inst, Some(&self.oracle), &feas, &mut solve_stats)?;
+        drop(selection_span);
         let sel_ids: Vec<u64> = selection
             .iter()
             .map(|&j| self.fac_ids[j as usize])
             .collect();
 
         let t_assign = Instant::now();
+        let assign_span = mcfs_obs::span("resolve.assignment");
         let (facilities, assignment, objective, warm) = match self
             .try_warm(&sel_ids, &mut solve_stats)
         {
@@ -488,8 +519,16 @@ impl<'g> ReSolver<'g> {
                 (selection, assignment, objective, false)
             }
         };
+        drop(assign_span);
+        let counters = resolve_counters();
+        if warm {
+            counters.warm.inc();
+        } else {
+            counters.cold.inc();
+        }
         solve_stats.add_phase("assignment", t_assign.elapsed());
-        solve_stats.record_oracle(&before, &self.oracle.stats());
+        solve_stats.record_oracle_run(&oracle_run.stats());
+        drop(oracle_run);
 
         Ok(ReSolveRun {
             solution: Solution {

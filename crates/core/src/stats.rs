@@ -125,10 +125,25 @@ impl SolveStats {
 
     /// Attribute the oracle activity between two [`OracleStats`] snapshots
     /// (taken before and after the run) to this run.
+    ///
+    /// Prefer [`record_oracle_run`](Self::record_oracle_run) with a
+    /// [`mcfs_graph::OracleRunGuard`] snapshot: global before/after deltas
+    /// double-count when two solvers share one oracle concurrently.
     pub fn record_oracle(&mut self, before: &OracleStats, after: &OracleStats) {
         self.cache_hits += after.hits.saturating_sub(before.hits);
         self.cache_misses += after.misses.saturating_sub(before.misses);
         self.oracle_nodes_settled += after.nodes_settled.saturating_sub(before.nodes_settled);
+    }
+
+    /// Attribute one run's oracle activity from a per-run snapshot (the
+    /// [`mcfs_graph::OracleRunGuard::stats`] of a guard opened around the
+    /// run). Unlike [`record_oracle`](Self::record_oracle), this counts only
+    /// queries issued from the guarded call stack, so two solvers sharing
+    /// one oracle each see exactly their own traffic.
+    pub fn record_oracle_run(&mut self, run: &OracleStats) {
+        self.cache_hits += run.hits;
+        self.cache_misses += run.misses;
+        self.oracle_nodes_settled += run.nodes_settled;
     }
 
     /// Render as stable `key value` lines — the machine-readable shape shared

@@ -51,6 +51,7 @@ impl UniformFirst {
 
 impl Solver for UniformFirst {
     fn solve(&self, inst: &McfsInstance) -> Result<Solution, SolveError> {
+        let _span = mcfs_obs::span("uf.solve");
         // Real-capacity feasibility gates everything.
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
 

@@ -20,7 +20,7 @@
 //! which collapses to one bipartite matching.
 
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use mcfs_flow::{Matcher, PruningRule};
@@ -35,6 +35,18 @@ use crate::parallel::resolve_oracle;
 use crate::stats::{IterationStats, RunStats, SolveStats};
 use crate::streams::CustomerStream;
 use crate::{SolveError, Solver};
+
+/// Process-wide count of WMA main-loop iterations (Prometheus exposition
+/// via `mcfs-obs`; the per-run figure lives in [`RunStats`]).
+fn iterations_counter() -> &'static mcfs_obs::Counter {
+    static CELL: OnceLock<mcfs_obs::Counter> = OnceLock::new();
+    CELL.get_or_init(|| {
+        mcfs_obs::Registry::global().counter(
+            "mcfs_wma_iterations_total",
+            "WMA main-loop iterations executed",
+        )
+    })
+}
 
 /// Exploration-vector policy (paper Section IV-F).
 ///
@@ -132,22 +144,28 @@ impl Wma {
 
     /// Run WMA, returning the solution and the instrumentation trace.
     pub fn run(&self, inst: &McfsInstance) -> Result<WmaRun, SolveError> {
+        let _run_span = mcfs_obs::span("wma.run");
         let feas = inst.check_feasibility().map_err(SolveError::Infeasible)?;
         let oracle = resolve_oracle(self.threads, self.oracle.as_ref());
         let mut solve_stats = SolveStats::for_threads(oracle.as_ref().map_or(1, |o| o.threads()));
-        let oracle_before = oracle.as_ref().map(|o| o.stats());
+        // Per-run attribution: only queries issued from this call stack are
+        // counted, even when the oracle (and its row cache) is shared with
+        // other concurrently running solvers.
+        let oracle_run = oracle.as_ref().map(|o| o.begin_run());
 
         let (selection, stats) =
             self.select_facilities(inst, oracle.as_deref(), &feas, &mut solve_stats)?;
 
         // --- Final optimal assignment onto F (lines 14–15). ---
         let t_assign = Instant::now();
+        let assign_span = mcfs_obs::span("wma.assignment");
         let (mut matcher, _) = assignment_matcher(inst, &selection, oracle.as_deref());
         let (assignment, objective) = complete_assignment(&mut matcher, inst.num_customers())?;
+        drop(assign_span);
         solve_stats.augmentations += matcher.augmentations();
         solve_stats.add_phase("assignment", t_assign.elapsed());
-        if let (Some(o), Some(before)) = (&oracle, &oracle_before) {
-            solve_stats.record_oracle(before, &o.stats());
+        if let Some(run) = &oracle_run {
+            solve_stats.record_oracle_run(&run.stats());
         }
         Ok(WmaRun {
             solution: Solution {
@@ -186,10 +204,12 @@ impl Wma {
         // parallel query; without, it is nearly free and the search cost is
         // paid lazily inside the matching phase instead.
         let t_prefetch = Instant::now();
+        let prefetch_span = mcfs_obs::span("wma.prefetch");
         let fac_map = Rc::new(inst.facilities_by_node());
         let streams =
             CustomerStream::for_customers(inst.graph(), inst.customers(), fac_map, oracle);
         let mut matcher = Matcher::with_pruning(streams, inst.capacities(), self.pruning);
+        drop(prefetch_span);
         solve_stats.add_phase("prefetch", t_prefetch.elapsed());
 
         let mut total_matching = Duration::ZERO;
@@ -208,6 +228,8 @@ impl Wma {
         let mut all_covered = false;
 
         for iteration in 1..=iter_cap {
+            let _iter_span = mcfs_obs::span("wma.iteration");
+            iterations_counter().inc();
             // --- Matching phase: satisfy every unmet demand (lines 5–6). ---
             let t0 = Instant::now();
             for i in 0..m {

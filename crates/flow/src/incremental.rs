@@ -26,10 +26,41 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use rustc_hash::FxHashMap;
 
 use crate::stream::EdgeStream;
+
+/// Global-registry counters mirroring the per-matcher statistics fields.
+/// The per-instance fields answer "what did *this* solve do"; these answer
+/// "what has the process done" (Prometheus exposition via `mcfs-obs`).
+struct ObsCounters {
+    augmentations: mcfs_obs::Counter,
+    dijkstra_runs: mcfs_obs::Counter,
+    edges_added: mcfs_obs::Counter,
+}
+
+fn obs() -> &'static ObsCounters {
+    static CELL: OnceLock<ObsCounters> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let r = mcfs_obs::Registry::global();
+        ObsCounters {
+            augmentations: r.counter(
+                "mcfs_matcher_augmentations_total",
+                "Units of flow committed by the incremental matcher",
+            ),
+            dijkstra_runs: r.counter(
+                "mcfs_matcher_dijkstra_runs_total",
+                "Residual Dijkstra searches run by the incremental matcher",
+            ),
+            edges_added: r.counter(
+                "mcfs_matcher_edges_added_total",
+                "Lazy edges materialized into the bipartite graph",
+            ),
+        }
+    })
+}
 
 /// Errors surfaced by [`Matcher::find_pair`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -400,6 +431,7 @@ impl<S: EdgeStream> Matcher<S> {
         });
         self.facilities[j as usize].discovered = true;
         self.edges_added += 1;
+        obs().edges_added.inc();
     }
 
     /// Augment one unit of flow from `customer` to some facility it is not
@@ -473,6 +505,7 @@ impl<S: EdgeStream> Matcher<S> {
     /// costs. Returns the best free-facility target and the visited sets.
     fn residual_dijkstra(&mut self, customer: usize) -> SearchResult {
         self.dijkstra_runs += 1;
+        obs().dijkstra_runs.inc();
         let m = self.customers.len();
         self.version += 1;
         let version = self.version;
@@ -573,7 +606,9 @@ impl<S: EdgeStream> Matcher<S> {
     /// Flip the edges of the found augmenting path and update potentials
     /// (paper Algorithm 2, lines 13–17).
     fn apply_augmentation(&mut self, source: usize, dt: u64, t: u32, m: usize) {
+        let _span = mcfs_obs::span("matcher.augment");
         self.augmentations += 1;
+        obs().augmentations.inc();
         // Potentials: π_v += δ(t) − min(δ(v), δ(t)) over touched nodes.
         // Unsettled touched nodes have δ(v) ≥ δ(t), so only strictly closer
         // nodes move — exactly line 17 of Algorithm 2.

@@ -50,7 +50,7 @@ pub use dijkstra::{
 pub use geometry::{GridIndex, Point};
 pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
 pub use lazy::LazyDijkstra;
-pub use oracle::{DistanceOracle, OracleStats};
+pub use oracle::{DistanceOracle, OracleRunGuard, OracleStats};
 pub use par::{available_threads, par_map_indexed};
 pub use paths::{dijkstra_with_parents, route_from_parents, routes_from_hub, shortest_route};
 

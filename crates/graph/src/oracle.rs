@@ -22,9 +22,11 @@
 //! wrong graph, the oracle remembers a cheap structural fingerprint of the
 //! first graph it sees and panics if a later call disagrees.
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rustc_hash::FxHashMap;
 
@@ -58,6 +60,111 @@ pub struct OracleStats {
     pub capacity: usize,
     /// Worker threads used by batched queries.
     pub threads: usize,
+}
+
+/// Registry-backed counters mirroring the oracle's internal atomics, cached
+/// once so the hot path pays a single relaxed add per event.
+struct ObsCounters {
+    hits: mcfs_obs::Counter,
+    misses: mcfs_obs::Counter,
+    evictions: mcfs_obs::Counter,
+    nodes_settled: mcfs_obs::Counter,
+}
+
+fn obs_counters() -> &'static ObsCounters {
+    static COUNTERS: OnceLock<ObsCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = mcfs_obs::Registry::global();
+        ObsCounters {
+            hits: r.counter(
+                "mcfs_oracle_row_cache_hits_total",
+                "Distance-oracle row requests answered from the cache",
+            ),
+            misses: r.counter(
+                "mcfs_oracle_row_cache_misses_total",
+                "Distance-oracle row requests that ran a fresh Dijkstra",
+            ),
+            evictions: r.counter(
+                "mcfs_oracle_row_cache_evictions_total",
+                "Distance-oracle rows dropped by the FIFO bound",
+            ),
+            nodes_settled: r.counter(
+                "mcfs_oracle_nodes_settled_total",
+                "Nodes settled computing missed distance rows",
+            ),
+        }
+    })
+}
+
+#[derive(Default)]
+struct RunCells {
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    evictions: Cell<u64>,
+    nodes_settled: Cell<u64>,
+}
+
+thread_local! {
+    /// Stack of per-run attribution frames for this thread. Oracle counting
+    /// happens exclusively on the calling thread (batched fan-outs tally
+    /// after the join), so thread-local frames attribute exactly the
+    /// activity of the run(s) open on this thread — even when several
+    /// solvers share one oracle from different threads, which is precisely
+    /// the case the old snapshot-delta accounting got wrong.
+    static RUN_STACK: RefCell<Vec<Rc<RunCells>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Add oracle activity to every run frame open on this thread (nested runs
+/// — e.g. Uniform-First around an inner WMA — each own the inner activity).
+fn note_run(hits: u64, misses: u64, evictions: u64, nodes_settled: u64) {
+    RUN_STACK.with(|stack| {
+        for cells in stack.borrow().iter() {
+            cells.hits.set(cells.hits.get() + hits);
+            cells.misses.set(cells.misses.get() + misses);
+            cells.evictions.set(cells.evictions.get() + evictions);
+            cells
+                .nodes_settled
+                .set(cells.nodes_settled.get() + nodes_settled);
+        }
+    });
+}
+
+/// Per-run oracle attribution scope, opened with
+/// [`DistanceOracle::begin_run`]. While the guard lives, every oracle call
+/// *on the creating thread* is tallied into it; [`stats`](Self::stats)
+/// reads the tally at any point. Unlike diffing two
+/// [`DistanceOracle::stats`] snapshots, the tally is immune to concurrent
+/// runs on other threads sharing the same oracle.
+pub struct OracleRunGuard {
+    cells: Rc<RunCells>,
+}
+
+impl OracleRunGuard {
+    /// The oracle activity attributed to this run so far. Only the counter
+    /// fields (`hits`, `misses`, `evictions`, `nodes_settled`) are
+    /// meaningful; occupancy fields are zero.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.cells.hits.get(),
+            misses: self.cells.misses.get(),
+            evictions: self.cells.evictions.get(),
+            nodes_settled: self.cells.nodes_settled.get(),
+            ..OracleStats::default()
+        }
+    }
+}
+
+impl Drop for OracleRunGuard {
+    fn drop(&mut self) {
+        RUN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are scope-shaped, so ours is normally on top; tolerate
+            // out-of-order drops by searching from the back.
+            if let Some(pos) = stack.iter().rposition(|c| Rc::ptr_eq(c, &self.cells)) {
+                stack.remove(pos);
+            }
+        });
+    }
 }
 
 /// Structural fingerprint used to detect cross-graph misuse. Deliberately
@@ -190,6 +297,16 @@ impl DistanceOracle {
         }
     }
 
+    /// Open a per-run attribution scope on the calling thread: every oracle
+    /// call made on this thread while the guard lives is tallied into it.
+    /// This is the race-free replacement for diffing [`stats`](Self::stats)
+    /// snapshots when several solvers share one oracle.
+    pub fn begin_run(&self) -> OracleRunGuard {
+        let cells = Rc::new(RunCells::default());
+        RUN_STACK.with(|stack| stack.borrow_mut().push(Rc::clone(&cells)));
+        OracleRunGuard { cells }
+    }
+
     /// Zero the hit/miss/eviction counters (cached rows are kept).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
@@ -216,23 +333,30 @@ impl DistanceOracle {
         }
     }
 
-    fn insert_row(&self, cache: &mut RowCache, source: NodeId, row: Arc<Vec<Dist>>) {
+    /// Returns the number of rows the FIFO bound evicted.
+    fn insert_row(&self, cache: &mut RowCache, source: NodeId, row: Arc<Vec<Dist>>) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         if cache.rows.insert(source, row).is_none() {
             cache.order.push_back(source);
         }
+        let mut evicted = 0;
         while cache.rows.len() > self.capacity {
             // `order` can only be empty if rows was externally cleared, in
             // which case len() <= capacity already.
             if let Some(old) = cache.order.pop_front() {
                 cache.rows.remove(&old);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
             } else {
                 break;
             }
         }
+        if evicted > 0 {
+            obs_counters().evictions.add(evicted);
+        }
+        evicted
     }
 
     /// The full one-to-all distance row from `source`, computed on demand
@@ -244,6 +368,8 @@ impl DistanceOracle {
             Self::check_graph(&mut cache, g);
             if let Some(row) = cache.rows.get(&source) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs_counters().hits.inc();
+                note_run(1, 0, 0, 0);
                 return Arc::clone(row);
             }
         }
@@ -252,11 +378,17 @@ impl DistanceOracle {
         // source may both compute; both produce the identical row, and the
         // second insert is a no-op overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let _span = mcfs_obs::span("oracle.row");
         let row = Arc::new(dijkstra_all(g, source));
-        self.nodes_settled
-            .fetch_add(settled_in(&row), Ordering::Relaxed);
+        let settled = settled_in(&row);
+        self.nodes_settled.fetch_add(settled, Ordering::Relaxed);
+        let obs = obs_counters();
+        obs.misses.inc();
+        obs.nodes_settled.add(settled);
         let mut cache = self.cache.lock().unwrap();
-        self.insert_row(&mut cache, source, Arc::clone(&row));
+        let evicted = self.insert_row(&mut cache, source, Arc::clone(&row));
+        drop(cache);
+        note_run(0, 1, evicted, settled);
         row
     }
 
@@ -283,29 +415,35 @@ impl DistanceOracle {
                 }
             }
         }
-        self.hits
-            .fetch_add((sources.len() - missing.len()) as u64, Ordering::Relaxed);
-        self.misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        let hits = (sources.len() - missing.len()) as u64;
+        let misses = missing.len() as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        let obs = obs_counters();
+        obs.hits.add(hits);
+        obs.misses.add(misses);
 
         // Phase 2 (no lock): fan the missing expansions across the pool.
         // `par_map_indexed` returns slot-ordered results, so insertion
         // order below — hence FIFO eviction order — is scheduling-independent.
+        let batch_span = mcfs_obs::span("oracle.batch");
         let computed = par_map_indexed(missing.len(), self.threads, |i| {
             Arc::new(dijkstra_all(g, missing[i]))
         });
-        self.nodes_settled.fetch_add(
-            computed.iter().map(|row| settled_in(row)).sum::<u64>(),
-            Ordering::Relaxed,
-        );
+        drop(batch_span);
+        let settled = computed.iter().map(|row| settled_in(row)).sum::<u64>();
+        self.nodes_settled.fetch_add(settled, Ordering::Relaxed);
+        obs.nodes_settled.add(settled);
 
         // Phase 3 (under the lock): publish new rows in input order.
+        let mut evicted = 0;
         {
             let mut cache = self.cache.lock().unwrap();
             for (s, row) in missing.iter().zip(&computed) {
-                self.insert_row(&mut cache, *s, Arc::clone(row));
+                evicted += self.insert_row(&mut cache, *s, Arc::clone(row));
             }
         }
+        note_run(hits, misses, evicted, settled);
         for (s, row) in missing.into_iter().zip(computed) {
             found.insert(s, row);
         }
@@ -475,6 +613,53 @@ mod tests {
         assert_eq!(o.stats().nodes_settled, 4 + 4 + 1);
         o.reset_stats();
         assert_eq!(o.stats().nodes_settled, 0);
+    }
+
+    #[test]
+    fn run_guard_attributes_only_the_calling_thread() {
+        let g = sample();
+        let o = Arc::new(DistanceOracle::new().with_threads(1));
+        let run = o.begin_run();
+        o.row(&g, 0); // miss on this thread
+        o.row(&g, 0); // hit on this thread
+                      // Another thread hammers the same oracle while our run is open; its
+                      // activity must not leak into our tally.
+        let other = Arc::clone(&o);
+        let g2 = sample();
+        std::thread::spawn(move || {
+            for s in [1u32, 2, 3] {
+                other.row(&g2, s);
+            }
+        })
+        .join()
+        .unwrap();
+        let mine = run.stats();
+        assert_eq!((mine.hits, mine.misses), (1, 1));
+        assert_eq!(mine.nodes_settled, 4, "only this thread's expansion");
+        // The oracle-wide counters saw everything.
+        assert_eq!(o.stats().misses, 4);
+        drop(run);
+        o.row(&g, 1); // no frame open: tallied nowhere
+        let o2 = DistanceOracle::new().with_threads(1);
+        let nested_outer = o2.begin_run();
+        {
+            let nested_inner = o2.begin_run();
+            o2.row(&g, 0);
+            assert_eq!(nested_inner.stats().misses, 1);
+        }
+        assert_eq!(nested_outer.stats().misses, 1, "inner runs roll up");
+    }
+
+    #[test]
+    fn run_guard_sees_batched_queries_and_evictions() {
+        let g = sample();
+        let o = DistanceOracle::new().with_threads(2).with_cache_rows(2);
+        let run = o.begin_run();
+        o.distances_for_sources(&g, &[0, 1, 2, 0]);
+        let s = run.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+        assert_eq!(s.evictions, 1, "three rows into a two-row cache");
+        assert_eq!(s.nodes_settled, 4 + 4 + 4);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Span exporters: Chrome trace-event JSON (loadable in `about://tracing`
+//! and Perfetto), JSONL for log shipping, and the one-line wire shape the
+//! `TRACE` verb carries.
+//!
+//! The wire line is deliberately positional —
+//!
+//! ```text
+//! <trace> <id> <parent> <thread> <start_ns> <dur_ns> <name>
+//! ```
+//!
+//! — with the name last, so the protocol layer needs no quoting (span
+//! names contain no whitespace by construction).
+
+use std::borrow::Cow;
+
+use crate::trace::SpanRecord;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond remainder, as Chrome's `ts`/`dur` expect.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render spans as a Chrome trace-event JSON document (complete `"X"`
+/// events inside a `traceEvents` array). Load the output in Perfetto or
+/// `about://tracing` to see the request waterfall.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"mcfs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{}}}}}",
+            escape_json(&s.name),
+            us(s.start_ns),
+            us(s.dur_ns),
+            s.thread,
+            s.trace,
+            s.id,
+            s.parent,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render spans as JSONL: one flat JSON object per line.
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"trace\":{},\"id\":{},\"parent\":{},\"thread\":{},\
+             \"start_ns\":{},\"dur_ns\":{},\"name\":\"{}\"}}\n",
+            s.trace,
+            s.id,
+            s.parent,
+            s.thread,
+            s.start_ns,
+            s.dur_ns,
+            escape_json(&s.name)
+        ));
+    }
+    out
+}
+
+/// Render one span as the positional wire line the `TRACE` verb returns.
+pub fn span_to_wire_line(s: &SpanRecord) -> String {
+    format!(
+        "{} {} {} {} {} {} {}",
+        s.trace, s.id, s.parent, s.thread, s.start_ns, s.dur_ns, s.name
+    )
+}
+
+/// Parse a [`span_to_wire_line`] line back into a record.
+pub fn span_from_wire_line(line: &str) -> Option<SpanRecord> {
+    let mut it = line.split_whitespace();
+    let trace = it.next()?.parse().ok()?;
+    let id = it.next()?.parse().ok()?;
+    let parent = it.next()?.parse().ok()?;
+    let thread = it.next()?.parse().ok()?;
+    let start_ns = it.next()?.parse().ok()?;
+    let dur_ns = it.next()?.parse().ok()?;
+    let name = it.next()?.to_owned();
+    if it.next().is_some() {
+        return None;
+    }
+    Some(SpanRecord {
+        trace,
+        id,
+        parent,
+        thread,
+        start_ns,
+        dur_ns,
+        name: Cow::Owned(name),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                trace: 3,
+                id: 10,
+                parent: 0,
+                thread: 1,
+                start_ns: 1_500,
+                dur_ns: 2_000_250,
+                name: Cow::Borrowed("server.execute"),
+            },
+            SpanRecord {
+                trace: 3,
+                id: 11,
+                parent: 10,
+                thread: 1,
+                start_ns: 2_000,
+                dur_ns: 900,
+                name: Cow::Borrowed("resolve.solve"),
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_in_microseconds() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"server.execute\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2000.250"));
+        assert!(json.contains("\"parent\":10"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"trace\":3,\"id\":10,"));
+        assert!(lines[1].contains("\"name\":\"resolve.solve\""));
+    }
+
+    #[test]
+    fn wire_line_round_trips() {
+        for s in sample() {
+            let line = span_to_wire_line(&s);
+            let back = span_from_wire_line(&line).unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(span_from_wire_line("1 2 3").is_none());
+        assert!(span_from_wire_line("1 2 3 4 5 6 name extra").is_none());
+        assert!(span_from_wire_line("x 2 3 4 5 6 name").is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # mcfs-obs
+//!
+//! The unified observability substrate for the MCFS reproduction: one
+//! metrics registry and one tracing core shared by every layer, from the
+//! distance oracle at the bottom to the wire protocol at the top.
+//!
+//! * [`registry`] — named families of relaxed-atomic counters, gauges and
+//!   log2 histograms with a stable Prometheus text-exposition renderer.
+//!   [`Registry::global`] hosts library-internal counters (oracle row-cache
+//!   traffic, matcher augmentations, solver iterations); embedding layers
+//!   like the server create their own [`Registry`] per instance so
+//!   instance-scoped counters never bleed between servers in one process.
+//! * [`trace`] — spans with thread-local stacks, monotonic timestamps and
+//!   a bounded ring of finished spans. Near-zero cost when no trace is
+//!   active: [`span`] is one relaxed atomic load on the disabled path.
+//! * [`export`] — Chrome trace-event JSON (Perfetto-loadable), JSONL, and
+//!   the positional wire line the server's `TRACE` verb carries.
+//!
+//! The crate is dependency-free (std only) so every other crate in the
+//! workspace can instrument itself without weight.
+//!
+//! ```
+//! use mcfs_obs::{span, Registry, TraceGuard};
+//!
+//! let solves = Registry::global().counter("mcfs_doc_solves_total", "example");
+//! let guard = TraceGuard::enter(0, 0);
+//! {
+//!     let _solve = span("doc.solve");
+//!     solves.inc();
+//! }
+//! let spans = mcfs_obs::spans_for(guard.trace());
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].name, "doc.solve");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod trace;
+
+pub use export::{span_from_wire_line, span_to_wire_line, to_chrome_trace, to_jsonl};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use trace::{
+    alloc_span_id, clear_spans, current_trace, last_spans, next_trace_id, now_ns, record_manual,
+    set_force, set_ring_capacity, span, spans_for, thread_id, verify_nesting, Span, SpanRecord,
+    TraceGuard, DEFAULT_RING_CAPACITY,
+};

@@ -1,0 +1,447 @@
+//! The span tracing core: thread-local span stacks, monotonic timestamps,
+//! and a bounded global ring buffer of finished spans.
+//!
+//! # Model
+//!
+//! A *trace* is a set of spans sharing a trace id — one served request, one
+//! solver run. A thread *enters* a trace with [`TraceGuard::enter`]; while
+//! the guard lives, every [`span`] opened on that thread records into the
+//! trace, parented to the innermost open span (a thread-local stack gives
+//! well-nesting by construction). Dropping a span guard timestamps its end
+//! and pushes the finished [`SpanRecord`] into the ring.
+//!
+//! # Cost when disabled
+//!
+//! [`span`] first reads one relaxed [`AtomicBool`] that is only set while
+//! some thread is inside a trace (or force mode is on). When it is clear —
+//! the overwhelmingly common case for untraced traffic — the call returns
+//! an inert guard without reading the clock, allocating, or touching a
+//! thread-local. The bench group `obs_tracing` and the overhead test keep
+//! this path honest.
+//!
+//! # Cross-thread spans
+//!
+//! Work that starts on one thread and finishes on another (a queued request
+//! between its connection thread and its worker) cannot use the RAII guard;
+//! [`record_manual`] records a span from explicit timestamps, and
+//! [`alloc_span_id`] pre-allocates an id so children can be parented to a
+//! span that is recorded later.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default bound on retained finished spans.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to (never 0).
+    pub trace: u64,
+    /// Span id, unique within the process (never 0).
+    pub id: u64,
+    /// Parent span id within the same trace; 0 = a trace root.
+    pub parent: u64,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dot-separated span name (e.g. `server.execute`); contains no spaces,
+    /// so it can ride last on a space-separated wire line.
+    pub name: Cow<'static, str>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static FORCE: AtomicBool = AtomicBool::new(false);
+static ACTIVE_GUARDS: AtomicUsize = AtomicUsize::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+fn ring() -> &'static Mutex<VecDeque<SpanRecord>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanRecord>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn rearm() {
+    ARMED.store(
+        FORCE.load(Relaxed) || ACTIVE_GUARDS.load(Relaxed) > 0,
+        Relaxed,
+    );
+}
+
+/// Trace every span regardless of [`TraceGuard`]s — spans opened outside a
+/// trace get a freshly minted trace id each. Meant for benches and tests.
+pub fn set_force(on: bool) {
+    FORCE.store(on, Relaxed);
+    rearm();
+}
+
+/// Nanoseconds since the process trace epoch (first call wins).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// Mint a fresh trace id (never 0).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Relaxed)
+}
+
+/// Pre-allocate a span id (never 0) for a later [`record_manual`] call, so
+/// children can name their parent before the parent is recorded.
+pub fn alloc_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Relaxed)
+}
+
+/// The trace id this thread is currently inside (0 = none).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Small dense id of the calling thread, assigned on first use.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_THREAD_ID.fetch_add(1, Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+fn push_record(record: SpanRecord) {
+    let cap = RING_CAPACITY.load(Relaxed);
+    let mut ring = ring().lock().unwrap();
+    while ring.len() >= cap.max(1) {
+        ring.pop_front();
+    }
+    ring.push_back(record);
+}
+
+/// Bound the ring of retained finished spans (oldest are dropped first).
+pub fn set_ring_capacity(capacity: usize) {
+    RING_CAPACITY.store(capacity.max(1), Relaxed);
+}
+
+/// Drop every retained span (test isolation).
+pub fn clear_spans() {
+    ring().lock().unwrap().clear();
+}
+
+/// All retained spans of `trace`, ordered by start time (ties: by id, which
+/// respects creation order within a thread).
+pub fn spans_for(trace: u64) -> Vec<SpanRecord> {
+    let mut spans: Vec<SpanRecord> = ring()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|s| s.trace == trace)
+        .cloned()
+        .collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    spans
+}
+
+/// The most recently finished `n` spans across all traces (oldest first).
+pub fn last_spans(n: usize) -> Vec<SpanRecord> {
+    let ring = ring().lock().unwrap();
+    ring.iter()
+        .skip(ring.len().saturating_sub(n))
+        .cloned()
+        .collect()
+}
+
+/// Record a span from explicit timestamps (cross-thread lifecycles). Pass
+/// `id: None` to allocate one; returns the span's id.
+pub fn record_manual(
+    trace: u64,
+    name: &'static str,
+    parent: u64,
+    id: Option<u64>,
+    start_ns: u64,
+    end_ns: u64,
+) -> u64 {
+    let id = id.unwrap_or_else(alloc_span_id);
+    push_record(SpanRecord {
+        trace,
+        id,
+        parent,
+        thread: thread_id(),
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        name: Cow::Borrowed(name),
+    });
+    id
+}
+
+/// RAII scope that routes this thread's spans into a trace.
+pub struct TraceGuard {
+    trace: u64,
+    prev_trace: u64,
+    prev_parent: u64,
+}
+
+impl TraceGuard {
+    /// Enter `trace` (0 mints a fresh id) with spans parented to `parent`
+    /// (0 = trace root). Returns the guard; read the resolved id off it.
+    pub fn enter(trace: u64, parent: u64) -> TraceGuard {
+        let trace = if trace == 0 { next_trace_id() } else { trace };
+        let prev_trace = CURRENT_TRACE.with(|t| t.replace(trace));
+        let prev_parent = CURRENT_PARENT.with(|p| p.replace(parent));
+        ACTIVE_GUARDS.fetch_add(1, Relaxed);
+        rearm();
+        TraceGuard {
+            trace,
+            prev_trace,
+            prev_parent,
+        }
+    }
+
+    /// The trace id this guard routes spans into.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|t| t.set(self.prev_trace));
+        CURRENT_PARENT.with(|p| p.set(self.prev_parent));
+        ACTIVE_GUARDS.fetch_sub(1, Relaxed);
+        rearm();
+    }
+}
+
+struct SpanActive {
+    trace: u64,
+    id: u64,
+    prev_parent: u64,
+    start_ns: u64,
+    name: &'static str,
+}
+
+/// An open span; dropping it records the [`SpanRecord`]. Inert (a no-op)
+/// when the thread is not inside a trace.
+pub struct Span(Option<SpanActive>);
+
+impl Span {
+    /// The span's id, or 0 when inert.
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.id)
+    }
+}
+
+/// Open a span named `name` on the current thread. See the module docs for
+/// the enablement rules and the disabled-path cost.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !ARMED.load(Relaxed) {
+        return Span(None);
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> Span {
+    let mut trace = CURRENT_TRACE.with(Cell::get);
+    if trace == 0 {
+        if !FORCE.load(Relaxed) {
+            return Span(None);
+        }
+        // Force mode: orphan spans each get their own trace so they remain
+        // queryable; they stay roots (parent 0).
+        trace = next_trace_id();
+    }
+    let id = alloc_span_id();
+    let prev_parent = CURRENT_PARENT.with(|p| p.replace(id));
+    Span(Some(SpanActive {
+        trace,
+        id,
+        prev_parent,
+        start_ns: now_ns(),
+        name,
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        CURRENT_PARENT.with(|p| p.set(active.prev_parent));
+        let end = now_ns();
+        push_record(SpanRecord {
+            trace: active.trace,
+            id: active.id,
+            parent: active.prev_parent,
+            thread: thread_id(),
+            start_ns: active.start_ns,
+            dur_ns: end.saturating_sub(active.start_ns),
+            name: Cow::Borrowed(active.name),
+        });
+    }
+}
+
+/// Check that `spans` form well-nested trees: every non-root parent exists
+/// in the set, belongs to the same trace, and its time interval encloses
+/// the child's (manual cross-thread spans get a small slack because their
+/// endpoints come from different `now_ns` calls).
+pub fn verify_nesting(spans: &[SpanRecord]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for s in spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let parent = by_id
+            .get(&s.parent)
+            .ok_or_else(|| format!("span {} ({}) has unknown parent {}", s.id, s.name, s.parent))?;
+        if parent.trace != s.trace {
+            return Err(format!(
+                "span {} ({}) in trace {} has parent {} in trace {}",
+                s.id, s.name, s.trace, parent.id, parent.trace
+            ));
+        }
+        let (ps, pe) = (parent.start_ns, parent.start_ns + parent.dur_ns);
+        let (cs, ce) = (s.start_ns, s.start_ns + s.dur_ns);
+        if cs < ps || ce > pe {
+            return Err(format!(
+                "span {} ({}) [{cs}, {ce}] escapes parent {} ({}) [{ps}, {pe}]",
+                s.id, s.name, parent.id, parent.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring and its capacity are process-global; tests that read or
+    /// resize them serialize here so the parallel test harness cannot
+    /// interleave an eviction into another test's assertions.
+    static RING_TESTS: Mutex<()> = Mutex::new(());
+
+    fn ring_lock() -> std::sync::MutexGuard<'static, ()> {
+        RING_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_outside_a_trace_are_inert() {
+        let _serial = ring_lock();
+        let before = last_spans(usize::MAX).len();
+        {
+            let s = span("inert.scope");
+            assert_eq!(s.id(), 0);
+        }
+        assert_eq!(last_spans(usize::MAX).len(), before);
+    }
+
+    #[test]
+    fn nested_spans_record_parentage_and_enclosure() {
+        let _serial = ring_lock();
+        let guard = TraceGuard::enter(0, 0);
+        let trace = guard.trace();
+        {
+            let _outer = span("t.outer");
+            let _inner = span("t.inner");
+        }
+        drop(guard);
+        let spans = spans_for(trace);
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "t.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "t.inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        verify_nesting(&spans).unwrap();
+        // After the guard dropped, the thread is out of the trace.
+        assert_eq!(current_trace(), 0);
+        assert_eq!(span("t.after").id(), 0);
+    }
+
+    #[test]
+    fn manual_records_compose_with_preallocated_parents() {
+        let _serial = ring_lock();
+        let trace = next_trace_id();
+        let root = alloc_span_id();
+        let t0 = now_ns();
+        let child = record_manual(trace, "m.child", root, None, t0 + 10, t0 + 20);
+        record_manual(trace, "m.root", 0, Some(root), t0, t0 + 100);
+        let spans = spans_for(trace);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "m.root");
+        assert_eq!(spans[1].id, child);
+        verify_nesting(&spans).unwrap();
+    }
+
+    #[test]
+    fn concurrent_traces_stay_disjoint() {
+        let _serial = ring_lock();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let guard = TraceGuard::enter(0, 0);
+                    let trace = guard.trace();
+                    for _ in 0..8 {
+                        let _a = span("p.outer");
+                        let _b = span("p.inner");
+                    }
+                    drop(guard);
+                    (i, trace)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (_, trace) = h.join().unwrap();
+            let spans = spans_for(trace);
+            assert_eq!(spans.len(), 16);
+            assert!(spans.iter().all(|s| s.trace == trace));
+            verify_nesting(&spans).unwrap();
+        }
+    }
+
+    #[test]
+    fn ring_capacity_bounds_retention() {
+        let _serial = ring_lock();
+        let guard = TraceGuard::enter(0, 0);
+        let trace = guard.trace();
+        set_ring_capacity(8);
+        for _ in 0..32 {
+            let _s = span("cap.tick");
+        }
+        drop(guard);
+        assert!(spans_for(trace).len() <= 8);
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+    }
+
+    #[test]
+    fn verify_nesting_rejects_escapes() {
+        let mk = |id, parent, start, dur| SpanRecord {
+            trace: 1,
+            id,
+            parent,
+            thread: 1,
+            start_ns: start,
+            dur_ns: dur,
+            name: Cow::Borrowed("x"),
+        };
+        assert!(verify_nesting(&[mk(1, 0, 0, 100), mk(2, 1, 50, 20)]).is_ok());
+        assert!(verify_nesting(&[mk(1, 0, 0, 100), mk(2, 1, 90, 20)]).is_err());
+        assert!(verify_nesting(&[mk(2, 7, 0, 10)]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property suite for the observability substrate: histogram bucketing
+//! invariants, byte-stable Prometheus rendering, wire-line round-trips,
+//! and well-nestedness of concurrently recorded span trees.
+//!
+//! Run with `PROPTEST_CASES=256` (the CI `obs-suites` job does) for the
+//! deeper sweep.
+
+use proptest::prelude::*;
+use std::borrow::Cow;
+
+use mcfs_obs::{
+    span, span_from_wire_line, span_to_wire_line, spans_for, to_chrome_trace, verify_nesting,
+    Registry, SpanRecord, TraceGuard,
+};
+
+/// The bucket index `Histogram::observe` must pick: 0 for 0, else
+/// `floor(log2(v)) + 1`, clamped into the catch-all.
+fn expected_bucket(value: u64, buckets: usize) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(buckets - 1)
+    }
+}
+
+proptest! {
+    /// Sum/count/bucket-total invariants hold for any observation set, and
+    /// every observation lands in its log2 bucket.
+    #[test]
+    fn histogram_buckets_partition_observations(
+        values in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        buckets in 2usize..32,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram_log2("mcfs_prop_hist", "prop", buckets);
+        let mut expected = vec![0u64; buckets];
+        for &v in &values {
+            h.observe(v);
+            expected[expected_bucket(v, buckets)] += 1;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        let by_bucket: Vec<u64> = (0..buckets).map(|i| h.bucket_count(i)).collect();
+        prop_assert_eq!(by_bucket, expected);
+    }
+
+    /// Rendering is a pure read: byte-identical across calls, and the
+    /// cumulative histogram lines are monotone and end at the count.
+    #[test]
+    fn prometheus_rendering_is_stable_and_cumulative(
+        counts in proptest::collection::vec(0u64..100, 1..6),
+        observations in proptest::collection::vec(0u64..1u64 << 20, 0..32),
+    ) {
+        let reg = Registry::new();
+        for (i, &n) in counts.iter().enumerate() {
+            reg.counter_with("mcfs_prop_total", "prop", &[("cell", &format!("c{i}"))])
+                .add(n);
+        }
+        let h = reg.histogram_log2("mcfs_prop_lat", "prop", 8);
+        for &v in &observations {
+            h.observe(v);
+        }
+        let first = reg.render_prometheus();
+        prop_assert_eq!(&first, &reg.render_prometheus());
+
+        for (i, &n) in counts.iter().enumerate() {
+            let needle = format!("mcfs_prop_total{{cell=\"c{i}\"}} {n}\n");
+            prop_assert!(first.contains(&needle), "missing sample line {:?}", needle);
+        }
+        // Cumulative buckets never decrease and the +Inf line equals count.
+        let mut last = 0u64;
+        for line in first.lines().filter(|l| l.starts_with("mcfs_prop_lat_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(v >= last, "cumulative bucket went down in {line:?}");
+            last = v;
+        }
+        prop_assert_eq!(last, observations.len() as u64);
+        let count_line = format!("mcfs_prop_lat_count {}\n", observations.len());
+        prop_assert!(first.contains(&count_line), "missing {:?}", count_line);
+    }
+
+    /// Any span record with a whitespace-free name survives the positional
+    /// wire line unchanged.
+    #[test]
+    fn wire_lines_round_trip(
+        trace in 1u64..u64::MAX,
+        id in 1u64..u64::MAX,
+        parent in 0u64..u64::MAX,
+        thread in 1u64..1000,
+        start_ns in 0u64..u64::MAX,
+        dur_ns in 0u64..u64::MAX,
+        name_picks in proptest::collection::vec(0usize..64, 1..16),
+    ) {
+        const NAME_CHARS: &[u8] = b"abcxyz019_.";
+        let name: String = name_picks
+            .iter()
+            .map(|&i| NAME_CHARS[i % NAME_CHARS.len()] as char)
+            .collect();
+        let record = SpanRecord {
+            trace, id, parent, thread, start_ns, dur_ns,
+            name: Cow::Owned(name),
+        };
+        let line = span_to_wire_line(&record);
+        prop_assert_eq!(span_from_wire_line(&line), Some(record));
+    }
+
+    /// Concurrent threads each tracing a random open/close program yield
+    /// disjoint traces whose span trees are well-nested.
+    #[test]
+    fn concurrent_span_trees_are_well_nested(
+        programs in proptest::collection::vec(
+            proptest::collection::vec(1usize..5, 1..8), 1..4),
+    ) {
+        static NAMES: [&str; 5] = ["p.a", "p.b", "p.c", "p.d", "p.e"];
+        let handles: Vec<_> = programs
+            .into_iter()
+            .map(|depths| {
+                std::thread::spawn(move || {
+                    let guard = TraceGuard::enter(0, 0);
+                    let trace = guard.trace();
+                    let mut opened = 0usize;
+                    for depth in depths {
+                        // Open a nest `depth` deep, close it innermost
+                        // first (a Vec drops front-to-back, which would
+                        // end the outer span before its children).
+                        let mut stack = Vec::new();
+                        for d in 0..depth {
+                            stack.push(span(NAMES[d % NAMES.len()]));
+                            opened += 1;
+                        }
+                        while stack.pop().is_some() {}
+                    }
+                    drop(guard);
+                    (trace, opened)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (trace, opened) = h.join().unwrap();
+            let spans = spans_for(trace);
+            prop_assert_eq!(spans.len(), opened);
+            prop_assert!(spans.iter().all(|s| s.trace == trace));
+            prop_assert!(verify_nesting(&spans).is_ok());
+            // The exporter accepts whatever the ring produced.
+            let json = to_chrome_trace(&spans);
+            prop_assert!(
+                json.starts_with("{\"traceEvents\":[") && json.ends_with("]}"),
+                "malformed chrome trace document"
+            );
+        }
+    }
+}

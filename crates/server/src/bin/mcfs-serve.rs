@@ -3,7 +3,12 @@
 //! ```text
 //! mcfs-serve [--addr 127.0.0.1:4816] [--workers N] [--queue-limit N]
 //!            [--snapshot-dir PATH] [--solver-threads N]
+//!            [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! `--metrics-addr` additionally serves the live counters as Prometheus
+//! text on `GET /metrics` at the given address (a scrape endpoint separate
+//! from the wire port).
 //!
 //! The process serves until stdin reports EOF or a line reading
 //! `shutdown`, then drains in-flight work, snapshots dirty sessions (when
@@ -17,18 +22,20 @@ use mcfs_server::{ServerConfig, ServerHandle};
 
 struct Args {
     addr: String,
+    metrics_addr: Option<String>,
     config: ServerConfig,
 }
 
 fn usage() -> String {
     "usage: mcfs-serve [--addr HOST:PORT] [--workers N] [--queue-limit N] \
-     [--snapshot-dir PATH] [--solver-threads N]"
+     [--snapshot-dir PATH] [--solver-threads N] [--metrics-addr HOST:PORT]"
         .to_owned()
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:4816".to_owned(),
+        metrics_addr: None,
         config: ServerConfig::default(),
     };
     let mut it = argv.iter();
@@ -49,6 +56,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--workers" => args.config.workers = num()?.max(1),
             "--queue-limit" => args.config.queue_limit = num()?.max(1),
             "--snapshot-dir" => args.config.snapshot_dir = Some(PathBuf::from(value)),
+            "--metrics-addr" => args.metrics_addr = Some(value.clone()),
             "--solver-threads" => {
                 args.config.solver = args.config.solver.clone().threads(num()?.max(1));
             }
@@ -86,6 +94,15 @@ fn main() -> ExitCode {
         }
     };
     println!("mcfs-serve listening on {addr}");
+    if let Some(metrics_addr) = &args.metrics_addr {
+        match server.serve_metrics_http(metrics_addr) {
+            Ok(bound) => println!("mcfs-serve metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("mcfs-serve: cannot bind metrics addr {metrics_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!("type 'shutdown' (or close stdin) for a graceful stop");
 
     let stdin = std::io::stdin();

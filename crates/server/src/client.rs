@@ -8,7 +8,9 @@ use std::net::TcpStream;
 use mcfs::{Edit, McfsInstance, Solution};
 use mcfs_io::{read_solution, write_instance};
 
-use crate::protocol::{OpenKind, ProtoError, Reply, Request, DEFAULT_MAX_PAYLOAD_LINES};
+use crate::protocol::{
+    MetricsFormat, OpenKind, ProtoError, Reply, Request, TracedRequest, DEFAULT_MAX_PAYLOAD_LINES,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -87,6 +89,19 @@ impl Client {
     /// typed helpers below are built on.
     pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
         request.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(Reply::read_from(&mut self.reader, self.max_payload)?)
+    }
+
+    /// Send one request stamped with `trace=<id>`; the server records the
+    /// request's span tree under that id and echoes `trace=<id>` on
+    /// structured replies. Mint ids with [`mcfs_obs::next_trace_id`].
+    pub fn request_traced(&mut self, request: &Request, trace: u64) -> Result<Reply, ClientError> {
+        let framed = TracedRequest {
+            request: request.clone(),
+            trace: Some(trace),
+        };
+        framed.write_to(&mut self.writer)?;
         self.writer.flush()?;
         Ok(Reply::read_from(&mut self.reader, self.max_payload)?)
     }
@@ -181,9 +196,60 @@ impl Client {
         })
     }
 
+    /// `SOLVE` with a trace id: the server records the request's full span
+    /// tree (queue → execute → solver → oracle) under `trace`.
+    pub fn solve_traced(&mut self, session: &str, trace: u64) -> Result<Reply, ClientError> {
+        let reply = self.request_traced(
+            &Request::Solve {
+                session: session.to_owned(),
+                deadline_ms: None,
+            },
+            trace,
+        )?;
+        if reply.is_ok() {
+            Ok(reply)
+        } else {
+            Err(ClientError::Rejected(reply))
+        }
+    }
+
+    /// `TRACE`: fetch the spans of the session's most recent traced
+    /// request, parsed from their wire lines. `n` keeps only the most
+    /// recent `n` spans.
+    pub fn trace_spans(
+        &mut self,
+        session: &str,
+        n: Option<usize>,
+    ) -> Result<Vec<mcfs_obs::SpanRecord>, ClientError> {
+        let reply = self.expect_ok(&Request::Trace {
+            session: session.to_owned(),
+            n,
+            deadline_ms: None,
+        })?;
+        let spans: Option<Vec<_>> = reply
+            .payload()
+            .iter()
+            .map(|line| mcfs_obs::span_from_wire_line(line))
+            .collect();
+        spans.ok_or(ClientError::Rejected(reply))
+    }
+
     /// `METRICS`: the server's live counters as `key value` lines.
     pub fn metrics(&mut self) -> Result<Vec<String>, ClientError> {
-        let reply = self.expect_ok(&Request::Metrics)?;
+        let reply = self.expect_ok(&Request::Metrics {
+            format: MetricsFormat::Kv,
+        })?;
         Ok(reply.payload().to_vec())
+    }
+
+    /// `METRICS format=prometheus`: the same counters in Prometheus text
+    /// exposition format (one newline-terminated document).
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let reply = self.expect_ok(&Request::Metrics {
+            format: MetricsFormat::Prometheus,
+        })?;
+        let mut text = reply.payload().join("\n");
+        text.push('\n');
+        Ok(text)
     }
 }

@@ -19,10 +19,20 @@
 //! - `server` — admission control (bounded per-session queues shed with
 //!   `busy`), per-request deadlines for queued work, graceful shutdown
 //!   that drains in-flight requests and snapshots dirty sessions.
-//! - [`metrics`] — lock-free counters and a log2 latency histogram behind
-//!   the `METRICS` verb.
+//! - [`metrics`] — live counters and a log2 latency histogram, backed by
+//!   an `mcfs-obs` registry: the `METRICS` verb serves them as `key value`
+//!   lines or Prometheus text (`format=prometheus`), and [`http`] can
+//!   expose the latter on a `GET /metrics` scrape endpoint.
 //! - [`client`] / [`pipe`] — a blocking client that speaks the real
 //!   protocol over TCP or an in-memory byte pipe (same bytes, no socket).
+//!
+//! Any request may carry `trace=<id>` on its verb line; the server then
+//! records the request's lifecycle (`server.parse` → `server.queue` →
+//! `server.execute` → solver/matcher/oracle spans → `server.reply`) into
+//! the process-wide `mcfs-obs` span ring and echoes `trace=<id>` on the
+//! reply. The `TRACE` verb retrieves a session's most recent traced
+//! request as positional span lines, convertible to Chrome trace JSON via
+//! [`mcfs_obs::to_chrome_trace`].
 //!
 //! ```no_run
 //! use mcfs_server::{ServerConfig, ServerHandle};
@@ -39,6 +49,7 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod metrics;
 pub mod pipe;
 pub mod protocol;
@@ -47,7 +58,11 @@ pub mod session;
 mod worker;
 
 pub use client::{Client, ClientError};
+pub use http::MetricsHttpHandle;
 pub use metrics::{Metrics, Outcome};
-pub use protocol::{ErrorCode, OpenKind, ProtoError, Reply, Request, Verb, WIRE_VERSION};
+pub use protocol::{
+    ErrorCode, MetricsFormat, OpenKind, ProtoError, Reply, Request, TracedRequest, Verb,
+    WIRE_VERSION,
+};
 pub use server::{ServerConfig, ServerHandle};
 pub use session::Session;

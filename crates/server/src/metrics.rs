@@ -4,11 +4,21 @@
 //! counters reconcile with the requests clients actually sent — the
 //! integration suite asserts this. Counters are plain relaxed atomics: the
 //! metrics path must never contend with the solve path.
+//!
+//! Since the `mcfs-obs` substrate landed, [`Metrics`] is a thin view over a
+//! per-server [`mcfs_obs::Registry`]: every cell below is a registry handle
+//! (family `mcfs_server_*`), so the same numbers are available both as the
+//! legacy `key value` lines of the `METRICS` verb and as Prometheus text
+//! exposition ([`Metrics::to_prometheus`], which also appends the
+//! process-global registry that the oracle/matcher/solver layers feed).
+//! Each server owns its own registry, so two servers in one process never
+//! mix their request counters.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 use mcfs::SolveStats;
+use mcfs_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::Verb;
 
@@ -64,92 +74,153 @@ fn verb_index(v: Verb) -> usize {
         .expect("Verb::ALL is exhaustive")
 }
 
-/// The shared, live counter set.
-#[derive(Debug, Default)]
+/// The shared, live counter set — a view over this server's registry.
+#[derive(Debug)]
 pub struct Metrics {
-    requests: [[AtomicU64; OUTCOMES]; VERBS],
-    latency: [AtomicU64; LATENCY_BUCKETS],
-    queue_depth_highwater: AtomicU64,
-    solves_warm: AtomicU64,
-    solves_cold: AtomicU64,
-    oracle_cache_hits: AtomicU64,
-    oracle_cache_misses: AtomicU64,
-    oracle_nodes_settled: AtomicU64,
-    sessions_open: AtomicU64,
-    sessions_opened_total: AtomicU64,
-    snapshots_written: AtomicU64,
+    registry: Arc<Registry>,
+    /// `(verb, outcome)` grid, flattened row-major over [`Verb::ALL`].
+    requests: Vec<Counter>,
+    latency: Histogram,
+    queue_depth_highwater: Gauge,
+    solves_warm: Counter,
+    solves_cold: Counter,
+    oracle_cache_hits: Counter,
+    oracle_cache_misses: Counter,
+    oracle_nodes_settled: Counter,
+    sessions_open: Gauge,
+    sessions_opened_total: Counter,
+    snapshots_written: Counter,
     /// Frames that never parsed to a verb (counted outside the grid).
-    unparsed: AtomicU64,
+    unparsed: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters over a private registry.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Arc::new(Registry::new());
+        let mut requests = Vec::with_capacity(VERBS * OUTCOMES);
+        for verb in Verb::ALL {
+            for outcome in Outcome::ALL {
+                requests.push(registry.counter_with(
+                    "mcfs_server_requests_total",
+                    "Replies sent, by request verb and reply outcome",
+                    &[("verb", verb.name()), ("outcome", outcome.name())],
+                ));
+            }
+        }
+        let latency = registry.histogram_log2(
+            "mcfs_server_request_latency_us",
+            "Admission-to-reply wall time of queued requests, microseconds",
+            LATENCY_BUCKETS,
+        );
+        Self {
+            requests,
+            latency,
+            queue_depth_highwater: registry.gauge(
+                "mcfs_server_queue_depth_highwater",
+                "Highest per-session queue depth observed",
+            ),
+            solves_warm: registry.counter_with(
+                "mcfs_server_solves_total",
+                "Solver runs executed on behalf of SOLVE requests",
+                &[("mode", "warm")],
+            ),
+            solves_cold: registry.counter_with(
+                "mcfs_server_solves_total",
+                "Solver runs executed on behalf of SOLVE requests",
+                &[("mode", "cold")],
+            ),
+            oracle_cache_hits: registry.counter(
+                "mcfs_server_oracle_cache_hits_total",
+                "Oracle row-cache hits attributed to served solves",
+            ),
+            oracle_cache_misses: registry.counter(
+                "mcfs_server_oracle_cache_misses_total",
+                "Oracle row-cache misses attributed to served solves",
+            ),
+            oracle_nodes_settled: registry.counter(
+                "mcfs_server_oracle_nodes_settled_total",
+                "Nodes settled by the oracle on behalf of served solves",
+            ),
+            sessions_open: registry.gauge("mcfs_server_sessions_open", "Sessions currently open"),
+            sessions_opened_total: registry
+                .counter("mcfs_server_sessions_opened_total", "Sessions ever opened"),
+            snapshots_written: registry.counter(
+                "mcfs_server_snapshots_written_total",
+                "Checkpoint files written (SNAPSHOT verb or shutdown drain)",
+            ),
+            unparsed: registry.counter(
+                "mcfs_server_requests_unparsed_total",
+                "Frames that failed protocol parsing before reaching a verb",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry backing this server's counters (family `mcfs_server_*`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Record one reply. `latency` is admission-to-reply wall time where it
     /// is meaningful (queued requests); inline replies pass `None`.
     pub fn record_request(&self, verb: Verb, outcome: Outcome, latency: Option<Duration>) {
-        self.requests[verb_index(verb)][outcome.index()].fetch_add(1, Relaxed);
+        self.requests[verb_index(verb) * OUTCOMES + outcome.index()].inc();
         if let Some(lat) = latency {
             let us = lat.as_micros().min(u64::MAX as u128) as u64;
-            // Bucket i covers [2^(i-1), 2^i) µs; 65 - leading_zeros(us) maps
-            // us=0 to bucket 0 and saturates into the catch-all.
-            let bucket = if us == 0 {
-                0
-            } else {
-                (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-            };
-            self.latency[bucket].fetch_add(1, Relaxed);
+            self.latency.observe(us);
         }
     }
 
     /// Record a frame that failed protocol parsing — it has no verb, so it
     /// lives outside the `(verb, outcome)` grid.
     pub fn record_unparsed(&self) {
-        self.unparsed.fetch_add(1, Relaxed);
+        self.unparsed.inc();
     }
 
     /// Track the per-session queue-depth high-water mark.
     pub fn note_queue_depth(&self, depth: usize) {
-        self.queue_depth_highwater.fetch_max(depth as u64, Relaxed);
+        self.queue_depth_highwater.set_max(depth as u64);
     }
 
     /// Account one solver run: warm/cold classification and the oracle
     /// cache activity its [`SolveStats`] attribute to it.
     pub fn record_solve(&self, warm: bool, stats: &SolveStats) {
         if warm {
-            self.solves_warm.fetch_add(1, Relaxed);
+            self.solves_warm.inc();
         } else {
-            self.solves_cold.fetch_add(1, Relaxed);
+            self.solves_cold.inc();
         }
-        self.oracle_cache_hits.fetch_add(stats.cache_hits, Relaxed);
-        self.oracle_cache_misses
-            .fetch_add(stats.cache_misses, Relaxed);
-        self.oracle_nodes_settled
-            .fetch_add(stats.oracle_nodes_settled, Relaxed);
+        self.oracle_cache_hits.add(stats.cache_hits);
+        self.oracle_cache_misses.add(stats.cache_misses);
+        self.oracle_nodes_settled.add(stats.oracle_nodes_settled);
     }
 
     /// A session was created.
     pub fn session_opened(&self) {
-        self.sessions_open.fetch_add(1, Relaxed);
-        self.sessions_opened_total.fetch_add(1, Relaxed);
+        self.sessions_open.inc();
+        self.sessions_opened_total.inc();
     }
 
     /// A session was closed.
     pub fn session_closed(&self) {
-        self.sessions_open.fetch_sub(1, Relaxed);
+        self.sessions_open.dec();
     }
 
     /// A checkpoint file was written (SNAPSHOT verb or shutdown drain).
     pub fn snapshot_written(&self) {
-        self.snapshots_written.fetch_add(1, Relaxed);
+        self.snapshots_written.inc();
     }
 
     /// Number of snapshots written so far.
     pub fn snapshots(&self) -> u64 {
-        self.snapshots_written.load(Relaxed)
+        self.snapshots_written.get()
     }
 
     /// Render the counters as stable `key value` lines — the `METRICS`
@@ -163,49 +234,55 @@ impl Metrics {
                     "requests.{}.{} {}",
                     verb.name(),
                     outcome.name(),
-                    self.requests[verb_index(verb)][outcome.index()].load(Relaxed)
+                    self.requests[verb_index(verb) * OUTCOMES + outcome.index()].get()
                 ));
             }
         }
-        out.push(format!("requests.unparsed {}", self.unparsed.load(Relaxed)));
+        out.push(format!("requests.unparsed {}", self.unparsed.get()));
         out.push(format!(
             "queue_depth_highwater {}",
-            self.queue_depth_highwater.load(Relaxed)
+            self.queue_depth_highwater.get()
         ));
-        out.push(format!("solves.warm {}", self.solves_warm.load(Relaxed)));
-        out.push(format!("solves.cold {}", self.solves_cold.load(Relaxed)));
+        out.push(format!("solves.warm {}", self.solves_warm.get()));
+        out.push(format!("solves.cold {}", self.solves_cold.get()));
         out.push(format!(
             "oracle.cache_hits {}",
-            self.oracle_cache_hits.load(Relaxed)
+            self.oracle_cache_hits.get()
         ));
         out.push(format!(
             "oracle.cache_misses {}",
-            self.oracle_cache_misses.load(Relaxed)
+            self.oracle_cache_misses.get()
         ));
         out.push(format!(
             "oracle.nodes_settled {}",
-            self.oracle_nodes_settled.load(Relaxed)
+            self.oracle_nodes_settled.get()
         ));
-        out.push(format!(
-            "sessions.open {}",
-            self.sessions_open.load(Relaxed)
-        ));
+        out.push(format!("sessions.open {}", self.sessions_open.get()));
         out.push(format!(
             "sessions.opened_total {}",
-            self.sessions_opened_total.load(Relaxed)
+            self.sessions_opened_total.get()
         ));
         out.push(format!(
             "snapshots.written {}",
-            self.snapshots_written.load(Relaxed)
+            self.snapshots_written.get()
         ));
-        for (i, bucket) in self.latency.iter().enumerate() {
+        for i in 0..LATENCY_BUCKETS {
             let label = if i + 1 == LATENCY_BUCKETS {
                 format!("latency_us.ge_{}", 1u64 << (LATENCY_BUCKETS - 2))
             } else {
                 format!("latency_us.lt_{}", 1u64 << i)
             };
-            out.push(format!("{label} {}", bucket.load(Relaxed)));
+            out.push(format!("{label} {}", self.latency.bucket_count(i)));
         }
+        out
+    }
+
+    /// Render this server's counters plus the process-global solver-side
+    /// families (`mcfs_oracle_*`, `mcfs_matcher_*`, `mcfs_wma_*`,
+    /// `mcfs_resolve_*`) in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&Registry::global().render_prometheus());
         out
     }
 }
@@ -268,5 +345,30 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.starts_with("latency_us.ge_") && l.ends_with(" 1")));
+    }
+
+    #[test]
+    fn prometheus_view_reconciles_with_kv_lines() {
+        let m = Metrics::new();
+        m.record_request(Verb::Solve, Outcome::Ok, Some(Duration::from_micros(7)));
+        m.record_request(Verb::Solve, Outcome::Err, None);
+        m.record_unparsed();
+        m.session_opened();
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE mcfs_server_requests_total counter"));
+        assert!(
+            text.contains("mcfs_server_requests_total{verb=\"solve\",outcome=\"ok\"} 1\n"),
+            "missing solve/ok cell in:\n{text}"
+        );
+        assert!(text.contains("mcfs_server_requests_total{verb=\"solve\",outcome=\"err\"} 1\n"));
+        assert!(text.contains("mcfs_server_requests_unparsed_total 1\n"));
+        assert!(text.contains("mcfs_server_sessions_open 1\n"));
+        assert!(text.contains("mcfs_server_request_latency_us_count 1\n"));
+        assert!(text.contains("mcfs_server_request_latency_us_sum 7\n"));
+        // Two servers in one process do not share cells.
+        let other = Metrics::new();
+        assert!(other
+            .to_prometheus()
+            .contains("mcfs_server_requests_unparsed_total 0\n"));
     }
 }

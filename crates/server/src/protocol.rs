@@ -20,13 +20,22 @@
 //!           | "STATS" session
 //!           | "SNAPSHOT" session ["deadline_ms=" d]
 //!           | "CLOSE" session
-//!           | "METRICS"
+//!           | "METRICS" ["format=" ("kv" | "prometheus")]
+//!           | "TRACE" session ["n=" k] ["deadline_ms=" d]
 //!
 //! reply    := "ok" verb {key "=" value} ["lines=" n payload]
 //!           | "busy" {key "=" value}
 //!           | "timeout" {key "=" value}
 //!           | "err" code message-to-end-of-line
 //! ```
+//!
+//! Any request verb line may additionally carry a `trace=<id>` attribute
+//! (a nonzero u64 chosen by the client): the server then records the
+//! request's lifecycle as spans under that trace id and echoes the id back
+//! as a `trace=` kv on non-`err` replies. `TRACE <session>` returns the
+//! spans of the session's most recent traced request, one span per payload
+//! line in the `mcfs-obs` wire shape. [`TracedRequest`] is the
+//! frame-with-trace pair; [`Request`] alone ignores the attribute.
 //!
 //! `OPEN` payloads are verbatim `mcfs-instance v1` / `mcfs-checkpoint v1`
 //! blocks (the `mcfs-io` formats, reused as-is); `EDIT` payloads are typed
@@ -57,7 +66,7 @@ pub const MAX_SESSION_NAME: usize = 64;
 /// cannot commit the server to an unbounded allocation.
 pub const DEFAULT_MAX_PAYLOAD_LINES: usize = 1 << 20;
 
-/// The eight request verbs.
+/// The nine request verbs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Verb {
     /// Create a session from an instance or checkpoint payload.
@@ -76,11 +85,13 @@ pub enum Verb {
     Close,
     /// Fetch the server-wide counters and latency histogram.
     Metrics,
+    /// Fetch the spans of a session's most recent traced request.
+    Trace,
 }
 
 impl Verb {
     /// Every verb, in wire order.
-    pub const ALL: [Verb; 8] = [
+    pub const ALL: [Verb; 9] = [
         Verb::Open,
         Verb::Edit,
         Verb::Solve,
@@ -89,6 +100,7 @@ impl Verb {
         Verb::Snapshot,
         Verb::Close,
         Verb::Metrics,
+        Verb::Trace,
     ];
 
     /// The lowercase wire name (used in replies and metrics keys).
@@ -102,6 +114,7 @@ impl Verb {
             Verb::Snapshot => "snapshot",
             Verb::Close => "close",
             Verb::Metrics => "metrics",
+            Verb::Trace => "trace",
         }
     }
 
@@ -116,6 +129,7 @@ impl Verb {
             Verb::Snapshot => "SNAPSHOT",
             Verb::Close => "CLOSE",
             Verb::Metrics => "METRICS",
+            Verb::Trace => "TRACE",
         }
     }
 
@@ -197,8 +211,87 @@ pub enum Request {
         /// Target session name.
         session: String,
     },
-    /// `METRICS`.
-    Metrics,
+    /// `METRICS [format=kv|prometheus]`.
+    Metrics {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// `TRACE <session> [n=<k>] [deadline_ms=<d>]`.
+    Trace {
+        /// Target session name.
+        session: String,
+        /// Cap on returned spans (most recent first wins); `None` = all
+        /// retained spans of the session's last traced request.
+        n: Option<usize>,
+        /// Queued-request deadline, milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+}
+
+/// `METRICS` exposition formats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Legacy `key value` lines (the default).
+    #[default]
+    Kv,
+    /// Prometheus text exposition (version 0.0.4), one metric per line.
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// The wire token used in `format=<token>`.
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricsFormat::Kv => "kv",
+            MetricsFormat::Prometheus => "prometheus",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<MetricsFormat> {
+        match s {
+            "kv" => Some(MetricsFormat::Kv),
+            "prometheus" => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// A request frame together with its optional `trace=<id>` attribute.
+///
+/// The id is chosen by the client (any nonzero u64); the server records the
+/// request lifecycle as spans under it and echoes it back on non-`err`
+/// replies, which is what lets a later `TRACE` call retrieve the waterfall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedRequest {
+    /// The request proper.
+    pub request: Request,
+    /// Client-chosen trace id, if the frame carried `trace=`.
+    pub trace: Option<u64>,
+}
+
+impl TracedRequest {
+    /// An untraced frame.
+    pub fn untraced(request: Request) -> Self {
+        Self {
+            request,
+            trace: None,
+        }
+    }
+
+    /// Serialize the frame, appending ` trace=<id>` to the verb line when
+    /// set.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        self.request.write_traced(w, self.trace)
+    }
+
+    /// Read one request frame, retaining any `trace=` attribute.
+    /// `Ok(None)` is a clean EOF at a frame boundary.
+    pub fn read_from(
+        r: &mut impl BufRead,
+        max_payload: usize,
+    ) -> Result<Option<TracedRequest>, ProtoError> {
+        Ok(read_traced_frame(r, max_payload)?.map(|(req, _)| req))
+    }
 }
 
 /// Structured error codes carried by `err` replies.
@@ -397,7 +490,8 @@ impl Request {
             Request::Stats { .. } => Verb::Stats,
             Request::Snapshot { .. } => Verb::Snapshot,
             Request::Close { .. } => Verb::Close,
-            Request::Metrics => Verb::Metrics,
+            Request::Metrics { .. } => Verb::Metrics,
+            Request::Trace { .. } => Verb::Trace,
         }
     }
 
@@ -410,8 +504,9 @@ impl Request {
             | Request::Assignment { session }
             | Request::Stats { session }
             | Request::Snapshot { session, .. }
-            | Request::Close { session } => Some(session),
-            Request::Metrics => None,
+            | Request::Close { session }
+            | Request::Trace { session, .. } => Some(session),
+            Request::Metrics { .. } => None,
         }
     }
 
@@ -420,20 +515,34 @@ impl Request {
         match self {
             Request::Edit { deadline_ms, .. }
             | Request::Solve { deadline_ms, .. }
-            | Request::Snapshot { deadline_ms, .. } => *deadline_ms,
+            | Request::Snapshot { deadline_ms, .. }
+            | Request::Trace { deadline_ms, .. } => *deadline_ms,
             _ => None,
         }
     }
 
     /// Serialize the frame (verb line plus payload).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        self.write_traced(w, None)
+    }
+
+    /// Serialize the frame, appending ` trace=<id>` to the verb line when
+    /// `trace` is set (the [`TracedRequest`] shape).
+    fn write_traced(&self, w: &mut impl Write, trace: Option<u64>) -> io::Result<()> {
+        let end_line = |w: &mut dyn Write| -> io::Result<()> {
+            if let Some(t) = trace {
+                write!(w, " trace={t}")?;
+            }
+            writeln!(w)
+        };
         match self {
             Request::Open {
                 session,
                 kind,
                 payload,
             } => {
-                writeln!(w, "OPEN {session} {} lines={}", kind.token(), payload.len())?;
+                write!(w, "OPEN {session} {} lines={}", kind.token(), payload.len())?;
+                end_line(w)?;
                 for line in payload {
                     check_payload_line(line)?;
                     writeln!(w, "{line}")?;
@@ -448,7 +557,7 @@ impl Request {
                 if let Some(d) = deadline_ms {
                     write!(w, " deadline_ms={d}")?;
                 }
-                writeln!(w)?;
+                end_line(w)?;
                 for e in edits {
                     writeln!(w, "{}", render_edit(e))?;
                 }
@@ -461,10 +570,16 @@ impl Request {
                 if let Some(d) = deadline_ms {
                     write!(w, " deadline_ms={d}")?;
                 }
-                writeln!(w)?;
+                end_line(w)?;
             }
-            Request::Assignment { session } => writeln!(w, "ASSIGNMENT {session}")?,
-            Request::Stats { session } => writeln!(w, "STATS {session}")?,
+            Request::Assignment { session } => {
+                write!(w, "ASSIGNMENT {session}")?;
+                end_line(w)?;
+            }
+            Request::Stats { session } => {
+                write!(w, "STATS {session}")?;
+                end_line(w)?;
+            }
             Request::Snapshot {
                 session,
                 deadline_ms,
@@ -473,111 +588,170 @@ impl Request {
                 if let Some(d) = deadline_ms {
                     write!(w, " deadline_ms={d}")?;
                 }
-                writeln!(w)?;
+                end_line(w)?;
             }
-            Request::Close { session } => writeln!(w, "CLOSE {session}")?,
-            Request::Metrics => writeln!(w, "METRICS")?,
+            Request::Close { session } => {
+                write!(w, "CLOSE {session}")?;
+                end_line(w)?;
+            }
+            Request::Metrics { format } => {
+                write!(w, "METRICS")?;
+                if *format != MetricsFormat::Kv {
+                    write!(w, " format={}", format.token())?;
+                }
+                end_line(w)?;
+            }
+            Request::Trace {
+                session,
+                n,
+                deadline_ms,
+            } => {
+                write!(w, "TRACE {session}")?;
+                if let Some(n) = n {
+                    write!(w, " n={n}")?;
+                }
+                if let Some(d) = deadline_ms {
+                    write!(w, " deadline_ms={d}")?;
+                }
+                end_line(w)?;
+            }
         }
         Ok(())
     }
 
-    /// Read one request frame. `Ok(None)` is a clean EOF at a frame
-    /// boundary; mid-frame EOF is a fatal [`ProtoError`].
+    /// Read one request frame, ignoring any `trace=` attribute (use
+    /// [`TracedRequest::read_from`] to retain it). `Ok(None)` is a clean
+    /// EOF at a frame boundary; mid-frame EOF is a fatal [`ProtoError`].
     pub fn read_from(
         r: &mut impl BufRead,
         max_payload: usize,
     ) -> Result<Option<Request>, ProtoError> {
-        let Some(line) = read_frame_line(r, 1)? else {
-            return Ok(None);
-        };
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let Some((&head, rest)) = tokens.split_first() else {
-            return Err(ProtoError::new(1, "empty request line"));
-        };
-        let verb = Verb::from_token(head)
-            .ok_or_else(|| ProtoError::new(1, format!("unknown verb {head:?}")))?;
-
-        // METRICS takes no arguments at all.
-        if verb == Verb::Metrics {
-            if !rest.is_empty() {
-                return Err(ProtoError::new(1, "METRICS takes no arguments"));
-            }
-            return Ok(Some(Request::Metrics));
-        }
-
-        let Some((&session, rest)) = rest.split_first() else {
-            return Err(ProtoError::new(1, format!("{head} needs a session name")));
-        };
-        if !valid_session_name(session) {
-            return Err(ProtoError::new(1, format!("bad session name {session:?}")));
-        }
-        let session = session.to_owned();
-
-        // OPEN has a positional payload-kind token before its kvs.
-        let (kind, rest) = if verb == Verb::Open {
-            let Some((&k, rest)) = rest.split_first() else {
-                return Err(ProtoError::new(1, "OPEN needs `instance` or `checkpoint`"));
-            };
-            let kind = match k {
-                "instance" => OpenKind::Instance,
-                "checkpoint" => OpenKind::Checkpoint,
-                other => {
-                    return Err(ProtoError::new(
-                        1,
-                        format!("bad OPEN payload kind {other:?}"),
-                    ))
-                }
-            };
-            (Some(kind), rest)
-        } else {
-            (None, rest)
-        };
-
-        let (lines, deadline_ms) = parse_frame_kvs(rest, max_payload)?;
-        let wants_payload = matches!(verb, Verb::Open | Verb::Edit);
-        if wants_payload && lines.is_none() {
-            return Err(ProtoError::new(1, format!("{head} needs lines=<n>")));
-        }
-        if !wants_payload && lines.is_some() {
-            return Err(ProtoError::new(1, format!("{head} takes no payload")));
-        }
-        let takes_deadline = matches!(verb, Verb::Edit | Verb::Solve | Verb::Snapshot);
-        if !takes_deadline && deadline_ms.is_some() {
-            return Err(ProtoError::new(1, format!("{head} takes no deadline")));
-        }
-
-        let payload = read_payload(r, lines.unwrap_or(0))?;
-        Ok(Some(match verb {
-            Verb::Open => Request::Open {
-                session,
-                kind: kind.expect("set above for OPEN"),
-                payload,
-            },
-            Verb::Edit => {
-                let mut edits = Vec::with_capacity(payload.len());
-                for (i, line) in payload.iter().enumerate() {
-                    edits.push(parse_edit(line).map_err(|m| ProtoError::new(i + 2, m))?);
-                }
-                Request::Edit {
-                    session,
-                    edits,
-                    deadline_ms,
-                }
-            }
-            Verb::Solve => Request::Solve {
-                session,
-                deadline_ms,
-            },
-            Verb::Assignment => Request::Assignment { session },
-            Verb::Stats => Request::Stats { session },
-            Verb::Snapshot => Request::Snapshot {
-                session,
-                deadline_ms,
-            },
-            Verb::Close => Request::Close { session },
-            Verb::Metrics => unreachable!("handled above"),
-        }))
+        Ok(read_traced_frame(r, max_payload)?.map(|(t, _)| t.request))
     }
+}
+
+/// Read one request frame, returning the [`TracedRequest`] plus the
+/// monotonic `mcfs_obs::now_ns` timestamp captured right after the verb
+/// line arrived — the start of parsing proper, excluding however long the
+/// connection sat idle waiting for the frame. The server's `server.parse`
+/// span is anchored on it.
+pub(crate) fn read_traced_frame(
+    r: &mut impl BufRead,
+    max_payload: usize,
+) -> Result<Option<(TracedRequest, u64)>, ProtoError> {
+    let Some(line) = read_frame_line(r, 1)? else {
+        return Ok(None);
+    };
+    let parse_start_ns = mcfs_obs::now_ns();
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((&head, rest)) = tokens.split_first() else {
+        return Err(ProtoError::new(1, "empty request line"));
+    };
+    let verb = Verb::from_token(head)
+        .ok_or_else(|| ProtoError::new(1, format!("unknown verb {head:?}")))?;
+
+    // METRICS addresses the server, not a session: no name token.
+    if verb == Verb::Metrics {
+        let kvs = parse_frame_kvs(rest, max_payload)?;
+        kvs.check(head, &[FrameKey::Format, FrameKey::Trace])?;
+        return Ok(Some((
+            TracedRequest {
+                request: Request::Metrics {
+                    format: kvs.format.unwrap_or_default(),
+                },
+                trace: kvs.trace,
+            },
+            parse_start_ns,
+        )));
+    }
+
+    let Some((&session, rest)) = rest.split_first() else {
+        return Err(ProtoError::new(1, format!("{head} needs a session name")));
+    };
+    if !valid_session_name(session) {
+        return Err(ProtoError::new(1, format!("bad session name {session:?}")));
+    }
+    let session = session.to_owned();
+
+    // OPEN has a positional payload-kind token before its kvs.
+    let (kind, rest) = if verb == Verb::Open {
+        let Some((&k, rest)) = rest.split_first() else {
+            return Err(ProtoError::new(1, "OPEN needs `instance` or `checkpoint`"));
+        };
+        let kind = match k {
+            "instance" => OpenKind::Instance,
+            "checkpoint" => OpenKind::Checkpoint,
+            other => {
+                return Err(ProtoError::new(
+                    1,
+                    format!("bad OPEN payload kind {other:?}"),
+                ))
+            }
+        };
+        (Some(kind), rest)
+    } else {
+        (None, rest)
+    };
+
+    let kvs = parse_frame_kvs(rest, max_payload)?;
+    let allowed: &[FrameKey] = match verb {
+        Verb::Open => &[FrameKey::Lines, FrameKey::Trace],
+        Verb::Edit => &[FrameKey::Lines, FrameKey::Deadline, FrameKey::Trace],
+        Verb::Solve | Verb::Snapshot => &[FrameKey::Deadline, FrameKey::Trace],
+        Verb::Assignment | Verb::Stats | Verb::Close => &[FrameKey::Trace],
+        Verb::Trace => &[FrameKey::Count, FrameKey::Deadline, FrameKey::Trace],
+        Verb::Metrics => unreachable!("handled above"),
+    };
+    kvs.check(head, allowed)?;
+    let wants_payload = matches!(verb, Verb::Open | Verb::Edit);
+    if wants_payload && kvs.lines.is_none() {
+        return Err(ProtoError::new(1, format!("{head} needs lines=<n>")));
+    }
+
+    let deadline_ms = kvs.deadline_ms;
+    let payload = read_payload(r, kvs.lines.unwrap_or(0))?;
+    let request = match verb {
+        Verb::Open => Request::Open {
+            session,
+            kind: kind.expect("set above for OPEN"),
+            payload,
+        },
+        Verb::Edit => {
+            let mut edits = Vec::with_capacity(payload.len());
+            for (i, line) in payload.iter().enumerate() {
+                edits.push(parse_edit(line).map_err(|m| ProtoError::new(i + 2, m))?);
+            }
+            Request::Edit {
+                session,
+                edits,
+                deadline_ms,
+            }
+        }
+        Verb::Solve => Request::Solve {
+            session,
+            deadline_ms,
+        },
+        Verb::Assignment => Request::Assignment { session },
+        Verb::Stats => Request::Stats { session },
+        Verb::Snapshot => Request::Snapshot {
+            session,
+            deadline_ms,
+        },
+        Verb::Close => Request::Close { session },
+        Verb::Trace => Request::Trace {
+            session,
+            n: kvs.count,
+            deadline_ms,
+        },
+        Verb::Metrics => unreachable!("handled above"),
+    };
+    Ok(Some((
+        TracedRequest {
+            request,
+            trace: kvs.trace,
+        },
+        parse_start_ns,
+    )))
 }
 
 impl Reply {
@@ -733,27 +907,98 @@ fn write_kvs(w: &mut impl Write, kvs: &[(String, String)]) -> io::Result<()> {
     Ok(())
 }
 
-/// Parse trailing request tokens as the (`lines`, `deadline_ms`) kv set.
-fn parse_frame_kvs(
-    tokens: &[&str],
-    max_payload: usize,
-) -> Result<(Option<usize>, Option<u64>), ProtoError> {
-    let mut lines = None;
-    let mut deadline = None;
+/// The attributes a request verb line may carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameKey {
+    Lines,
+    Deadline,
+    Trace,
+    Format,
+    Count,
+}
+
+impl FrameKey {
+    fn name(self) -> &'static str {
+        match self {
+            FrameKey::Lines => "lines",
+            FrameKey::Deadline => "deadline_ms",
+            FrameKey::Trace => "trace",
+            FrameKey::Format => "format",
+            FrameKey::Count => "n",
+        }
+    }
+}
+
+/// Parsed request-line attributes; which are *allowed* is per-verb
+/// ([`FrameKvs::check`]).
+#[derive(Debug, Default)]
+struct FrameKvs {
+    lines: Option<usize>,
+    deadline_ms: Option<u64>,
+    trace: Option<u64>,
+    format: Option<MetricsFormat>,
+    count: Option<usize>,
+}
+
+impl FrameKvs {
+    fn check(&self, head: &str, allowed: &[FrameKey]) -> Result<(), ProtoError> {
+        let present = [
+            (FrameKey::Lines, self.lines.is_some()),
+            (FrameKey::Deadline, self.deadline_ms.is_some()),
+            (FrameKey::Trace, self.trace.is_some()),
+            (FrameKey::Format, self.format.is_some()),
+            (FrameKey::Count, self.count.is_some()),
+        ];
+        for (key, set) in present {
+            if set && !allowed.contains(&key) {
+                return Err(ProtoError::new(
+                    1,
+                    format!("{head} takes no {}=", key.name()),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse trailing request tokens as the attribute kv set.
+fn parse_frame_kvs(tokens: &[&str], max_payload: usize) -> Result<FrameKvs, ProtoError> {
+    let mut kvs = FrameKvs::default();
     for t in tokens {
         let (k, v) = split_kv(t)?;
         match k {
-            "lines" => lines = Some(parse_payload_count(v, max_payload)?),
+            "lines" => kvs.lines = Some(parse_payload_count(v, max_payload)?),
             "deadline_ms" => {
-                deadline = Some(
+                kvs.deadline_ms = Some(
                     v.parse::<u64>()
                         .map_err(|_| ProtoError::new(1, format!("bad deadline_ms {v:?}")))?,
+                )
+            }
+            "trace" => {
+                let id = v
+                    .parse::<u64>()
+                    .map_err(|_| ProtoError::new(1, format!("bad trace id {v:?}")))?;
+                if id == 0 {
+                    return Err(ProtoError::new(1, "trace id must be nonzero"));
+                }
+                kvs.trace = Some(id);
+            }
+            "format" => {
+                kvs.format =
+                    Some(MetricsFormat::from_token(v).ok_or_else(|| {
+                        ProtoError::new(1, format!("unknown metrics format {v:?}"))
+                    })?)
+            }
+            "n" => {
+                kvs.count = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ProtoError::new(1, format!("bad span count {v:?}")))?,
                 )
             }
             other => return Err(ProtoError::new(1, format!("unknown attribute {other:?}"))),
         }
     }
-    Ok((lines, deadline))
+    Ok(kvs)
 }
 
 /// Parse trailing reply tokens as free-form kvs plus an optional `lines=`.
@@ -892,7 +1137,65 @@ mod tests {
         rt_request(Request::Close {
             session: "s".into(),
         });
-        rt_request(Request::Metrics);
+        rt_request(Request::Metrics {
+            format: MetricsFormat::Kv,
+        });
+        rt_request(Request::Metrics {
+            format: MetricsFormat::Prometheus,
+        });
+        rt_request(Request::Trace {
+            session: "s".into(),
+            n: Some(32),
+            deadline_ms: Some(100),
+        });
+        rt_request(Request::Trace {
+            session: "s".into(),
+            n: None,
+            deadline_ms: None,
+        });
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_plain_reads_ignore_trace() {
+        for trace in [None, Some(7u64), Some(u64::MAX)] {
+            let req = TracedRequest {
+                request: Request::Solve {
+                    session: "s".into(),
+                    deadline_ms: Some(9),
+                },
+                trace,
+            };
+            let mut buf = Vec::new();
+            req.write_to(&mut buf).unwrap();
+            let mut r = BufReader::new(buf.as_slice());
+            let back = TracedRequest::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES)
+                .unwrap()
+                .unwrap();
+            assert_eq!(back, req);
+            // The untraced reader accepts the same bytes, dropping the id.
+            let mut r = BufReader::new(buf.as_slice());
+            let plain = Request::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES)
+                .unwrap()
+                .unwrap();
+            assert_eq!(plain, req.request);
+        }
+        // Payload verbs carry the attribute on the verb line too.
+        let req = TracedRequest {
+            request: Request::Edit {
+                session: "s".into(),
+                edits: vec![Edit::AddCustomer { node: 1 }],
+                deadline_ms: None,
+            },
+            trace: Some(42),
+        };
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("EDIT s lines=1 trace=42\n"), "{text:?}");
+        let back = TracedRequest::read_from(&mut BufReader::new(buf.as_slice()), 1 << 20)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, req);
     }
 
     fn rt_reply(reply: Reply) {
@@ -946,13 +1249,20 @@ mod tests {
             ("OPEN s wat lines=0\n", "payload kind", false),
             ("OPEN bad name instance lines=0\n", "payload kind", false),
             ("OPEN s/s instance lines=0\n", "bad session name", false),
-            ("SOLVE s lines=3\nx\ny\nz\n", "takes no payload", false),
+            ("SOLVE s lines=3\nx\ny\nz\n", "takes no lines=", false),
             ("EDIT s\n", "needs lines=", false),
             ("EDIT s lines=2\nadd-customer 1\n", "truncated", true),
             ("EDIT s lines=1\nwarp-customer 1\n", "unknown edit", false),
             ("SOLVE s deadline_ms=abc\n", "bad deadline_ms", false),
             ("ASSIGNMENT s deadline_ms=1\n", "takes no deadline", false),
-            ("METRICS now\n", "no arguments", false),
+            ("METRICS now\n", "expected key=value", false),
+            ("METRICS format=xml\n", "unknown metrics format", false),
+            ("METRICS n=3\n", "takes no n=", false),
+            ("SOLVE s trace=0\n", "trace id must be nonzero", false),
+            ("SOLVE s trace=yes\n", "bad trace id", false),
+            ("TRACE s n=abc\n", "bad span count", false),
+            ("TRACE s format=kv\n", "takes no format=", false),
+            ("TRACE\n", "needs a session", false),
             (
                 "OPEN s instance lines=99999999999\n",
                 "exceeds the limit",

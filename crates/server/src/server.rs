@@ -20,12 +20,14 @@ use std::time::{Duration, Instant};
 use mcfs::Wma;
 
 use crate::client::{Client, ClientError};
+use crate::http::MetricsHttpHandle;
 use crate::metrics::{Metrics, Outcome};
 use crate::pipe::pipe;
 use crate::protocol::{
-    valid_session_name, ErrorCode, Reply, Request, Verb, DEFAULT_MAX_PAYLOAD_LINES, WIRE_VERSION,
+    read_traced_frame, valid_session_name, ErrorCode, MetricsFormat, Reply, Request, Verb,
+    DEFAULT_MAX_PAYLOAD_LINES, WIRE_VERSION,
 };
-use crate::worker::{run_worker, Job};
+use crate::worker::{run_worker, Job, TraceCtx};
 
 /// Tunables for a server instance.
 #[derive(Clone, Debug)]
@@ -90,14 +92,39 @@ impl ServerCore {
 
     /// Admit, enqueue, and wait for `request`'s reply. This is the only
     /// path requests take — the in-process client and TCP connections meet
-    /// here.
-    pub(crate) fn submit(&self, request: Request) -> Reply {
+    /// here. Traced requests (`trace` set) carry their trace id and root
+    /// span id into the worker (for the `server.queue` / `server.execute`
+    /// spans) and echo `trace=<id>` on every structured reply so clients
+    /// can correlate.
+    pub(crate) fn submit_traced(&self, request: Request, trace: Option<TraceCtx>) -> Reply {
+        let mut reply = self.submit_inner(request, trace);
+        if let Some(ctx) = trace {
+            match &mut reply {
+                Reply::Ok { kvs, .. } | Reply::Busy { kvs } | Reply::Timeout { kvs } => {
+                    kvs.push(("trace".into(), ctx.trace.to_string()));
+                }
+                // The err grammar is `err <code> <message...>`: no kv slots.
+                Reply::Err { .. } => {}
+            }
+        }
+        reply
+    }
+
+    fn submit_inner(&self, request: Request, trace: Option<TraceCtx>) -> Reply {
         let verb = request.verb();
-        if verb == Verb::Metrics {
+        if let Request::Metrics { format } = &request {
             // Snapshot first, then count ourselves: the reported counters
             // describe the requests *before* this one, so a client can
             // reconcile a script exactly without racing its own METRICS.
-            let payload = self.metrics.to_kv_lines();
+            let payload = match format {
+                MetricsFormat::Kv => self.metrics.to_kv_lines(),
+                MetricsFormat::Prometheus => self
+                    .metrics
+                    .to_prometheus()
+                    .lines()
+                    .map(str::to_owned)
+                    .collect(),
+            };
             self.metrics.record_request(verb, Outcome::Ok, None);
             return Reply::Ok {
                 verb,
@@ -209,7 +236,15 @@ impl ServerCore {
             reply_tx,
             depth: entry.depth.clone(),
             enqueued,
+            // Only traced jobs pay for the extra clock read; the worker
+            // turns this into the `server.queue` span.
+            enqueued_ns: if trace.is_some() {
+                mcfs_obs::now_ns()
+            } else {
+                0
+            },
             deadline,
+            trace,
         };
         let sent = {
             let guard = self.senders[entry.worker].lock().unwrap();
@@ -240,6 +275,12 @@ impl ServerCore {
 
 /// Serve one connection: greeting, then a frame/reply loop until EOF or a
 /// fatal protocol error.
+///
+/// When a frame carries `trace=<id>`, the connection thread records the
+/// request's lifecycle spans: `server.parse` (verb line read → frame
+/// decoded), `server.reply` (reply serialization + flush), and the
+/// enclosing root `server.request`. The queue/execute interval in between
+/// is recorded by the worker under the same root (see `worker.rs`).
 pub(crate) fn handle_connection(
     mut reader: impl BufRead,
     mut writer: impl Write,
@@ -252,15 +293,46 @@ pub(crate) fn handle_connection(
         return;
     }
     loop {
-        match Request::read_from(&mut reader, core.config.max_payload_lines) {
+        match read_traced_frame(&mut reader, core.config.max_payload_lines) {
             Ok(None) => return, // clean EOF
-            Ok(Some(request)) => {
-                let reply = core.submit(request);
-                if reply
-                    .write_to(&mut writer)
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
+            Ok(Some((traced, parse_start_ns))) => {
+                let ctx = traced.trace.map(|trace| {
+                    let root = mcfs_obs::alloc_span_id();
+                    mcfs_obs::record_manual(
+                        trace,
+                        "server.parse",
+                        root,
+                        None,
+                        parse_start_ns,
+                        mcfs_obs::now_ns(),
+                    );
+                    TraceCtx { trace, root }
+                });
+                let reply = core.submit_traced(traced.request, ctx);
+                let reply_start_ns = ctx.map(|_| mcfs_obs::now_ns());
+                let wrote = reply.write_to(&mut writer).and_then(|()| writer.flush());
+                if let (Some(ctx), Some(start_ns)) = (ctx, reply_start_ns) {
+                    let end_ns = mcfs_obs::now_ns();
+                    mcfs_obs::record_manual(
+                        ctx.trace,
+                        "server.reply",
+                        ctx.root,
+                        None,
+                        start_ns,
+                        end_ns,
+                    );
+                    // The root is recorded last, once its extent is known;
+                    // children already reference it via the allocated id.
+                    mcfs_obs::record_manual(
+                        ctx.trace,
+                        "server.request",
+                        0,
+                        Some(ctx.root),
+                        parse_start_ns,
+                        end_ns,
+                    );
+                }
+                if wrote.is_err() {
                     return;
                 }
             }
@@ -285,6 +357,7 @@ pub struct ServerHandle {
     core: Arc<ServerCore>,
     workers: Vec<JoinHandle<()>>,
     accept: Option<(SocketAddr, JoinHandle<()>)>,
+    metrics_http: Option<MetricsHttpHandle>,
     down: bool,
 }
 
@@ -324,6 +397,7 @@ impl ServerHandle {
             core,
             workers,
             accept: None,
+            metrics_http: None,
             down: false,
         }
     }
@@ -331,6 +405,16 @@ impl ServerHandle {
     /// The live metrics, for embedding callers.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.core.metrics)
+    }
+
+    /// Expose the metrics as Prometheus text on `GET /metrics` at `addr`
+    /// (a scrape endpoint independent of the wire port). Returns the bound
+    /// address; the listener shuts down with the server.
+    pub fn serve_metrics_http(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let handle = MetricsHttpHandle::serve(self.metrics(), addr)?;
+        let local = handle.addr();
+        self.metrics_http = Some(handle);
+        Ok(local)
     }
 
     /// Connect an in-process client. The client speaks the real wire
@@ -404,6 +488,9 @@ impl ServerHandle {
             // connection; poke it so it wakes and exits.
             let _ = TcpStream::connect(addr);
             let _ = handle.join();
+        }
+        if let Some(mut http) = self.metrics_http.take() {
+            http.shutdown_inner();
         }
     }
 }

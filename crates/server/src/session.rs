@@ -58,6 +58,9 @@ pub struct Session {
     dirty: bool,
     /// Wall-clock of the session's last solve, for operators.
     pub last_solve_wall: Option<std::time::Duration>,
+    /// Trace id of the last traced request served against this session,
+    /// so a later `TRACE` can retrieve its spans.
+    last_trace: Option<u64>,
     #[allow(dead_code)] // held only to keep the resolver's borrow alive
     graph: Box<Graph>,
 }
@@ -117,6 +120,7 @@ impl Session {
             edited_since_solve: false,
             dirty: false,
             last_solve_wall: None,
+            last_trace: None,
             graph,
         })
     }
@@ -144,6 +148,16 @@ impl Session {
     /// The live selection budget.
     pub fn k(&self) -> usize {
         self.resolver.k()
+    }
+
+    /// Trace id of the last traced request served against this session.
+    pub fn last_trace(&self) -> Option<u64> {
+        self.last_trace
+    }
+
+    /// Remember the trace id of a traced request for later `TRACE` queries.
+    pub fn set_last_trace(&mut self, trace: u64) {
+        self.last_trace = Some(trace);
     }
 
     /// Apply an edit script atomically.

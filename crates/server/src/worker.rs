@@ -23,6 +23,16 @@ use crate::protocol::{ErrorCode, OpenKind, Reply, Request, Verb};
 use crate::server::ServerCore;
 use crate::session::Session;
 
+/// Trace identity a traced request carries across threads: the client's
+/// trace id plus the pre-allocated id of the connection thread's root
+/// `server.request` span, so worker-side spans parent correctly even
+/// though the root is recorded last.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TraceCtx {
+    pub trace: u64,
+    pub root: u64,
+}
+
 /// One admitted request, in flight from a connection thread to a worker.
 pub(crate) struct Job {
     pub request: Request,
@@ -31,8 +41,13 @@ pub(crate) struct Job {
     /// the job leaves the system (completed, timed out, or shed).
     pub depth: Arc<AtomicUsize>,
     pub enqueued: Instant,
+    /// `mcfs_obs::now_ns()` at admission when traced (0 otherwise); start
+    /// of the worker-recorded `server.queue` span.
+    pub enqueued_ns: u64,
     /// Absolute expiry for queued (not yet running) work.
     pub deadline: Option<Instant>,
+    /// Set when the request carried `trace=<id>` on the wire.
+    pub trace: Option<TraceCtx>,
 }
 
 /// Body of one worker thread.
@@ -48,6 +63,19 @@ pub(crate) fn run_worker(rx: Receiver<Job>, core: Arc<ServerCore>) {
 
 fn process(sessions: &mut HashMap<String, Session>, job: Job, core: &ServerCore) {
     let verb = job.request.verb();
+
+    // The queue interval ends the moment the worker picks the job up,
+    // whether it then runs or is aborted as expired.
+    if let Some(ctx) = job.trace {
+        mcfs_obs::record_manual(
+            ctx.trace,
+            "server.queue",
+            ctx.root,
+            None,
+            job.enqueued_ns,
+            mcfs_obs::now_ns(),
+        );
+    }
 
     // A request that expired while queued is aborted, not run: the client
     // stopped waiting, so burning a solve on it only delays the queue.
@@ -65,7 +93,27 @@ fn process(sessions: &mut HashMap<String, Session>, job: Job, core: &ServerCore)
                 ),
             ],
         },
-        _ => execute(sessions, &job.request, core),
+        _ => {
+            // While the guard lives, every `mcfs_obs::span` opened on this
+            // thread — down through solver, matcher, and oracle — lands in
+            // the request's trace under `server.execute`.
+            let _guard = job
+                .trace
+                .map(|ctx| mcfs_obs::TraceGuard::enter(ctx.trace, ctx.root));
+            let _span = mcfs_obs::span("server.execute");
+            let reply = execute(sessions, &job.request, core);
+            if let Some(ctx) = job.trace {
+                // Remember the trace on the session so a later TRACE can
+                // retrieve it. TRACE itself is exempt: introspection must
+                // not clobber the trace it reports.
+                if verb != Verb::Trace {
+                    if let Some(s) = job.request.session().and_then(|n| sessions.get_mut(n)) {
+                        s.set_last_trace(ctx.trace);
+                    }
+                }
+            }
+            reply
+        }
     };
 
     let outcome = match &reply {
@@ -195,9 +243,35 @@ fn execute(sessions: &mut HashMap<String, Session>, request: &Request, core: &Se
             }
             None => err(ErrorCode::NoSession, format!("no session {session:?}")),
         },
+        Request::Trace { session, n, .. } => {
+            with_session(sessions, session, |s| match s.last_trace() {
+                Some(trace) => {
+                    let mut spans = mcfs_obs::spans_for(trace);
+                    if let Some(n) = *n {
+                        // Keep the *most recent* n spans (tail of the
+                        // start-ordered list).
+                        if spans.len() > n {
+                            spans.drain(..spans.len() - n);
+                        }
+                    }
+                    Reply::Ok {
+                        verb: Verb::Trace,
+                        kvs: vec![
+                            ("of".into(), trace.to_string()),
+                            ("spans".into(), spans.len().to_string()),
+                        ],
+                        payload: spans.iter().map(mcfs_obs::span_to_wire_line).collect(),
+                    }
+                }
+                None => err(
+                    ErrorCode::State,
+                    "no traced request for this session yet (send trace=<id> first)",
+                ),
+            })
+        }
         // METRICS is answered inline by the connection layer; a worker
         // never sees it.
-        Request::Metrics => err(ErrorCode::Proto, "METRICS is not a queued verb"),
+        Request::Metrics { .. } => err(ErrorCode::Proto, "METRICS is not a queued verb"),
     }
 }
 

@@ -17,6 +17,8 @@
 //! * [`io`] — plain-text persistence for instances and solutions.
 //! * [`server`] — multi-session service: wire protocol, worker pool,
 //!   admission control and live metrics (`mcfs-serve`).
+//! * [`obs`] — the observability substrate: metrics registry with
+//!   Prometheus exposition, span tracing with Chrome-trace export.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use mcfs_flow as flow;
 pub use mcfs_gen as gen;
 pub use mcfs_graph as graph;
 pub use mcfs_io as io;
+pub use mcfs_obs as obs;
 pub use mcfs_server as server;
 
 /// Convenient glob import for examples and tests.

@@ -1,0 +1,101 @@
+//! Bench guard for the observability substrate: the tracing
+//! instrumentation on the solver hot paths must be near-free when no trace
+//! is active.
+//!
+//! Wall-clock A/B runs of a whole solve are too noisy for a CI assertion
+//! (scheduler jitter on a shared runner easily exceeds 2%), so the guard is
+//! computed analytically from two stable measurements on the committed
+//! bikes instance:
+//!
+//! 1. the number of `span` call sites a single WMA solve actually executes
+//!    (counted by running one solve in force-trace mode and draining the
+//!    ring), and
+//! 2. the measured cost of the *disabled* `span` fast path (one relaxed
+//!    atomic load), amortized over a million calls.
+//!
+//! Their product is the total disabled-mode tracing cost of a solve, and it
+//! must stay under 2% of the solve's own median wall time. The companion
+//! `obs_tracing` bench group (`crates/bench/benches/obs.rs`) reports the
+//! raw disabled-vs-enabled wall times for human eyes.
+
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+use mcfs_repro::core::{Solver, Wma};
+use mcfs_repro::io::read_checkpoint;
+use mcfs_repro::obs::{clear_spans, last_spans, set_force, span};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/bikes_small.ckpt");
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn disabled_mode_tracing_overhead_stays_under_two_percent() {
+    let text = fs::read(GOLDEN).expect("committed golden checkpoint");
+    let (owned, _recorded) = read_checkpoint(text.as_slice()).unwrap();
+    let inst = owned.instance().unwrap();
+
+    // Warm up allocator and caches before any timing.
+    for _ in 0..2 {
+        black_box(Wma::new().solve(&inst).unwrap());
+    }
+
+    // Median solve wall time with tracing disabled (the default state: no
+    // guard alive, force off — `span` takes the single-atomic-load exit).
+    let disabled_ns = median_ns(
+        (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(Wma::new().solve(&inst).unwrap());
+                t0.elapsed().as_nanos()
+            })
+            .collect(),
+    );
+
+    // Count the span call sites one solve executes, pool threads included:
+    // force mode records every span process-wide.
+    set_force(true);
+    clear_spans();
+    black_box(Wma::new().solve(&inst).unwrap());
+    let spans_per_solve = last_spans(usize::MAX).len() as u128;
+    let enabled_ns = {
+        let t0 = Instant::now();
+        black_box(Wma::new().solve(&inst).unwrap());
+        t0.elapsed().as_nanos()
+    };
+    set_force(false);
+    clear_spans();
+    assert!(
+        spans_per_solve > 0,
+        "a forced solve must record instrumentation spans"
+    );
+
+    // Cost of one disabled `span` call, amortized over a million.
+    const PROBE_CALLS: u128 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..PROBE_CALLS {
+        black_box(span(black_box("obs.overhead.probe")));
+    }
+    let probe_total_ns = t0.elapsed().as_nanos();
+    // Sanity: the probe really took the inert path (nothing recorded).
+    assert!(last_spans(1).is_empty(), "probe spans leaked into the ring");
+
+    let overhead_ns = spans_per_solve * probe_total_ns / PROBE_CALLS;
+    let budget_ns = disabled_ns / 50; // 2%
+    eprintln!(
+        "obs overhead guard: solve disabled={disabled_ns}ns enabled={enabled_ns}ns \
+         spans/solve={spans_per_solve} disabled-span={:.1}ns \
+         => overhead {overhead_ns}ns vs budget {budget_ns}ns",
+        probe_total_ns as f64 / PROBE_CALLS as f64,
+    );
+    assert!(
+        overhead_ns < budget_ns,
+        "disabled-mode tracing costs {overhead_ns}ns per solve \
+         ({spans_per_solve} spans), over the 2% budget of {budget_ns}ns \
+         (solve median {disabled_ns}ns)"
+    );
+}

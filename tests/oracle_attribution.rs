@@ -1,0 +1,137 @@
+//! Regression suite for per-run oracle attribution.
+//!
+//! Two solvers sharing one `DistanceOracle` used to double-count: each run
+//! attributed the cache activity between its own before/after snapshots of
+//! the *global* counters, so whatever the other solver did in that window
+//! leaked into both runs' `SolveStats`. The fix scopes attribution to the
+//! calling thread via `DistanceOracle::begin_run` guards; these tests pin
+//! down the contract at the solver level.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use mcfs_repro::graph::{DistanceOracle, Graph, GraphBuilder, NodeId};
+use mcfs_repro::prelude::{McfsInstance, Wma};
+
+/// A path graph: simple, connected, and cheap to reason about.
+fn path(n: usize, w: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add_edge(i as NodeId, i as NodeId + 1, w);
+    }
+    b.build()
+}
+
+/// Two instances on one 16-node path with *disjoint* customer nodes, so
+/// that when both solve against a shared (eviction-free) oracle, neither
+/// run's hit/miss pattern depends on interleaving with the other.
+fn disjoint_instances(g: &Graph) -> (McfsInstance<'_>, McfsInstance<'_>) {
+    let a = McfsInstance::builder(g)
+        .customers([0, 2, 4])
+        .facility(1, 2)
+        .facility(3, 2)
+        .facility(5, 2)
+        .k(2)
+        .build()
+        .unwrap();
+    let b = McfsInstance::builder(g)
+        .customers([9, 11, 13])
+        .facility(10, 2)
+        .facility(12, 2)
+        .facility(14, 2)
+        .k(2)
+        .build()
+        .unwrap();
+    (a, b)
+}
+
+fn solve_counts(inst: &McfsInstance<'_>, oracle: Arc<DistanceOracle>) -> (u64, u64, u64) {
+    let run = Wma::new().with_oracle(oracle).run(inst).unwrap();
+    let s = &run.solve_stats;
+    (s.cache_hits, s.cache_misses, s.oracle_nodes_settled)
+}
+
+/// Concurrent runs over one shared oracle each see exactly the counts they
+/// would have seen running alone on a private oracle with the same cache
+/// state. Under the old global-snapshot scheme the two windows overlap, so
+/// each run also absorbed the other's misses.
+#[test]
+fn concurrent_solvers_sharing_an_oracle_attribute_disjointly() {
+    let g = path(16, 3);
+    let (inst_a, inst_b) = disjoint_instances(&g);
+
+    // Solo baselines on private, identically configured oracles.
+    let solo_a = solve_counts(&inst_a, Arc::new(DistanceOracle::new().with_threads(2)));
+    let solo_b = solve_counts(&inst_b, Arc::new(DistanceOracle::new().with_threads(2)));
+    assert!(
+        solo_a.1 > 0 && solo_b.1 > 0,
+        "baseline runs must actually use the oracle (misses: {} / {})",
+        solo_a.1,
+        solo_b.1
+    );
+
+    let shared = Arc::new(DistanceOracle::new().with_threads(2));
+    let barrier = Arc::new(Barrier::new(2));
+    let shared_a = {
+        let oracle = Arc::clone(&shared);
+        let barrier = Arc::clone(&barrier);
+        let g = path(16, 3);
+        thread::spawn(move || {
+            let (inst_a, _) = disjoint_instances(&g);
+            barrier.wait();
+            solve_counts(&inst_a, oracle)
+        })
+    };
+    let shared_b = {
+        let oracle = Arc::clone(&shared);
+        let barrier = Arc::clone(&barrier);
+        let g = path(16, 3);
+        thread::spawn(move || {
+            let (_, inst_b) = disjoint_instances(&g);
+            barrier.wait();
+            solve_counts(&inst_b, oracle)
+        })
+    };
+    let shared_a = shared_a.join().unwrap();
+    let shared_b = shared_b.join().unwrap();
+
+    // Disjoint customers + unbounded-enough cache: each concurrent run's
+    // counts equal its solo baseline, whatever the interleaving was.
+    assert_eq!(shared_a, solo_a, "run A absorbed foreign oracle activity");
+    assert_eq!(shared_b, solo_b, "run B absorbed foreign oracle activity");
+
+    // And the runs together account for exactly the oracle's global totals:
+    // nothing double-counted, nothing dropped.
+    let total = shared.stats();
+    assert_eq!(total.hits, shared_a.0 + shared_b.0);
+    assert_eq!(total.misses, shared_a.1 + shared_b.1);
+    assert_eq!(total.nodes_settled, shared_a.2 + shared_b.2);
+}
+
+/// Sequential sharing still attributes each run its own (cache-dependent)
+/// counts: the second run over the same customers hits the rows the first
+/// one paid for, and neither inherits the other's misses.
+#[test]
+fn sequential_runs_see_their_own_cache_effects() {
+    let g = path(16, 3);
+    let (inst_a, _) = disjoint_instances(&g);
+    let shared = Arc::new(DistanceOracle::new().with_threads(2));
+
+    let first = solve_counts(&inst_a, Arc::clone(&shared));
+    let second = solve_counts(&inst_a, Arc::clone(&shared));
+
+    assert!(first.1 > 0, "first run must miss on a cold cache");
+    assert_eq!(
+        second.1, 0,
+        "second identical run must be fully served from cache"
+    );
+    assert_eq!(
+        first.0 + first.1,
+        second.0,
+        "same query load, different hit/miss split"
+    );
+
+    let total = shared.stats();
+    assert_eq!(total.hits, first.0 + second.0);
+    assert_eq!(total.misses, first.1 + second.1);
+}

@@ -4,7 +4,7 @@
 //! panic, never misframe.
 
 use mcfs_repro::core::Edit;
-use mcfs_repro::server::{ErrorCode, OpenKind, Reply, Request, Verb};
+use mcfs_repro::server::{ErrorCode, MetricsFormat, OpenKind, Reply, Request, Verb};
 use proptest::prelude::*;
 
 /// Session-name alphabet (the full legal set).
@@ -44,7 +44,7 @@ fn build_request(
     payload: Vec<String>,
     deadline_ms: Option<u64>,
 ) -> Request {
-    match variant % 8 {
+    match variant % 9 {
         0 => Request::Open {
             session,
             kind: if deadline_ms.unwrap_or(0).is_multiple_of(2) {
@@ -70,7 +70,18 @@ fn build_request(
             deadline_ms,
         },
         6 => Request::Close { session },
-        _ => Request::Metrics,
+        7 => Request::Metrics {
+            format: if deadline_ms.unwrap_or(0).is_multiple_of(2) {
+                MetricsFormat::Kv
+            } else {
+                MetricsFormat::Prometheus
+            },
+        },
+        _ => Request::Trace {
+            session,
+            n: deadline_ms.map(|d| (d % 64) as usize),
+            deadline_ms,
+        },
     }
 }
 
@@ -92,7 +103,7 @@ proptest! {
     /// exactly the bytes it wrote (framing stays synchronized).
     #[test]
     fn request_frames_round_trip(
-        variant in 0usize..8,
+        variant in 0usize..9,
         name_picks in proptest::collection::vec(0usize..64, 1..12),
         edit_specs in proptest::collection::vec((0usize..6, 0u32..5000, 0u32..50), 0..6),
         line_specs in proptest::collection::vec(
@@ -112,7 +123,7 @@ proptest! {
     #[test]
     fn reply_frames_round_trip(
         variant in 0usize..4,
-        verb_pick in 0usize..8,
+        verb_pick in 0usize..9,
         code_pick in 0usize..11,
         kv_specs in proptest::collection::vec(
             (proptest::collection::vec(0usize..64, 1..8),
@@ -179,7 +190,7 @@ proptest! {
     /// and never parse as something else silently.
     #[test]
     fn mutated_valid_frames_stay_structured(
-        variant in 0usize..8,
+        variant in 0usize..9,
         name_picks in proptest::collection::vec(0usize..64, 1..12),
         cut in 0usize..256,
     ) {
