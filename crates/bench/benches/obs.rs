@@ -17,7 +17,7 @@ use mcfs_gen::bikes::{docking_demand, generate_flow_field, generate_stations};
 use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
 use mcfs_gen::customers::{mask_to_reachable, sample_weighted};
 use mcfs_graph::{Graph, NodeId};
-use mcfs_obs::{clear_spans, set_force, span};
+use mcfs_obs::{bus_enabled, clear_spans, set_force, span, subscribe, ScopeGuard};
 
 /// The same deterministic bikes world the golden checkpoint was recorded
 /// from (`tests/data/bikes_small.ckpt`), rebuilt here so the bench crate
@@ -83,6 +83,28 @@ fn bench_obs(c: &mut Criterion) {
         b.iter(|| {
             for _ in 0..1000 {
                 black_box(span(black_box("obs.bench.probe")));
+            }
+        })
+    });
+
+    // Event-bus counterpart: a solve with a live subscriber draining the
+    // published iteration events (the `WATCH` server path minus the wire),
+    // versus the disarmed emission-site check on its own.
+    g.bench_function("wma_solve_bus_subscribed", |b| {
+        let scope = mcfs_obs::next_scope_id();
+        let sub = subscribe(Some(scope));
+        let _guard = ScopeGuard::enter(scope);
+        b.iter(|| {
+            let objective = black_box(Wma::new().solve(&inst).unwrap().objective);
+            black_box(sub.poll());
+            objective
+        });
+    });
+
+    g.bench_function("disarmed_bus_check_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(bus_enabled());
             }
         })
     });

@@ -1,0 +1,206 @@
+//! `perf-report`: a machine-readable perf trajectory for the PR.
+//!
+//! ```text
+//! cargo run --release -p mcfs-bench --bin perf-report [-- --out PATH]
+//! ```
+//!
+//! Runs a fixed scenario set on the deterministic bikes world and writes a
+//! JSON object mapping scenario → `{wall_ms, iterations, cache_hits}` to
+//! `BENCH_PR5.json` at the repository root (or `--out`). The scenarios
+//! bracket this PR's streaming substrate: a cold WMA solve, the same solve
+//! with a live bus subscriber, a warm incremental re-solve, and a served
+//! solve observed through `WATCH` (iterations counted from the event
+//! stream itself, cache hits from `METRICS`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mcfs::{Edit, Facility, McfsInstance, ReSolver, Wma};
+use mcfs_gen::bikes::{docking_demand, generate_flow_field, generate_stations};
+use mcfs_gen::city::{generate_city, CitySpec, CityStyle};
+use mcfs_gen::customers::{mask_to_reachable, sample_weighted};
+use mcfs_graph::{Graph, NodeId};
+use mcfs_server::{OpenKind, ServerConfig, ServerHandle};
+
+/// One scenario's numbers, serialized as a JSON object.
+struct Scenario {
+    name: &'static str,
+    wall_ms: f64,
+    iterations: u64,
+    cache_hits: u64,
+}
+
+/// The deterministic bikes world shared with `benches/obs.rs` and the
+/// golden checkpoint.
+fn bikes_world() -> (Graph, Vec<NodeId>, Vec<Facility>, usize) {
+    let spec = CitySpec {
+        name: "golden-bikes",
+        target_nodes: 320,
+        style: CityStyle::Grid,
+        avg_edge_len: 90.0,
+        seed: 0x601D,
+    };
+    let g = generate_city(&spec);
+    let stations: Vec<Facility> = generate_stations(&g, 16, 3)
+        .into_iter()
+        .map(|s| Facility {
+            node: s.node,
+            capacity: s.capacity,
+        })
+        .collect();
+    let field = generate_flow_field(&g, 5);
+    let demand = docking_demand(&g, &field);
+    let anchors: Vec<NodeId> = stations.iter().map(|f| f.node).collect();
+    let weights = mask_to_reachable(&g, &demand, &anchors);
+    let customers = sample_weighted(&weights, 60, 9);
+    (g, customers, stations, 6)
+}
+
+fn wma_cold(inst: &McfsInstance<'_>) -> Scenario {
+    let t0 = Instant::now();
+    let run = Wma::new().threads(1).with_stats().run(inst).unwrap();
+    Scenario {
+        name: "wma_bikes_cold",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        iterations: run.stats.iterations.len() as u64,
+        cache_hits: run.solve_stats.cache_hits,
+    }
+}
+
+fn wma_subscribed(inst: &McfsInstance<'_>) -> Scenario {
+    let scope = mcfs_obs::next_scope_id();
+    let sub = mcfs_obs::subscribe(Some(scope));
+    let _guard = mcfs_obs::ScopeGuard::enter(scope);
+    let t0 = Instant::now();
+    let run = Wma::new().threads(1).with_stats().run(inst).unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(sub.poll());
+    Scenario {
+        name: "wma_bikes_subscribed",
+        wall_ms,
+        iterations: run.stats.iterations.len() as u64,
+        cache_hits: run.solve_stats.cache_hits,
+    }
+}
+
+fn resolve_warm(inst: &McfsInstance<'_>) -> Scenario {
+    let mut resolver = ReSolver::new(inst, Wma::new().threads(1));
+    resolver.solve().unwrap();
+    resolver
+        .apply(&[Edit::AddCustomer {
+            node: inst.customers()[0],
+        }])
+        .unwrap();
+    let t0 = Instant::now();
+    let run = resolver.solve().unwrap();
+    Scenario {
+        name: "resolve_warm_edit",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        // The warm path skips the WMA main loop when the dual certificate
+        // holds; count the substrate's augmentations as its "iterations".
+        iterations: run.solve_stats.augmentations,
+        cache_hits: run.solve_stats.cache_hits,
+    }
+}
+
+fn served_watched(inst: &McfsInstance<'_>) -> Scenario {
+    let mut buf = Vec::new();
+    mcfs_io::write_instance(&mut buf, inst).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let server = ServerHandle::start(ServerConfig::default());
+    let mut client = server.connect().unwrap();
+    client
+        .open_text("bikes", OpenKind::Instance, &text)
+        .unwrap();
+    client.watch("bikes", None).unwrap();
+    let t0 = Instant::now();
+    client.solve("bikes").unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    client.unwatch("bikes").unwrap();
+    let iterations = client
+        .take_events()
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.body,
+                mcfs_server::EventBody::Event {
+                    event: mcfs_obs::Event::SolverIteration { .. },
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    let metrics = client.metrics().unwrap();
+    let cache_hits = metrics
+        .iter()
+        .find_map(|l| l.strip_prefix("oracle.cache_hits "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    server.shutdown();
+    Scenario {
+        name: "serve_watched_solve",
+        wall_ms,
+        iterations,
+        cache_hits,
+    }
+}
+
+fn render_json(scenarios: &[Scenario]) -> String {
+    let mut out = String::from("{\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{\"wall_ms\": {:.3}, \"iterations\": {}, \"cache_hits\": {}}}{}\n",
+            s.name,
+            s.wall_ms,
+            s.iterations,
+            s.cache_hits,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json").to_owned();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_path.clone_from(v),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}\nusage: perf-report [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (g, customers, stations, k) = bikes_world();
+    let inst = McfsInstance::builder(&g)
+        .customers(customers)
+        .facilities(stations)
+        .k(k)
+        .build()
+        .unwrap();
+
+    let scenarios = vec![
+        wma_cold(&inst),
+        wma_subscribed(&inst),
+        resolve_warm(&inst),
+        served_watched(&inst),
+    ];
+    let json = render_json(&scenarios);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf-report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf-report: wrote {out_path}");
+    ExitCode::SUCCESS
+}

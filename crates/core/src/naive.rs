@@ -143,6 +143,7 @@ impl Solver for WmaNaive {
         for iteration in 1..=iter_cap as u64 {
             // Greedy demand satisfaction in a fresh random order; loads are
             // rebuilt from scratch every iteration (no rewiring).
+            let t_greedy = std::time::Instant::now();
             order.shuffle(&mut rng);
             let mut loads = vec![0u32; l];
             let mut sigma: Vec<Vec<u32>> = vec![Vec::new(); l];
@@ -172,7 +173,10 @@ impl Solver for WmaNaive {
                 }
             }
 
+            let matching_time = t_greedy.elapsed();
+            let t_cover = std::time::Instant::now();
             let outcome = check_cover(&sigma, m, k, &last_selected);
+            let cover_time = t_cover.elapsed();
             for &f in &outcome.selected {
                 last_selected[f as usize] = iteration;
             }
@@ -183,6 +187,19 @@ impl Solver for WmaNaive {
                     demand[i] += 1;
                     grew = true;
                 }
+            }
+
+            if mcfs_obs::bus_enabled() {
+                mcfs_obs::publish(mcfs_obs::Event::SolverIteration {
+                    solver: "wma-naive",
+                    iteration,
+                    covered: outcome.covered.iter().filter(|&&b| b).count() as u64,
+                    total: m as u64,
+                    matching_us: matching_time.as_micros() as u64,
+                    cover_us: cover_time.as_micros() as u64,
+                    demand: demand.iter().map(|&d| d as u64).sum(),
+                    edges: sigma.iter().map(|s| s.len() as u64).sum(),
+                });
             }
 
             selection = outcome.selected;

@@ -94,6 +94,15 @@ fn resolve_counters() -> &'static ResolveCounters {
         }
     })
 }
+/// Publish a live phase-transition event; one relaxed load when nobody
+/// subscribes.
+#[inline]
+fn publish_phase(name: &'static str, state: mcfs_obs::PhaseState) {
+    if mcfs_obs::bus_enabled() {
+        mcfs_obs::publish(mcfs_obs::Event::Phase { name, state });
+    }
+}
+
 use crate::streams::{CustomerStream, FacilityMap};
 use crate::wma::Wma;
 use crate::SolveError;
@@ -483,9 +492,11 @@ impl<'g> ReSolver<'g> {
 
         // Selection: identical deterministic code to a cold Wma::run.
         let selection_span = mcfs_obs::span("resolve.selection");
+        publish_phase("resolve.selection", mcfs_obs::PhaseState::Start);
         let (selection, _trace) =
             self.wma
                 .select_facilities(&inst, Some(&self.oracle), &feas, &mut solve_stats)?;
+        publish_phase("resolve.selection", mcfs_obs::PhaseState::End);
         drop(selection_span);
         let sel_ids: Vec<u64> = selection
             .iter()
@@ -494,6 +505,7 @@ impl<'g> ReSolver<'g> {
 
         let t_assign = Instant::now();
         let assign_span = mcfs_obs::span("resolve.assignment");
+        publish_phase("resolve.assignment", mcfs_obs::PhaseState::Start);
         let (facilities, assignment, objective, warm) = match self
             .try_warm(&sel_ids, &mut solve_stats)
         {
@@ -519,12 +531,16 @@ impl<'g> ReSolver<'g> {
                 (selection, assignment, objective, false)
             }
         };
+        publish_phase("resolve.assignment", mcfs_obs::PhaseState::End);
         drop(assign_span);
         let counters = resolve_counters();
         if warm {
             counters.warm.inc();
         } else {
             counters.cold.inc();
+        }
+        if mcfs_obs::bus_enabled() {
+            mcfs_obs::publish(mcfs_obs::Event::ResolveDone { warm, objective });
         }
         solve_stats.add_phase("assignment", t_assign.elapsed());
         solve_stats.record_oracle_run(&oracle_run.stats());

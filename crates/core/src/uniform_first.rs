@@ -83,7 +83,24 @@ impl Solver for UniformFirst {
                 .k(inst.k())
                 .build()
                 .expect("uniformized instance mirrors a valid one");
-            match inner.run(&uni_inst) {
+            // Each uniform-capacity attempt is a full inner-WMA run, whose
+            // main loop streams its own per-iteration events; the phase
+            // markers delimit attempts so a watcher can tell c_u retries
+            // apart.
+            if mcfs_obs::bus_enabled() {
+                mcfs_obs::publish(mcfs_obs::Event::Phase {
+                    name: "uf.attempt",
+                    state: mcfs_obs::PhaseState::Start,
+                });
+            }
+            let attempt = inner.run(&uni_inst);
+            if mcfs_obs::bus_enabled() {
+                mcfs_obs::publish(mcfs_obs::Event::Phase {
+                    name: "uf.attempt",
+                    state: mcfs_obs::PhaseState::End,
+                });
+            }
+            match attempt {
                 Ok(run) => break run.solution.facilities,
                 Err(SolveError::Infeasible(_)) if c_u < u32::MAX / 2 => c_u *= 2,
                 Err(e) => return Err(e),

@@ -270,16 +270,35 @@ impl Wma {
                 }
             }
 
-            if self.collect_stats {
-                stats.iterations.push(IterationStats {
-                    iteration,
-                    covered_customers: outcome.covered.iter().filter(|&&b| b).count(),
-                    matching_time,
-                    cover_time,
-                    total_demand: demand.iter().map(|&d| d as u64).sum(),
-                    edges_in_gb: matcher.edges_added(),
-                    dijkstra_runs: matcher.dijkstra_runs(),
-                });
+            // Live events and post-hoc stats share one covered count so a
+            // WATCHed solve streams exactly the numbers the stats record.
+            let publish_live = mcfs_obs::bus_enabled();
+            if self.collect_stats || publish_live {
+                let covered_customers = outcome.covered.iter().filter(|&&b| b).count();
+                let total_demand: u64 = demand.iter().map(|&d| d as u64).sum();
+                if publish_live {
+                    mcfs_obs::publish(mcfs_obs::Event::SolverIteration {
+                        solver: "wma",
+                        iteration: iteration as u64,
+                        covered: covered_customers as u64,
+                        total: m as u64,
+                        matching_us: matching_time.as_micros() as u64,
+                        cover_us: cover_time.as_micros() as u64,
+                        demand: total_demand,
+                        edges: matcher.edges_added(),
+                    });
+                }
+                if self.collect_stats {
+                    stats.iterations.push(IterationStats {
+                        iteration,
+                        covered_customers,
+                        matching_time,
+                        cover_time,
+                        total_demand,
+                        edges_in_gb: matcher.edges_added(),
+                        dijkstra_runs: matcher.dijkstra_runs(),
+                    });
+                }
             }
 
             selection = outcome.selected;

@@ -32,6 +32,9 @@ use rustc_hash::FxHashMap;
 
 use crate::stream::EdgeStream;
 
+/// Committed augmenting paths between consecutive live progress events.
+const AUGMENT_EVENT_STRIDE: u64 = 64;
+
 /// Global-registry counters mirroring the per-matcher statistics fields.
 /// The per-instance fields answer "what did *this* solve do"; these answer
 /// "what has the process done" (Prometheus exposition via `mcfs-obs`).
@@ -609,6 +612,14 @@ impl<S: EdgeStream> Matcher<S> {
         let _span = mcfs_obs::span("matcher.augment");
         self.augmentations += 1;
         obs().augmentations.inc();
+        // Live progress: one event per stride of committed augmenting paths
+        // keeps watcher traffic bounded on large instances while still
+        // showing movement between solver iterations.
+        if mcfs_obs::bus_enabled() && self.augmentations.is_multiple_of(AUGMENT_EVENT_STRIDE) {
+            mcfs_obs::publish(mcfs_obs::Event::Augmentations {
+                total: self.augmentations,
+            });
+        }
         // Potentials: π_v += δ(t) − min(δ(v), δ(t)) over touched nodes.
         // Unsettled touched nodes have δ(v) ≥ δ(t), so only strictly closer
         // nodes move — exactly line 17 of Algorithm 2.

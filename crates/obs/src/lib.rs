@@ -15,6 +15,10 @@
 //!   active: [`span`] is one relaxed atomic load on the disabled path.
 //! * [`export`] — Chrome trace-event JSON (Perfetto-loadable), JSONL, and
 //!   the positional wire line the server's `TRACE` verb carries.
+//! * [`bus`] — a bounded broadcast bus for live progress events (solver
+//!   iterations, resolve phases, queue depth). Slow subscribers lose the
+//!   oldest events (with drop accounting) instead of blocking publishers;
+//!   with no subscriber, [`publish`] is one relaxed atomic load.
 //!
 //! The crate is dependency-free (std only) so every other crate in the
 //! workspace can instrument itself without weight.
@@ -35,10 +39,16 @@
 
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod export;
 pub mod registry;
 pub mod trace;
 
+pub use bus::{
+    bus_enabled, current_scope, next_scope_id, publish, publish_scoped, subscribe,
+    subscribe_with_capacity, Event, EventRecord, PhaseState, ScopeGuard, Subscriber,
+    DEFAULT_SUBSCRIBER_CAPACITY,
+};
 pub use export::{span_from_wire_line, span_to_wire_line, to_chrome_trace, to_jsonl};
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use trace::{

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! mcfs-serve [--addr 127.0.0.1:4816] [--workers N] [--queue-limit N]
-//!            [--snapshot-dir PATH] [--solver-threads N]
+//!            [--snapshot-dir PATH] [--restore] [--solver-threads N]
 //!            [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! `--metrics-addr` additionally serves the live counters as Prometheus
 //! text on `GET /metrics` at the given address (a scrape endpoint separate
 //! from the wire port).
+//!
+//! `--restore` re-opens every `<session>.ckpt` found in `--snapshot-dir`
+//! at startup (each as a warm session named after the file), so a restart
+//! resumes where the previous shutdown's snapshot drain left off.
 //!
 //! The process serves until stdin reports EOF or a line reading
 //! `shutdown`, then drains in-flight work, snapshots dirty sessions (when
@@ -23,12 +27,14 @@ use mcfs_server::{ServerConfig, ServerHandle};
 struct Args {
     addr: String,
     metrics_addr: Option<String>,
+    restore: bool,
     config: ServerConfig,
 }
 
 fn usage() -> String {
     "usage: mcfs-serve [--addr HOST:PORT] [--workers N] [--queue-limit N] \
-     [--snapshot-dir PATH] [--solver-threads N] [--metrics-addr HOST:PORT]"
+     [--snapshot-dir PATH] [--restore] [--solver-threads N] \
+     [--metrics-addr HOST:PORT]"
         .to_owned()
 }
 
@@ -36,12 +42,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:4816".to_owned(),
         metrics_addr: None,
+        restore: false,
         config: ServerConfig::default(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(usage());
+        }
+        if flag == "--restore" {
+            args.restore = true;
+            continue;
         }
         let value = it
             .next()
@@ -66,6 +77,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Open every `<session>.ckpt` in `dir` as a warm session named after the
+/// file, through the same wire path a client would use.
+fn restore_sessions(server: &ServerHandle, dir: &std::path::Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    entries.sort();
+    let mut client = server.connect().map_err(|e| e.to_string())?;
+    for path in entries {
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        client
+            .open_text(name, mcfs_server::OpenKind::Checkpoint, &text)
+            .map_err(|e| format!("cannot restore {}: {e}", path.display()))?;
+        names.push(name.to_owned());
+    }
+    Ok(names)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -85,7 +121,25 @@ fn main() -> ExitCode {
         }
     }
 
+    let snapshot_dir = args.config.snapshot_dir.clone();
     let mut server = ServerHandle::start(args.config);
+    if args.restore {
+        let Some(dir) = &snapshot_dir else {
+            eprintln!("mcfs-serve: --restore needs --snapshot-dir");
+            return ExitCode::FAILURE;
+        };
+        match restore_sessions(&server, dir) {
+            Ok(names) => {
+                for name in names {
+                    println!("mcfs-serve restored session {name}");
+                }
+            }
+            Err(e) => {
+                eprintln!("mcfs-serve: restore failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let addr = match server.serve_tcp(&args.addr) {
         Ok(addr) => addr,
         Err(e) => {

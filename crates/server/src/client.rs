@@ -9,7 +9,8 @@ use mcfs::{Edit, McfsInstance, Solution};
 use mcfs_io::{read_solution, write_instance};
 
 use crate::protocol::{
-    MetricsFormat, OpenKind, ProtoError, Reply, Request, TracedRequest, DEFAULT_MAX_PAYLOAD_LINES,
+    EventFrame, Frame, MetricsFormat, OpenKind, ProtoError, Reply, Request, TracedRequest,
+    DEFAULT_MAX_PAYLOAD_LINES,
 };
 
 /// Why a client call failed.
@@ -51,11 +52,18 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-/// A connected client speaking `mcfs-wire v1`.
+/// A connected client speaking `mcfs-wire v1.1`.
+///
+/// Once a `WATCH` is active the server interleaves single-line `event`
+/// frames with replies; every read path here goes through
+/// [`Frame::read_from`], buffering event frames aside (FIFO, see
+/// [`Client::next_event`]) until the awaited reply arrives.
 pub struct Client {
     reader: BufReader<Box<dyn Read + Send>>,
     writer: Box<dyn Write + Send>,
     max_payload: usize,
+    /// Event frames received while waiting for replies, oldest first.
+    pending_events: std::collections::VecDeque<EventFrame>,
 }
 
 impl Client {
@@ -68,6 +76,7 @@ impl Client {
             reader: BufReader::new(Box::new(reader)),
             writer: Box::new(writer),
             max_payload: DEFAULT_MAX_PAYLOAD_LINES,
+            pending_events: std::collections::VecDeque::new(),
         };
         let mut greeting = String::new();
         client.reader.read_line(&mut greeting)?;
@@ -85,12 +94,23 @@ impl Client {
         Client::new(read_half, stream)
     }
 
+    /// Read frames until a reply arrives, buffering any event frames that
+    /// precede it.
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            match Frame::read_from(&mut self.reader, self.max_payload)? {
+                Frame::Reply(reply) => return Ok(reply),
+                Frame::Event(ev) => self.pending_events.push_back(ev),
+            }
+        }
+    }
+
     /// Send one request and block for its reply. This is the primitive the
     /// typed helpers below are built on.
     pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
         request.write_to(&mut self.writer)?;
         self.writer.flush()?;
-        Ok(Reply::read_from(&mut self.reader, self.max_payload)?)
+        self.read_reply()
     }
 
     /// Send one request stamped with `trace=<id>`; the server records the
@@ -103,7 +123,61 @@ impl Client {
         };
         framed.write_to(&mut self.writer)?;
         self.writer.flush()?;
-        Ok(Reply::read_from(&mut self.reader, self.max_payload)?)
+        self.read_reply()
+    }
+
+    /// `WATCH`: subscribe this connection to live `event` frames for
+    /// `session` (or [`crate::protocol::WATCH_ALL`] for every session).
+    /// `buffer` overrides the server-side ring capacity — small buffers
+    /// force `dropped=` markers, which the drop-reconciliation tests use.
+    pub fn watch(&mut self, session: &str, buffer: Option<usize>) -> Result<Reply, ClientError> {
+        let reply = self.request(&Request::Watch {
+            session: session.to_owned(),
+            buffer,
+        })?;
+        if reply.is_ok() {
+            Ok(reply)
+        } else {
+            Err(ClientError::Rejected(reply))
+        }
+    }
+
+    /// `UNWATCH`: end a watch. The server flushes every event published
+    /// before this request ahead of the `ok unwatch` reply, so after this
+    /// returns, [`Client::take_events`] holds the complete stream.
+    pub fn unwatch(&mut self, session: &str) -> Result<Reply, ClientError> {
+        let reply = self.request(&Request::Unwatch {
+            session: session.to_owned(),
+        })?;
+        if reply.is_ok() {
+            Ok(reply)
+        } else {
+            Err(ClientError::Rejected(reply))
+        }
+    }
+
+    /// Pop the oldest buffered event frame without touching the transport.
+    pub fn next_event(&mut self) -> Option<EventFrame> {
+        self.pending_events.pop_front()
+    }
+
+    /// Drain every buffered event frame, oldest first.
+    pub fn take_events(&mut self) -> Vec<EventFrame> {
+        self.pending_events.drain(..).collect()
+    }
+
+    /// Block for the next event frame from the transport (or return a
+    /// buffered one). Only sound while a `WATCH` is active and no request
+    /// is in flight; a reply arriving here means the stream got out of
+    /// sync, reported as `Rejected`.
+    pub fn wait_event(&mut self) -> Result<EventFrame, ClientError> {
+        if let Some(ev) = self.pending_events.pop_front() {
+            return Ok(ev);
+        }
+        match Frame::read_from(&mut self.reader, self.max_payload)? {
+            Frame::Event(ev) => Ok(ev),
+            Frame::Reply(reply) => Err(ClientError::Rejected(reply)),
+        }
     }
 
     fn expect_ok(&mut self, request: &Request) -> Result<Reply, ClientError> {
@@ -215,15 +289,29 @@ impl Client {
 
     /// `TRACE`: fetch the spans of the session's most recent traced
     /// request, parsed from their wire lines. `n` keeps only the most
-    /// recent `n` spans.
+    /// recent `n` spans. See [`Client::trace_spans_back`] for older
+    /// requests in the session's trace ring.
     pub fn trace_spans(
         &mut self,
         session: &str,
         n: Option<usize>,
     ) -> Result<Vec<mcfs_obs::SpanRecord>, ClientError> {
+        self.trace_spans_back(session, n, None)
+    }
+
+    /// `TRACE back=<j>`: like [`Client::trace_spans`] but for the traced
+    /// request `back` steps behind the most recent one (the session keeps
+    /// a ring of [`crate::session::TRACE_RING_CAPACITY`] ids).
+    pub fn trace_spans_back(
+        &mut self,
+        session: &str,
+        n: Option<usize>,
+        back: Option<usize>,
+    ) -> Result<Vec<mcfs_obs::SpanRecord>, ClientError> {
         let reply = self.expect_ok(&Request::Trace {
             session: session.to_owned(),
             n,
+            back,
             deadline_ms: None,
         })?;
         let spans: Option<Vec<_>> = reply

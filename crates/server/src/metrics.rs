@@ -90,6 +90,10 @@ pub struct Metrics {
     sessions_open: Gauge,
     sessions_opened_total: Counter,
     snapshots_written: Counter,
+    /// Event frames written to `WATCH`ing connections.
+    events_streamed: Counter,
+    /// Events shed by subscriber rings and reported as `dropped=` markers.
+    events_dropped: Counter,
     /// Frames that never parsed to a verb (counted outside the grid).
     unparsed: Counter,
 }
@@ -154,6 +158,14 @@ impl Metrics {
             snapshots_written: registry.counter(
                 "mcfs_server_snapshots_written_total",
                 "Checkpoint files written (SNAPSHOT verb or shutdown drain)",
+            ),
+            events_streamed: registry.counter(
+                "mcfs_server_events_streamed_total",
+                "Event frames written to WATCHing connections",
+            ),
+            events_dropped: registry.counter(
+                "mcfs_server_events_dropped_total",
+                "Events shed by subscriber rings (reported as dropped= markers)",
             ),
             unparsed: registry.counter(
                 "mcfs_server_requests_unparsed_total",
@@ -223,6 +235,16 @@ impl Metrics {
         self.snapshots_written.get()
     }
 
+    /// Account `n` event frames streamed to a `WATCH`ing connection.
+    pub fn events_streamed(&self, n: u64) {
+        self.events_streamed.add(n);
+    }
+
+    /// Account `n` events shed by a subscriber ring before delivery.
+    pub fn events_dropped(&self, n: u64) {
+        self.events_dropped.add(n);
+    }
+
     /// Render the counters as stable `key value` lines — the `METRICS`
     /// reply payload. Zero counters are included so clients can reconcile
     /// against the full verb × outcome grid without special-casing.
@@ -266,6 +288,8 @@ impl Metrics {
             "snapshots.written {}",
             self.snapshots_written.get()
         ));
+        out.push(format!("events.streamed {}", self.events_streamed.get()));
+        out.push(format!("events.dropped {}", self.events_dropped.get()));
         for i in 0..LATENCY_BUCKETS {
             let label = if i + 1 == LATENCY_BUCKETS {
                 format!("latency_us.ge_{}", 1u64 << (LATENCY_BUCKETS - 2))

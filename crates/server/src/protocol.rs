@@ -1,4 +1,4 @@
-//! The `mcfs-wire v1` protocol: a line-oriented, versioned request/reply
+//! The `mcfs-wire v1.1` protocol: a line-oriented, versioned request/reply
 //! format in the style of the `mcfs-io` file formats (plain text, strict
 //! parsing, line-numbered errors).
 //!
@@ -21,21 +21,37 @@
 //!           | "SNAPSHOT" session ["deadline_ms=" d]
 //!           | "CLOSE" session
 //!           | "METRICS" ["format=" ("kv" | "prometheus")]
-//!           | "TRACE" session ["n=" k] ["deadline_ms=" d]
+//!           | "TRACE" session ["n=" k] ["back=" j] ["deadline_ms=" d]
+//!           | "WATCH" (session | "*") ["buffer=" b]
+//!           | "UNWATCH" (session | "*")
 //!
 //! reply    := "ok" verb {key "=" value} ["lines=" n payload]
 //!           | "busy" {key "=" value}
 //!           | "timeout" {key "=" value}
 //!           | "err" code message-to-end-of-line
+//!
+//! event    := "event" session "seq=" s "kind=" kind {key "=" value}
+//!           | "event" target "dropped=" n
 //! ```
 //!
 //! Any request verb line may additionally carry a `trace=<id>` attribute
 //! (a nonzero u64 chosen by the client): the server then records the
 //! request's lifecycle as spans under that trace id and echoes the id back
 //! as a `trace=` kv on non-`err` replies. `TRACE <session>` returns the
-//! spans of the session's most recent traced request, one span per payload
-//! line in the `mcfs-obs` wire shape. [`TracedRequest`] is the
-//! frame-with-trace pair; [`Request`] alone ignores the attribute.
+//! spans of one of the session's recently traced requests (`back=<j>`
+//! steps back through the retained ring; `back=0`, the default, is the
+//! most recent), one span per payload line in the `mcfs-obs` wire shape.
+//! [`TracedRequest`] is the frame-with-trace pair; [`Request`] alone
+//! ignores the attribute.
+//!
+//! # Event frames (wire v1.1)
+//!
+//! A connection that has issued `WATCH` receives single-line `event`
+//! frames ([`EventFrame`]) interleaved *between* reply frames — never
+//! inside one, so a reply's verb line and its payload stay contiguous.
+//! Clients that multiplex replies with events read [`Frame`]s; the
+//! `dropped=<n>` marker form reports events lost to the watcher's bounded
+//! buffer (`n` counts losses since the previous marker or the `WATCH`).
 //!
 //! `OPEN` payloads are verbatim `mcfs-instance v1` / `mcfs-checkpoint v1`
 //! blocks (the `mcfs-io` formats, reused as-is); `EDIT` payloads are typed
@@ -56,7 +72,10 @@ use mcfs::Edit;
 use mcfs_graph::NodeId;
 
 /// Greeting line the server sends on connect; also the protocol version.
-pub const WIRE_VERSION: &str = "mcfs-wire v1";
+pub const WIRE_VERSION: &str = "mcfs-wire v1.1";
+
+/// The `WATCH`/`UNWATCH` target meaning "every session" (`WATCH *`).
+pub const WATCH_ALL: &str = "*";
 
 /// Longest accepted session name, in bytes.
 pub const MAX_SESSION_NAME: usize = 64;
@@ -66,7 +85,7 @@ pub const MAX_SESSION_NAME: usize = 64;
 /// cannot commit the server to an unbounded allocation.
 pub const DEFAULT_MAX_PAYLOAD_LINES: usize = 1 << 20;
 
-/// The nine request verbs.
+/// The eleven request verbs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Verb {
     /// Create a session from an instance or checkpoint payload.
@@ -85,13 +104,17 @@ pub enum Verb {
     Close,
     /// Fetch the server-wide counters and latency histogram.
     Metrics,
-    /// Fetch the spans of a session's most recent traced request.
+    /// Fetch the spans of one of a session's recently traced requests.
     Trace,
+    /// Subscribe this connection to a session's live event stream.
+    Watch,
+    /// Cancel a `WATCH` subscription on this connection.
+    Unwatch,
 }
 
 impl Verb {
     /// Every verb, in wire order.
-    pub const ALL: [Verb; 9] = [
+    pub const ALL: [Verb; 11] = [
         Verb::Open,
         Verb::Edit,
         Verb::Solve,
@@ -101,6 +124,8 @@ impl Verb {
         Verb::Close,
         Verb::Metrics,
         Verb::Trace,
+        Verb::Watch,
+        Verb::Unwatch,
     ];
 
     /// The lowercase wire name (used in replies and metrics keys).
@@ -115,6 +140,8 @@ impl Verb {
             Verb::Close => "close",
             Verb::Metrics => "metrics",
             Verb::Trace => "trace",
+            Verb::Watch => "watch",
+            Verb::Unwatch => "unwatch",
         }
     }
 
@@ -130,6 +157,8 @@ impl Verb {
             Verb::Close => "CLOSE",
             Verb::Metrics => "METRICS",
             Verb::Trace => "TRACE",
+            Verb::Watch => "WATCH",
+            Verb::Unwatch => "UNWATCH",
         }
     }
 
@@ -216,15 +245,31 @@ pub enum Request {
         /// Requested exposition format.
         format: MetricsFormat,
     },
-    /// `TRACE <session> [n=<k>] [deadline_ms=<d>]`.
+    /// `TRACE <session> [n=<k>] [back=<j>] [deadline_ms=<d>]`.
     Trace {
         /// Target session name.
         session: String,
         /// Cap on returned spans (most recent first wins); `None` = all
-        /// retained spans of the session's last traced request.
+        /// retained spans of the selected traced request.
         n: Option<usize>,
+        /// Steps back through the session's ring of traced requests;
+        /// `None`/`Some(0)` = the most recent.
+        back: Option<usize>,
         /// Queued-request deadline, milliseconds from admission.
         deadline_ms: Option<u64>,
+    },
+    /// `WATCH <session|*> [buffer=<b>]`.
+    Watch {
+        /// Target session name, or [`WATCH_ALL`] for every session.
+        session: String,
+        /// Bound on the watcher's undelivered-event buffer; `None` = the
+        /// server default ([`mcfs_obs::DEFAULT_SUBSCRIBER_CAPACITY`]).
+        buffer: Option<usize>,
+    },
+    /// `UNWATCH <session|*>`.
+    Unwatch {
+        /// The `WATCH` target to cancel.
+        session: String,
     },
 }
 
@@ -492,10 +537,13 @@ impl Request {
             Request::Close { .. } => Verb::Close,
             Request::Metrics { .. } => Verb::Metrics,
             Request::Trace { .. } => Verb::Trace,
+            Request::Watch { .. } => Verb::Watch,
+            Request::Unwatch { .. } => Verb::Unwatch,
         }
     }
 
-    /// The session the request addresses (`None` for `METRICS`).
+    /// The session the request addresses (`None` for `METRICS`; the
+    /// [`WATCH_ALL`] token for watch-everything subscriptions).
     pub fn session(&self) -> Option<&str> {
         match self {
             Request::Open { session, .. }
@@ -505,7 +553,9 @@ impl Request {
             | Request::Stats { session }
             | Request::Snapshot { session, .. }
             | Request::Close { session }
-            | Request::Trace { session, .. } => Some(session),
+            | Request::Trace { session, .. }
+            | Request::Watch { session, .. }
+            | Request::Unwatch { session } => Some(session),
             Request::Metrics { .. } => None,
         }
     }
@@ -604,15 +654,30 @@ impl Request {
             Request::Trace {
                 session,
                 n,
+                back,
                 deadline_ms,
             } => {
                 write!(w, "TRACE {session}")?;
                 if let Some(n) = n {
                     write!(w, " n={n}")?;
                 }
+                if let Some(b) = back {
+                    write!(w, " back={b}")?;
+                }
                 if let Some(d) = deadline_ms {
                     write!(w, " deadline_ms={d}")?;
                 }
+                end_line(w)?;
+            }
+            Request::Watch { session, buffer } => {
+                write!(w, "WATCH {session}")?;
+                if let Some(b) = buffer {
+                    write!(w, " buffer={b}")?;
+                }
+                end_line(w)?;
+            }
+            Request::Unwatch { session } => {
+                write!(w, "UNWATCH {session}")?;
                 end_line(w)?;
             }
         }
@@ -668,7 +733,9 @@ pub(crate) fn read_traced_frame(
     let Some((&session, rest)) = rest.split_first() else {
         return Err(ProtoError::new(1, format!("{head} needs a session name")));
     };
-    if !valid_session_name(session) {
+    // WATCH/UNWATCH alone accept the `*` watch-everything target.
+    let watch_all = matches!(verb, Verb::Watch | Verb::Unwatch) && session == WATCH_ALL;
+    if !watch_all && !valid_session_name(session) {
         return Err(ProtoError::new(1, format!("bad session name {session:?}")));
     }
     let session = session.to_owned();
@@ -698,8 +765,14 @@ pub(crate) fn read_traced_frame(
         Verb::Open => &[FrameKey::Lines, FrameKey::Trace],
         Verb::Edit => &[FrameKey::Lines, FrameKey::Deadline, FrameKey::Trace],
         Verb::Solve | Verb::Snapshot => &[FrameKey::Deadline, FrameKey::Trace],
-        Verb::Assignment | Verb::Stats | Verb::Close => &[FrameKey::Trace],
-        Verb::Trace => &[FrameKey::Count, FrameKey::Deadline, FrameKey::Trace],
+        Verb::Assignment | Verb::Stats | Verb::Close | Verb::Unwatch => &[FrameKey::Trace],
+        Verb::Trace => &[
+            FrameKey::Count,
+            FrameKey::Back,
+            FrameKey::Deadline,
+            FrameKey::Trace,
+        ],
+        Verb::Watch => &[FrameKey::Buffer, FrameKey::Trace],
         Verb::Metrics => unreachable!("handled above"),
     };
     kvs.check(head, allowed)?;
@@ -741,8 +814,14 @@ pub(crate) fn read_traced_frame(
         Verb::Trace => Request::Trace {
             session,
             n: kvs.count,
+            back: kvs.back,
             deadline_ms,
         },
+        Verb::Watch => Request::Watch {
+            session,
+            buffer: kvs.buffer,
+        },
+        Verb::Unwatch => Request::Unwatch { session },
         Verb::Metrics => unreachable!("handled above"),
     };
     Ok(Some((
@@ -793,10 +872,20 @@ impl Reply {
     }
 
     /// Read one reply frame. EOF at a frame boundary is a fatal error here
-    /// (the client was promised a reply).
+    /// (the client was promised a reply). An `event` frame is an error —
+    /// connections that `WATCH` must read [`Frame`]s instead.
     pub fn read_from(r: &mut impl BufRead, max_payload: usize) -> Result<Reply, ProtoError> {
         let line = read_frame_line(r, 1)?
             .ok_or_else(|| ProtoError::fatal(1, "connection closed before reply"))?;
+        Reply::from_head_line(&line, r, max_payload)
+    }
+
+    /// Parse a reply whose head line has already been read.
+    fn from_head_line(
+        line: &str,
+        r: &mut impl BufRead,
+        max_payload: usize,
+    ) -> Result<Reply, ProtoError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let Some((&head, rest)) = tokens.split_first() else {
             return Err(ProtoError::new(1, "empty reply line"));
@@ -849,6 +938,117 @@ impl Reply {
                 format!("unknown reply status {other:?}"),
             )),
         }
+    }
+}
+
+/// The payload of one `event` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventBody {
+    /// A published bus event with its process-wide sequence number.
+    Event {
+        /// Bus sequence number ([`mcfs_obs::EventRecord::seq`]).
+        seq: u64,
+        /// The event payload.
+        event: mcfs_obs::Event,
+    },
+    /// `count` events were lost to the watcher's bounded buffer since the
+    /// previous marker (or the `WATCH` itself).
+    Dropped {
+        /// Number of events lost.
+        count: u64,
+    },
+}
+
+/// One single-line `event` frame, pushed to `WATCH`ing connections.
+///
+/// `session` names the session the event belongs to; a `Dropped` marker
+/// carries the `WATCH` target instead (which may be [`WATCH_ALL`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventFrame {
+    /// Session name (or the `WATCH` target for drop markers).
+    pub session: String,
+    /// The frame payload.
+    pub body: EventBody,
+}
+
+impl EventFrame {
+    /// Serialize the frame (always exactly one line).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        match &self.body {
+            EventBody::Event { seq, event } => {
+                write!(w, "event {} seq={seq} kind={}", self.session, event.kind())?;
+                let kvs: Vec<(String, String)> = event
+                    .to_kvs()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect();
+                write_kvs(w, &kvs)?;
+                writeln!(w)
+            }
+            EventBody::Dropped { count } => {
+                writeln!(w, "event {} dropped={count}", self.session)
+            }
+        }
+    }
+
+    /// Parse an `event` frame from its already-read head line.
+    fn from_head_line(line: &str) -> Result<EventFrame, ProtoError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&session, rest)) = tokens[1..].split_first() else {
+            return Err(ProtoError::new(1, "event frame without a session"));
+        };
+        if session != WATCH_ALL && !valid_session_name(session) {
+            return Err(ProtoError::new(1, format!("bad session name {session:?}")));
+        }
+        let mut kvs: Vec<(String, String)> = Vec::with_capacity(rest.len());
+        for t in rest {
+            let (k, v) = split_kv(t)?;
+            kvs.push((k.to_owned(), v.to_owned()));
+        }
+        let get = |key: &str| kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        if let Some(count) = get("dropped") {
+            let count: u64 = count
+                .parse()
+                .map_err(|_| ProtoError::new(1, format!("bad dropped count {count:?}")))?;
+            return Ok(EventFrame {
+                session: session.to_owned(),
+                body: EventBody::Dropped { count },
+            });
+        }
+        let seq: u64 = get("seq")
+            .ok_or_else(|| ProtoError::new(1, "event frame without seq="))?
+            .parse()
+            .map_err(|_| ProtoError::new(1, "bad event seq"))?;
+        let kind = get("kind").ok_or_else(|| ProtoError::new(1, "event frame without kind="))?;
+        let event = mcfs_obs::Event::from_kvs(kind, &kvs)
+            .ok_or_else(|| ProtoError::new(1, format!("bad event payload for kind {kind:?}")))?;
+        Ok(EventFrame {
+            session: session.to_owned(),
+            body: EventBody::Event { seq, event },
+        })
+    }
+}
+
+/// Anything the server can send after the greeting: a reply to a request,
+/// or (on `WATCH`ing connections) a pushed event frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A reply frame.
+    Reply(Reply),
+    /// A pushed `event` frame.
+    Event(EventFrame),
+}
+
+impl Frame {
+    /// Read one frame: an `event` line or a full reply frame. EOF at a
+    /// frame boundary is fatal, as for [`Reply::read_from`].
+    pub fn read_from(r: &mut impl BufRead, max_payload: usize) -> Result<Frame, ProtoError> {
+        let line = read_frame_line(r, 1)?
+            .ok_or_else(|| ProtoError::fatal(1, "connection closed before reply"))?;
+        if line.split_whitespace().next() == Some("event") {
+            return Ok(Frame::Event(EventFrame::from_head_line(&line)?));
+        }
+        Ok(Frame::Reply(Reply::from_head_line(&line, r, max_payload)?))
     }
 }
 
@@ -915,6 +1115,8 @@ enum FrameKey {
     Trace,
     Format,
     Count,
+    Back,
+    Buffer,
 }
 
 impl FrameKey {
@@ -925,6 +1127,8 @@ impl FrameKey {
             FrameKey::Trace => "trace",
             FrameKey::Format => "format",
             FrameKey::Count => "n",
+            FrameKey::Back => "back",
+            FrameKey::Buffer => "buffer",
         }
     }
 }
@@ -938,6 +1142,8 @@ struct FrameKvs {
     trace: Option<u64>,
     format: Option<MetricsFormat>,
     count: Option<usize>,
+    back: Option<usize>,
+    buffer: Option<usize>,
 }
 
 impl FrameKvs {
@@ -948,6 +1154,8 @@ impl FrameKvs {
             (FrameKey::Trace, self.trace.is_some()),
             (FrameKey::Format, self.format.is_some()),
             (FrameKey::Count, self.count.is_some()),
+            (FrameKey::Back, self.back.is_some()),
+            (FrameKey::Buffer, self.buffer.is_some()),
         ];
         for (key, set) in present {
             if set && !allowed.contains(&key) {
@@ -994,6 +1202,21 @@ fn parse_frame_kvs(tokens: &[&str], max_payload: usize) -> Result<FrameKvs, Prot
                     v.parse::<usize>()
                         .map_err(|_| ProtoError::new(1, format!("bad span count {v:?}")))?,
                 )
+            }
+            "back" => {
+                kvs.back = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| ProtoError::new(1, format!("bad back offset {v:?}")))?,
+                )
+            }
+            "buffer" => {
+                let b = v
+                    .parse::<usize>()
+                    .map_err(|_| ProtoError::new(1, format!("bad buffer size {v:?}")))?;
+                if b == 0 {
+                    return Err(ProtoError::new(1, "buffer must be at least 1"));
+                }
+                kvs.buffer = Some(b);
             }
             other => return Err(ProtoError::new(1, format!("unknown attribute {other:?}"))),
         }
@@ -1146,13 +1369,105 @@ mod tests {
         rt_request(Request::Trace {
             session: "s".into(),
             n: Some(32),
+            back: Some(3),
             deadline_ms: Some(100),
         });
         rt_request(Request::Trace {
             session: "s".into(),
             n: None,
+            back: None,
             deadline_ms: None,
         });
+        rt_request(Request::Watch {
+            session: "s".into(),
+            buffer: Some(16),
+        });
+        rt_request(Request::Watch {
+            session: WATCH_ALL.into(),
+            buffer: None,
+        });
+        rt_request(Request::Unwatch {
+            session: "s".into(),
+        });
+        rt_request(Request::Unwatch {
+            session: WATCH_ALL.into(),
+        });
+    }
+
+    #[test]
+    fn event_frames_round_trip_as_frames() {
+        let frames = [
+            EventFrame {
+                session: "bikes".into(),
+                body: EventBody::Event {
+                    seq: 17,
+                    event: mcfs_obs::Event::SolverIteration {
+                        solver: "wma",
+                        iteration: 2,
+                        covered: 41,
+                        total: 60,
+                        matching_us: 900,
+                        cover_us: 42,
+                        demand: 66,
+                        edges: 301,
+                    },
+                },
+            },
+            EventFrame {
+                session: "bikes".into(),
+                body: EventBody::Event {
+                    seq: 18,
+                    event: mcfs_obs::Event::QueueDepth { depth: 3 },
+                },
+            },
+            EventFrame {
+                session: WATCH_ALL.into(),
+                body: EventBody::Dropped { count: 12 },
+            },
+        ];
+        for frame in frames {
+            let mut buf = Vec::new();
+            frame.write_to(&mut buf).unwrap();
+            // Exactly one line: events interleave between reply frames.
+            assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 1);
+            let mut r = BufReader::new(buf.as_slice());
+            let back = Frame::read_from(&mut r, DEFAULT_MAX_PAYLOAD_LINES).unwrap();
+            assert_eq!(back, Frame::Event(frame));
+        }
+    }
+
+    #[test]
+    fn frame_reader_also_reads_replies() {
+        let reply = Reply::Ok {
+            verb: Verb::Watch,
+            kvs: vec![("session".into(), "s".into())],
+            payload: vec![],
+        };
+        let mut buf = Vec::new();
+        reply.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(
+            &mut BufReader::new(buf.as_slice()),
+            DEFAULT_MAX_PAYLOAD_LINES,
+        )
+        .unwrap();
+        assert_eq!(back, Frame::Reply(reply));
+    }
+
+    #[test]
+    fn malformed_event_frames_are_structured_errors() {
+        for (text, needle) in [
+            ("event\n", "without a session"),
+            ("event s!\n", "bad session name"),
+            ("event s\n", "without seq"),
+            ("event s seq=abc kind=queue depth=1\n", "bad event seq"),
+            ("event s seq=1\n", "without kind"),
+            ("event s seq=1 kind=queue\n", "bad event payload"),
+            ("event s seq=1 kind=wat a=1\n", "bad event payload"),
+            ("event s dropped=x\n", "bad dropped count"),
+        ] {
+            let err = Frame::read_from(&mut BufReader::new(text.as_bytes()), 1 << 20).unwrap_err();
+            assert!(err.message.contains(needle), "{text:?} => {err:?}");
+        }
     }
 
     #[test]
@@ -1263,6 +1578,15 @@ mod tests {
             ("TRACE s n=abc\n", "bad span count", false),
             ("TRACE s format=kv\n", "takes no format=", false),
             ("TRACE\n", "needs a session", false),
+            ("TRACE s back=no\n", "bad back offset", false),
+            ("SOLVE s back=1\n", "takes no back=", false),
+            ("SOLVE * \n", "bad session name", false),
+            ("WATCH s buffer=0\n", "buffer must be at least 1", false),
+            ("WATCH s buffer=x\n", "bad buffer size", false),
+            ("WATCH s deadline_ms=5\n", "takes no deadline_ms=", false),
+            ("WATCH s lines=1\nx\n", "takes no lines=", false),
+            ("UNWATCH s buffer=4\n", "takes no buffer=", false),
+            ("UNWATCH\n", "needs a session", false),
             (
                 "OPEN s instance lines=99999999999\n",
                 "exceeds the limit",

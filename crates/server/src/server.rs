@@ -24,8 +24,8 @@ use crate::http::MetricsHttpHandle;
 use crate::metrics::{Metrics, Outcome};
 use crate::pipe::pipe;
 use crate::protocol::{
-    read_traced_frame, valid_session_name, ErrorCode, MetricsFormat, Reply, Request, Verb,
-    DEFAULT_MAX_PAYLOAD_LINES, WIRE_VERSION,
+    read_traced_frame, valid_session_name, ErrorCode, EventBody, EventFrame, MetricsFormat, Reply,
+    Request, Verb, DEFAULT_MAX_PAYLOAD_LINES, WATCH_ALL, WIRE_VERSION,
 };
 use crate::worker::{run_worker, Job, TraceCtx};
 
@@ -69,6 +69,10 @@ pub(crate) struct SessionEntry {
     /// Outstanding requests (queued + running). Incremented at admission,
     /// decremented by the worker when the job leaves the system.
     depth: Arc<AtomicUsize>,
+    /// Event-bus scope minted at `OPEN`; every event published while this
+    /// session's requests execute carries it, which is what `WATCH`
+    /// filters on.
+    scope: u64,
 }
 
 /// State shared by connection threads and workers.
@@ -88,6 +92,22 @@ impl ServerCore {
             code,
             message: message.into(),
         }
+    }
+
+    /// The event-bus scope of a registered session.
+    fn scope_of(&self, session: &str) -> Option<u64> {
+        self.registry.lock().unwrap().get(session).map(|e| e.scope)
+    }
+
+    /// Reverse scope lookup, for `WATCH *` pumps stamping session names
+    /// onto events. Linear in the number of live sessions.
+    fn session_name_of(&self, scope: u64) -> Option<String> {
+        self.registry
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(_, e)| e.scope == scope)
+            .map(|(name, _)| name.clone())
     }
 
     /// Admit, enqueue, and wait for `request`'s reply. This is the only
@@ -166,6 +186,7 @@ impl ServerCore {
                     let entry = SessionEntry {
                         worker,
                         depth: Arc::new(AtomicUsize::new(0)),
+                        scope: mcfs_obs::next_scope_id(),
                     };
                     reg.insert(session.clone(), entry.clone());
                     entry
@@ -200,6 +221,7 @@ impl ServerCore {
         if verb == Verb::Close {
             let depth = entry.depth.fetch_add(1, Ordering::Relaxed) + 1;
             self.metrics.note_queue_depth(depth);
+            publish_depth(entry.scope, depth);
         } else {
             let admitted = entry
                 .depth
@@ -207,7 +229,10 @@ impl ServerCore {
                     (d < self.config.queue_limit).then_some(d + 1)
                 });
             match admitted {
-                Ok(prev) => self.metrics.note_queue_depth(prev + 1),
+                Ok(prev) => {
+                    self.metrics.note_queue_depth(prev + 1);
+                    publish_depth(entry.scope, prev + 1);
+                }
                 Err(depth) => {
                     // OPEN reserved the name above; un-reserve on shed.
                     // (Unreachable in practice: a fresh OPEN has depth 0.)
@@ -245,6 +270,7 @@ impl ServerCore {
             },
             deadline,
             trace,
+            scope: entry.scope,
         };
         let sent = {
             let guard = self.senders[entry.worker].lock().unwrap();
@@ -273,28 +299,229 @@ impl ServerCore {
     }
 }
 
+/// Publish a queue-depth event for a session's scope (one relaxed load
+/// when nobody watches).
+fn publish_depth(scope: u64, depth: usize) {
+    if mcfs_obs::bus_enabled() {
+        mcfs_obs::publish_scoped(
+            scope,
+            mcfs_obs::Event::QueueDepth {
+                depth: depth as u64,
+            },
+        );
+    }
+}
+
+/// One live `WATCH` subscription on a connection: the pump thread that
+/// drains the bus subscriber into the shared connection writer, plus the
+/// flag that stops it.
+struct WatchHandle {
+    stop: Arc<AtomicBool>,
+    pump: JoinHandle<()>,
+}
+
+impl WatchHandle {
+    /// Signal the pump, wait for its final drain-and-flush, and reclaim
+    /// the thread. After this returns, no further event frames for this
+    /// watch will be written.
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.pump.join();
+    }
+}
+
+/// How long a pump sleeps between buffer checks; also the worst-case
+/// latency of an `UNWATCH` reply or connection teardown.
+const PUMP_TICK: Duration = Duration::from_millis(25);
+
+/// Spawn the pump thread for one `WATCH`. The pump owns the bus
+/// subscriber; it writes whole single-line event frames under the shared
+/// writer lock, so frames from concurrent pumps and the reply path can
+/// interleave but never tear. On the stop signal it drains once more
+/// (events published before an `UNWATCH` was parsed are never lost) and
+/// exits; dropping the subscriber unregisters it from the bus.
+fn spawn_pump<W: Write + Send + 'static>(
+    core: Arc<ServerCore>,
+    writer: Arc<Mutex<W>>,
+    target: String,
+    sub: mcfs_obs::Subscriber,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("mcfs-watch-pump".into())
+        .spawn(move || loop {
+            let stopping = stop.load(Ordering::SeqCst);
+            let drain = if stopping {
+                sub.poll()
+            } else {
+                sub.wait(PUMP_TICK)
+            };
+            if !drain.is_empty() {
+                let mut w = writer.lock().unwrap();
+                let mut wrote = Ok(());
+                // The drop marker precedes the drained events: the ring
+                // sheds oldest-first, so the losses happened before them.
+                if drain.dropped > 0 {
+                    core.metrics.events_dropped(drain.dropped);
+                    let frame = EventFrame {
+                        session: target.clone(),
+                        body: EventBody::Dropped {
+                            count: drain.dropped,
+                        },
+                    };
+                    wrote = frame.write_to(&mut *w);
+                }
+                let mut streamed = 0u64;
+                for rec in &drain.events {
+                    if wrote.is_err() {
+                        break;
+                    }
+                    let session = if target == WATCH_ALL {
+                        // Scope ids are process-global: events from
+                        // sessions of *other* server instances (or from
+                        // sessions closed mid-flight) resolve to nothing
+                        // here and are not this server's to stream.
+                        match core.session_name_of(rec.scope) {
+                            Some(name) => name,
+                            None => continue,
+                        }
+                    } else {
+                        target.clone()
+                    };
+                    let frame = EventFrame {
+                        session,
+                        body: EventBody::Event {
+                            seq: rec.seq,
+                            event: rec.event.clone(),
+                        },
+                    };
+                    wrote = frame.write_to(&mut *w);
+                    streamed += 1;
+                }
+                core.metrics.events_streamed(streamed);
+                if wrote.and_then(|()| w.flush()).is_err() {
+                    return; // client gone; connection loop will notice too
+                }
+            }
+            if stopping {
+                return;
+            }
+        })
+        .expect("spawning a watch pump thread")
+}
+
+/// Handle `WATCH`/`UNWATCH` inline on the connection thread (they bind a
+/// subscription to *this* connection, so they never enter a session
+/// queue).
+fn handle_watch_verbs<W: Write + Send + 'static>(
+    core: &Arc<ServerCore>,
+    writer: &Arc<Mutex<W>>,
+    watches: &mut HashMap<String, WatchHandle>,
+    request: Request,
+) -> Reply {
+    match request {
+        Request::Watch { session, buffer } => {
+            if watches.contains_key(&session) {
+                // Idempotent: the existing pump keeps running.
+                core.metrics.record_request(Verb::Watch, Outcome::Ok, None);
+                return Reply::Ok {
+                    verb: Verb::Watch,
+                    kvs: vec![("session".into(), session), ("already".into(), "1".into())],
+                    payload: vec![],
+                };
+            }
+            let filter = if session == WATCH_ALL {
+                None
+            } else {
+                match core.scope_of(&session) {
+                    Some(scope) => Some(scope),
+                    None => {
+                        return core.reject(
+                            Verb::Watch,
+                            ErrorCode::NoSession,
+                            format!("no session {session:?}"),
+                        )
+                    }
+                }
+            };
+            let capacity = buffer.unwrap_or(mcfs_obs::DEFAULT_SUBSCRIBER_CAPACITY);
+            let sub = mcfs_obs::subscribe_with_capacity(filter, capacity);
+            let stop = Arc::new(AtomicBool::new(false));
+            let pump = spawn_pump(
+                Arc::clone(core),
+                Arc::clone(writer),
+                session.clone(),
+                sub,
+                Arc::clone(&stop),
+            );
+            watches.insert(session.clone(), WatchHandle { stop, pump });
+            core.metrics.record_request(Verb::Watch, Outcome::Ok, None);
+            Reply::Ok {
+                verb: Verb::Watch,
+                kvs: vec![
+                    ("session".into(), session),
+                    ("buffer".into(), capacity.to_string()),
+                ],
+                payload: vec![],
+            }
+        }
+        Request::Unwatch { session } => match watches.remove(&session) {
+            Some(handle) => {
+                // Joining the pump *before* replying guarantees every
+                // event published before this UNWATCH was parsed is on
+                // the wire ahead of the `ok unwatch`.
+                handle.stop();
+                core.metrics
+                    .record_request(Verb::Unwatch, Outcome::Ok, None);
+                Reply::Ok {
+                    verb: Verb::Unwatch,
+                    kvs: vec![("session".into(), session)],
+                    payload: vec![],
+                }
+            }
+            None => core.reject(
+                Verb::Unwatch,
+                ErrorCode::State,
+                format!("not watching {session:?}"),
+            ),
+        },
+        _ => unreachable!("only WATCH/UNWATCH are routed here"),
+    }
+}
+
 /// Serve one connection: greeting, then a frame/reply loop until EOF or a
 /// fatal protocol error.
+///
+/// The writer is shared behind a mutex with this connection's `WATCH`
+/// pump threads; replies and event frames are each written whole (and
+/// flushed) under the lock, so they interleave at frame granularity only.
 ///
 /// When a frame carries `trace=<id>`, the connection thread records the
 /// request's lifecycle spans: `server.parse` (verb line read → frame
 /// decoded), `server.reply` (reply serialization + flush), and the
 /// enclosing root `server.request`. The queue/execute interval in between
 /// is recorded by the worker under the same root (see `worker.rs`).
-pub(crate) fn handle_connection(
+pub(crate) fn handle_connection<W: Write + Send + 'static>(
     mut reader: impl BufRead,
-    mut writer: impl Write,
-    core: &ServerCore,
+    writer: W,
+    core: Arc<ServerCore>,
 ) {
-    if writeln!(writer, "{WIRE_VERSION}")
-        .and_then(|()| writer.flush())
-        .is_err()
+    let writer = Arc::new(Mutex::new(writer));
     {
-        return;
+        let mut w = writer.lock().unwrap();
+        if writeln!(w, "{WIRE_VERSION}")
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            return;
+        }
     }
+    // This connection's live WATCHes, keyed by target. Stopped (which
+    // unsubscribes from the bus) when the connection ends, however it ends.
+    let mut watches: HashMap<String, WatchHandle> = HashMap::new();
     loop {
         match read_traced_frame(&mut reader, core.config.max_payload_lines) {
-            Ok(None) => return, // clean EOF
+            Ok(None) => break, // clean EOF
             Ok(Some((traced, parse_start_ns))) => {
                 let ctx = traced.trace.map(|trace| {
                     let root = mcfs_obs::alloc_span_id();
@@ -308,9 +535,21 @@ pub(crate) fn handle_connection(
                     );
                     TraceCtx { trace, root }
                 });
-                let reply = core.submit_traced(traced.request, ctx);
+                let reply = match traced.request {
+                    request @ (Request::Watch { .. } | Request::Unwatch { .. }) => {
+                        let mut reply = handle_watch_verbs(&core, &writer, &mut watches, request);
+                        if let (Some(ctx), Reply::Ok { kvs, .. }) = (ctx, &mut reply) {
+                            kvs.push(("trace".into(), ctx.trace.to_string()));
+                        }
+                        reply
+                    }
+                    request => core.submit_traced(request, ctx),
+                };
                 let reply_start_ns = ctx.map(|_| mcfs_obs::now_ns());
-                let wrote = reply.write_to(&mut writer).and_then(|()| writer.flush());
+                let wrote = {
+                    let mut w = writer.lock().unwrap();
+                    reply.write_to(&mut *w).and_then(|()| w.flush())
+                };
                 if let (Some(ctx), Some(start_ns)) = (ctx, reply_start_ns) {
                     let end_ns = mcfs_obs::now_ns();
                     mcfs_obs::record_manual(
@@ -333,7 +572,7 @@ pub(crate) fn handle_connection(
                     );
                 }
                 if wrote.is_err() {
-                    return;
+                    break;
                 }
             }
             Err(e) => {
@@ -342,12 +581,20 @@ pub(crate) fn handle_connection(
                     code: ErrorCode::Proto,
                     message: e.to_string(),
                 };
-                let wrote = reply.write_to(&mut writer).and_then(|()| writer.flush());
+                let wrote = {
+                    let mut w = writer.lock().unwrap();
+                    reply.write_to(&mut *w).and_then(|()| w.flush())
+                };
                 if e.fatal || wrote.is_err() {
-                    return;
+                    break;
                 }
             }
         }
+    }
+    // Auto-unsubscribe: a vanished or departing client must not leave bus
+    // subscribers (and pump threads) behind.
+    for (_, handle) in watches.drain() {
+        handle.stop();
     }
 }
 
@@ -427,7 +674,7 @@ impl ServerHandle {
         std::thread::Builder::new()
             .name("mcfs-conn-pipe".into())
             .spawn(move || {
-                handle_connection(BufReader::new(server_rx), server_tx, &core);
+                handle_connection(BufReader::new(server_rx), server_tx, core);
             })
             .expect("spawning a connection thread");
         Client::new(client_rx, client_tx)
@@ -454,7 +701,7 @@ impl ServerHandle {
                             let Ok(read_half) = stream.try_clone() else {
                                 return;
                             };
-                            handle_connection(BufReader::new(read_half), stream, &core);
+                            handle_connection(BufReader::new(read_half), stream, core);
                         });
                 }
             })?;

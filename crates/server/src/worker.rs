@@ -48,6 +48,9 @@ pub(crate) struct Job {
     pub deadline: Option<Instant>,
     /// Set when the request carried `trace=<id>` on the wire.
     pub trace: Option<TraceCtx>,
+    /// The owning session's event-bus scope (0 for sessionless work);
+    /// entered for the execution so solver events carry the session.
+    pub scope: u64,
 }
 
 /// Body of one worker thread.
@@ -100,6 +103,7 @@ fn process(sessions: &mut HashMap<String, Session>, job: Job, core: &ServerCore)
             let _guard = job
                 .trace
                 .map(|ctx| mcfs_obs::TraceGuard::enter(ctx.trace, ctx.root));
+            let _scope = mcfs_obs::ScopeGuard::enter(job.scope);
             let _span = mcfs_obs::span("server.execute");
             let reply = execute(sessions, &job.request, core);
             if let Some(ctx) = job.trace {
@@ -124,7 +128,15 @@ fn process(sessions: &mut HashMap<String, Session>, job: Job, core: &ServerCore)
     };
     core.metrics
         .record_request(verb, outcome, Some(job.enqueued.elapsed()));
-    job.depth.fetch_sub(1, Ordering::Relaxed);
+    let was = job.depth.fetch_sub(1, Ordering::Relaxed);
+    if mcfs_obs::bus_enabled() {
+        mcfs_obs::publish_scoped(
+            job.scope,
+            mcfs_obs::Event::QueueDepth {
+                depth: was.saturating_sub(1) as u64,
+            },
+        );
+    }
     // A vanished client (dropped connection) is not an error for the server.
     let _ = job.reply_tx.send(reply);
 }
@@ -243,8 +255,11 @@ fn execute(sessions: &mut HashMap<String, Session>, request: &Request, core: &Se
             }
             None => err(ErrorCode::NoSession, format!("no session {session:?}")),
         },
-        Request::Trace { session, n, .. } => {
-            with_session(sessions, session, |s| match s.last_trace() {
+        Request::Trace {
+            session, n, back, ..
+        } => {
+            let back = back.unwrap_or(0);
+            with_session(sessions, session, |s| match s.trace_at(back) {
                 Some(trace) => {
                     let mut spans = mcfs_obs::spans_for(trace);
                     if let Some(n) = *n {
@@ -258,6 +273,7 @@ fn execute(sessions: &mut HashMap<String, Session>, request: &Request, core: &Se
                         verb: Verb::Trace,
                         kvs: vec![
                             ("of".into(), trace.to_string()),
+                            ("back".into(), back.to_string()),
                             ("spans".into(), spans.len().to_string()),
                         ],
                         payload: spans.iter().map(mcfs_obs::span_to_wire_line).collect(),
@@ -265,13 +281,18 @@ fn execute(sessions: &mut HashMap<String, Session>, request: &Request, core: &Se
                 }
                 None => err(
                     ErrorCode::State,
-                    "no traced request for this session yet (send trace=<id> first)",
+                    "no traced request retained that far back (send trace=<id> first)",
                 ),
             })
         }
         // METRICS is answered inline by the connection layer; a worker
-        // never sees it.
+        // never sees it. WATCH/UNWATCH bind to a connection, not a
+        // session queue, and are likewise handled there.
         Request::Metrics { .. } => err(ErrorCode::Proto, "METRICS is not a queued verb"),
+        Request::Watch { .. } | Request::Unwatch { .. } => err(
+            ErrorCode::Proto,
+            "WATCH/UNWATCH bind to a connection, not a session queue",
+        ),
     }
 }
 

@@ -24,7 +24,9 @@ use std::time::Instant;
 
 use mcfs_repro::core::{Solver, Wma};
 use mcfs_repro::io::read_checkpoint;
-use mcfs_repro::obs::{clear_spans, last_spans, set_force, span};
+use mcfs_repro::obs::{
+    bus_enabled, clear_spans, last_spans, next_scope_id, set_force, span, subscribe, ScopeGuard,
+};
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/bikes_small.ckpt");
 
@@ -97,5 +99,75 @@ fn disabled_mode_tracing_overhead_stays_under_two_percent() {
         "disabled-mode tracing costs {overhead_ns}ns per solve \
          ({spans_per_solve} spans), over the 2% budget of {budget_ns}ns \
          (solve median {disabled_ns}ns)"
+    );
+}
+
+/// The same analytic guard for the event bus: with zero subscribers, every
+/// emission site reduces to one relaxed `bus_enabled()` load, and the sum
+/// of those loads over a solve must stay under 2% of the solve itself.
+#[test]
+fn zero_subscriber_event_bus_overhead_stays_under_two_percent() {
+    let text = fs::read(GOLDEN).expect("committed golden checkpoint");
+    let (owned, _recorded) = read_checkpoint(text.as_slice()).unwrap();
+    let inst = owned.instance().unwrap();
+
+    for _ in 0..2 {
+        black_box(Wma::new().solve(&inst).unwrap());
+    }
+
+    // Median solve wall time with the bus idle (no subscriber anywhere in
+    // this process: this test binary never leaves one registered).
+    assert!(!bus_enabled(), "bus must start disarmed in this binary");
+    let disabled_ns = median_ns(
+        (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(Wma::new().solve(&inst).unwrap());
+                t0.elapsed().as_nanos()
+            })
+            .collect(),
+    );
+
+    // Count the events one solve publishes by actually subscribing: the
+    // scope filter keeps the count exact even if something else publishes.
+    let scope = next_scope_id();
+    let events_per_solve = {
+        let sub = subscribe(Some(scope));
+        let _guard = ScopeGuard::enter(scope);
+        black_box(Wma::new().solve(&inst).unwrap());
+        let drain = sub.poll();
+        assert_eq!(drain.dropped, 0, "default ring must hold one solve");
+        drain.events.len() as u128
+    };
+    assert!(
+        events_per_solve > 0,
+        "a subscribed solve must publish iteration events"
+    );
+    assert!(
+        !bus_enabled(),
+        "dropping the only subscriber disarms the bus"
+    );
+
+    // Cost of one disarmed emission-site check, amortized over a million.
+    const PROBE_CALLS: u128 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..PROBE_CALLS {
+        black_box(bus_enabled());
+    }
+    let probe_total_ns = t0.elapsed().as_nanos();
+
+    let overhead_ns = events_per_solve * probe_total_ns / PROBE_CALLS;
+    let budget_ns = disabled_ns / 50; // 2%
+    eprintln!(
+        "bus overhead guard: solve disabled={disabled_ns}ns \
+         events/solve={events_per_solve} disarmed-check={:.1}ns \
+         => overhead {overhead_ns}ns vs budget {budget_ns}ns",
+        probe_total_ns as f64 / PROBE_CALLS as f64,
+    );
+    assert!(
+        overhead_ns < budget_ns,
+        "zero-subscriber event publishing costs {overhead_ns}ns per solve \
+         ({events_per_solve} emission sites), over the 2% budget of \
+         {budget_ns}ns (solve median {disabled_ns}ns)"
     );
 }

@@ -44,7 +44,7 @@ fn build_request(
     payload: Vec<String>,
     deadline_ms: Option<u64>,
 ) -> Request {
-    match variant % 9 {
+    match variant % 11 {
         0 => Request::Open {
             session,
             kind: if deadline_ms.unwrap_or(0).is_multiple_of(2) {
@@ -77,11 +77,22 @@ fn build_request(
                 MetricsFormat::Prometheus
             },
         },
-        _ => Request::Trace {
+        8 => Request::Trace {
             session,
             n: deadline_ms.map(|d| (d % 64) as usize),
+            back: deadline_ms.map(|d| (d % 8) as usize),
             deadline_ms,
         },
+        9 => Request::Watch {
+            // `*` (watch everything) is legal on WATCH but on no other verb.
+            session: if deadline_ms.unwrap_or(0).is_multiple_of(2) {
+                session
+            } else {
+                mcfs_repro::server::WATCH_ALL.to_owned()
+            },
+            buffer: deadline_ms.map(|d| (d % 1000 + 1) as usize),
+        },
+        _ => Request::Unwatch { session },
     }
 }
 
@@ -103,7 +114,7 @@ proptest! {
     /// exactly the bytes it wrote (framing stays synchronized).
     #[test]
     fn request_frames_round_trip(
-        variant in 0usize..9,
+        variant in 0usize..11,
         name_picks in proptest::collection::vec(0usize..64, 1..12),
         edit_specs in proptest::collection::vec((0usize..6, 0u32..5000, 0u32..50), 0..6),
         line_specs in proptest::collection::vec(
@@ -123,7 +134,7 @@ proptest! {
     #[test]
     fn reply_frames_round_trip(
         variant in 0usize..4,
-        verb_pick in 0usize..9,
+        verb_pick in 0usize..11,
         code_pick in 0usize..11,
         kv_specs in proptest::collection::vec(
             (proptest::collection::vec(0usize..64, 1..8),
@@ -190,7 +201,7 @@ proptest! {
     /// and never parse as something else silently.
     #[test]
     fn mutated_valid_frames_stay_structured(
-        variant in 0usize..9,
+        variant in 0usize..11,
         name_picks in proptest::collection::vec(0usize..64, 1..12),
         cut in 0usize..256,
     ) {
@@ -243,6 +254,13 @@ fn malformed_frames_report_structured_errors() {
         ("OPEN s instance lines=999\nx\n", 1, false),   // over payload bound
         ("STATS\n", 1, false),                          // missing session
         ("METRICS now\n", 1, false),                    // METRICS takes no args
+        ("TRACE s back=x\n", 1, false),                 // bad back index
+        ("SOLVE s back=1\n", 1, false),                 // back= is TRACE-only
+        ("SOLVE *\n", 1, false),                        // * only on WATCH/UNWATCH
+        ("WATCH s buffer=0\n", 1, false),               // zero buffer
+        ("WATCH s deadline_ms=5\n", 1, false),          // deadline on WATCH
+        ("UNWATCH s buffer=4\n", 1, false),             // buffer on UNWATCH
+        ("UNWATCH\n", 1, false),                        // missing target
     ];
     for &(frame, line, fatal) in cases {
         let mut reader = frame.as_bytes();
