@@ -1,0 +1,360 @@
+//! `mcfs-loadgen`: replay a seeded workload against `mcfs-serve` and emit
+//! `BENCH_LOAD.json`.
+//!
+//! ```text
+//! mcfs-loadgen [--mix solve-heavy|edit-heavy|read-heavy|mixed]
+//!              [--connections N] [--sessions N] [--watchers N]
+//!              [--requests N] [--rate HZ] [--seed N]
+//!              [--watch-buffer N] [--deadline-ms N] [--instance-side N]
+//!              [--workers N] [--queue-limit N]
+//!              [--addr HOST:PORT] [--out PATH] [--floor PATH]
+//!              [--no-micro] [--chaos] [--strict]
+//! ```
+//!
+//! Without `--addr` the run spins up an in-process server (sized by
+//! `--workers`/`--queue-limit`) and drives it over in-memory pipe
+//! connections — the deterministic CI shape. With `--addr` it drives an
+//! external `mcfs-serve` over TCP and reconciles against a
+//! baseline-corrected Prometheus snapshot.
+//!
+//! `--floor PATH` gates the run against stored SLO floors (`key value`
+//! lines; see `mcfs_loadgen::report::Floors`) and exits nonzero on any
+//! violation. `--strict` additionally fails on verb-grid mismatches or a
+//! client/server quantile disagreement beyond ±1 log2 bucket — only
+//! meaningful against a dedicated server.
+
+use std::process::ExitCode;
+
+use mcfs_loadgen::report::QUEUED_VERBS;
+use mcfs_loadgen::{
+    chaos, micro, parse_server_metrics, reconcile, render_json, Floors, Mix, Profile, Target,
+};
+use mcfs_server::{ServerConfig, ServerHandle};
+
+#[derive(Clone)]
+struct Args {
+    profile: Profile,
+    workers: usize,
+    queue_limit: usize,
+    addr: Option<String>,
+    out: String,
+    floor: Option<String>,
+    micro: bool,
+    chaos: bool,
+    strict: bool,
+}
+
+fn usage() -> String {
+    "usage: mcfs-loadgen [--mix solve-heavy|edit-heavy|read-heavy|mixed] \
+     [--connections N] [--sessions N] [--watchers N] [--requests N] \
+     [--rate HZ] [--seed N] [--watch-buffer N] [--deadline-ms N] \
+     [--instance-side N] [--workers N] [--queue-limit N] \
+     [--addr HOST:PORT] [--out PATH] [--floor PATH] [--no-micro] \
+     [--chaos] [--strict]"
+        .to_owned()
+}
+
+fn default_out() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_LOAD.json").to_owned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        profile: Profile::default(),
+        workers: 4,
+        queue_limit: 8,
+        addr: None,
+        out: default_out(),
+        floor: None,
+        micro: true,
+        chaos: false,
+        strict: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => return Err(usage()),
+            "--no-micro" => {
+                args.micro = false;
+                continue;
+            }
+            "--chaos" => {
+                args.chaos = true;
+                continue;
+            }
+            "--strict" => {
+                args.strict = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let num = || -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--mix" => {
+                args.profile.mix = Mix::from_token(value)
+                    .ok_or_else(|| format!("unknown mix {value:?}\n{}", usage()))?;
+            }
+            "--connections" => args.profile.connections = num()?.max(1),
+            "--sessions" => args.profile.sessions = num()?.max(1),
+            "--watchers" => args.profile.watchers = num()?,
+            "--requests" => args.profile.requests_per_conn = num()?,
+            "--rate" => {
+                args.profile.rate_hz = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("--rate expects a number, got {value:?}"))?
+                    .max(0.001);
+            }
+            "--seed" => {
+                args.profile.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects a number, got {value:?}"))?;
+            }
+            "--watch-buffer" => args.profile.watch_buffer = Some(num()?.max(1)),
+            "--deadline-ms" => args.profile.deadline_ms = Some(num()? as u64),
+            "--instance-side" => args.profile.instance_side = num()?.max(3) as u32,
+            "--workers" => args.workers = num()?.max(1),
+            "--queue-limit" => args.queue_limit = num()?.max(1),
+            "--addr" => args.addr = Some(value.clone()),
+            "--out" => args.out.clone_from(value),
+            "--floor" => args.floor = Some(value.clone()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.profile.watchers > args.profile.connections {
+        return Err("--watchers cannot exceed --connections".to_owned());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(String, Vec<String>), String> {
+    let mut args = args.clone();
+    // A long-lived external server may still hold sessions from an
+    // earlier run (OPEN of an existing name is an error), so give each
+    // external run its own session namespace. In-process servers are
+    // fresh, and keeping `s<n>` there keeps the CI profile byte-stable.
+    if args.addr.is_some() {
+        args.profile.session_prefix = format!("l{}x", std::process::id());
+    }
+    let args = &args;
+    // Own server unless --addr points at an external one.
+    let own_server = if args.addr.is_none() {
+        Some(ServerHandle::start(ServerConfig {
+            workers: args.workers,
+            queue_limit: args.queue_limit,
+            ..ServerConfig::default()
+        }))
+    } else {
+        None
+    };
+    let target = match (&args.addr, &own_server) {
+        (Some(addr), _) => Target::Tcp(addr.clone()),
+        (None, Some(server)) => Target::InProcess(server),
+        (None, None) => unreachable!(),
+    };
+
+    // One long-lived metrics connection brackets the run; METRICS
+    // snapshots exclude themselves, so the baseline is exact.
+    let mut metrics_client = target.connect().map_err(|e| e.to_string())?;
+    let before = parse_server_metrics(
+        &metrics_client
+            .metrics_prometheus()
+            .map_err(|e| e.to_string())?,
+    );
+
+    eprintln!(
+        "mcfs-loadgen: {} x{} connections, {} sessions ({} watched), {} req/conn @ {}/s, seed {}",
+        args.profile.mix.token(),
+        args.profile.connections,
+        args.profile.sessions,
+        args.profile.watchers,
+        args.profile.requests_per_conn,
+        args.profile.rate_hz,
+        args.profile.seed
+    );
+    let outcome = mcfs_loadgen::run(&args.profile, &target).map_err(|e| e.to_string())?;
+
+    let after = parse_server_metrics(
+        &metrics_client
+            .metrics_prometheus()
+            .map_err(|e| e.to_string())?,
+    );
+    let server_delta = after.delta_from(&before);
+    let rec = reconcile(&outcome, &server_delta);
+
+    let mut notes = Vec::new();
+    notes.push(
+        "satellite fix pinned: watch pumps and the reply path now serialize whole frames to a \
+         reused buffer outside the shared writer lock and write them with a single write_all \
+         (was: one small write per frame fragment while holding the lock)"
+            .to_owned(),
+    );
+    notes.push(
+        "satellite fix pinned: request parsing reuses a per-connection FrameScratch line buffer \
+         (was: a fresh String allocation per frame line)"
+            .to_owned(),
+    );
+    notes.push(
+        "fix pinned: TCP_NODELAY on both wire ends (was: Nagle held each whole-frame write \
+         behind the peer's delayed ACK, flooring every TCP round trip near 40ms)"
+            .to_owned(),
+    );
+
+    let mut micros = Vec::new();
+    if args.micro {
+        match micro::frame_write_batching(512) {
+            Ok(m) => micros.push(m),
+            Err(e) => notes.push(format!("frame_write_batching micro-bench skipped: {e}")),
+        }
+        micros.push(micro::frame_parse_scratch(20_000));
+    }
+
+    // Chaos (after the reconciliation snapshot, so its extra traffic does
+    // not disturb the grid). Connection kills need a real socket to
+    // sever, so this is TCP-only; the in-process chaos suite lives in
+    // tests/load_slo.rs.
+    if args.chaos {
+        if args.addr.is_none() {
+            notes.push(
+                "chaos skipped: needs --addr (run tests/load_slo.rs for the in-process chaos \
+                 suite)"
+                    .to_owned(),
+            );
+        }
+        if let Some(addr) = args.addr.clone() {
+            let mut driver = target.connect().map_err(|e| e.to_string())?;
+            let session = "chaos-probe";
+            driver
+                .open_text(
+                    session,
+                    mcfs_server::OpenKind::Instance,
+                    &mcfs_loadgen::workload_instance_text(),
+                )
+                .map_err(|e| e.to_string())?;
+            let baseline =
+                chaos::solve_objective(&mut driver, session).map_err(|e| e.to_string())?;
+            for _ in 0..8 {
+                chaos::kill_mid_request(&addr, &format!("SOLVE {session}\n"))
+                    .map_err(|e| e.to_string())?;
+            }
+            let after_kills =
+                chaos::solve_objective(&mut driver, session).map_err(|e| e.to_string())?;
+            let storm =
+                chaos::deadline_storm(&mut driver, session, 16, 0).map_err(|e| e.to_string())?;
+            notes.push(format!(
+                "chaos: 8 connections killed mid-SOLVE, objective stable {} -> {}; deadline \
+                 storm of 16 expired solves -> {} timeouts / {} ok / {} err",
+                baseline, after_kills, storm.timeouts, storm.ok, storm.err
+            ));
+            if baseline != after_kills {
+                return Err(format!(
+                    "chaos detected session corruption: objective {baseline} -> {after_kills}"
+                ));
+            }
+            driver.close(session).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let json = render_json(&args.profile, &outcome, &rec, &micros, &notes);
+
+    eprintln!(
+        "mcfs-loadgen: {} ok / {} busy / {} timeout / {} err in {:.2}s ({:.0} ok/s), {} events, {} dropped",
+        outcome.ok_total(),
+        outcome.busy_total(),
+        outcome.verbs.values().map(|v| v.timeout).sum::<u64>(),
+        outcome.verbs.values().map(|v| v.err).sum::<u64>(),
+        outcome.wall.as_secs_f64(),
+        outcome.throughput_ok_per_s(),
+        outcome.events,
+        outcome.dropped_marker_sum
+    );
+    for verb in QUEUED_VERBS {
+        let stats = outcome.verb(verb);
+        if stats.total() > 0 {
+            eprintln!(
+                "  {verb:<10} n={:<6} p50={}us p99={}us p999={}us",
+                stats.total(),
+                stats.hist.quantile_us(0.50),
+                stats.hist.quantile_us(0.99),
+                stats.hist.quantile_us(0.999)
+            );
+        }
+    }
+    eprintln!(
+        "  reconcile: client n={} server n={}, quantile bucket deltas {:?}, {} grid mismatches",
+        rec.client_count,
+        rec.server_count,
+        rec.bucket_deltas(),
+        rec.grid_mismatches.len()
+    );
+
+    let mut violations = Vec::new();
+    if let Some(floor_path) = &args.floor {
+        let text = std::fs::read_to_string(floor_path)
+            .map_err(|e| format!("cannot read floor file {floor_path}: {e}"))?;
+        violations.extend(Floors::parse(&text).check(&outcome, &rec));
+    }
+    if args.strict {
+        if !rec.grid_mismatches.is_empty() {
+            violations.push(format!(
+                "strict: verb-grid mismatches: {:?}",
+                rec.grid_mismatches
+            ));
+        }
+        if rec.max_abs_bucket_delta() > 1 {
+            violations.push(format!(
+                "strict: client/server quantiles disagree by {} buckets",
+                rec.max_abs_bucket_delta()
+            ));
+        }
+        if outcome.transport_errors > 0 {
+            violations.push(format!(
+                "strict: {} transport errors",
+                outcome.transport_errors
+            ));
+        }
+    }
+
+    if let Some(server) = own_server {
+        server.shutdown();
+    }
+    Ok((json, violations))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok((json, violations)) => {
+            if let Err(e) = std::fs::write(&args.out, &json) {
+                eprintln!("mcfs-loadgen: cannot write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            eprintln!("mcfs-loadgen: wrote {}", args.out);
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("mcfs-loadgen: SLO violation: {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("mcfs-loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Chaos primitives: the fault-injection building blocks `tests/load_slo.rs`
+//! composes into scenarios — abrupt connection kills mid-request, raw
+//! malformed/oversized/truncated frames, and deadline storms.
+//!
+//! These work at the raw TCP layer on purpose: a well-behaved [`Client`]
+//! cannot *produce* a truncated frame or vanish mid-solve, and the whole
+//! point is to prove the server survives clients that do.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use mcfs_server::{Client, ClientError, Reply, Request};
+
+/// Connect a raw socket and consume the greeting line, returning the
+/// stream plus a buffered reader on its read half.
+fn raw_connect(addr: &str) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting)?;
+    Ok((stream, reader))
+}
+
+/// Send a request frame and then drop the socket without reading the
+/// reply — the "client dies mid-solve" fault. The server's connection
+/// thread discovers the death when its reply write fails; the session and
+/// its worker must shrug it off.
+pub fn kill_mid_request(addr: &str, frame: &str) -> std::io::Result<()> {
+    let (mut stream, _reader) = raw_connect(addr)?;
+    stream.write_all(frame.as_bytes())?;
+    stream.flush()?;
+    // Hard kill: both halves at once, no clean EOF handshake. Dropping
+    // the socket right after the request leaves the reply unread and
+    // undeliverable.
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// What came back from a raw byte-level exchange.
+#[derive(Debug, Default)]
+pub struct RawExchange {
+    /// Every line the server sent before closing or going quiet.
+    pub lines: Vec<String>,
+    /// `true` when the server hung up (EOF) after its replies — the
+    /// expected contract for fatal protocol errors like truncation.
+    pub closed: bool,
+}
+
+impl RawExchange {
+    /// Whether any reply line starts with `err <code>`.
+    pub fn has_err(&self, code: &str) -> bool {
+        let prefix = format!("err {code}");
+        self.lines.iter().any(|l| l.starts_with(&prefix))
+    }
+}
+
+/// Write raw bytes (any malformed framing you like), half-close the write
+/// side, and collect everything the server says until EOF.
+pub fn raw_exchange(addr: &str, bytes: &[u8]) -> std::io::Result<RawExchange> {
+    let (mut stream, mut reader) = raw_connect(addr)?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut out = RawExchange::default();
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    out.lines = text.lines().map(str::to_owned).collect();
+    out.closed = true; // read_to_string only returns on EOF
+    Ok(out)
+}
+
+/// Outcome tallies of a deadline storm.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct StormOutcome {
+    /// `timeout` replies — the request expired while queued.
+    pub timeouts: u64,
+    /// `ok` replies — the request won the race to a worker.
+    pub ok: u64,
+    /// `busy` sheds.
+    pub busy: u64,
+    /// `err` replies (should stay zero: an expired request must time out,
+    /// not execute and fail).
+    pub err: u64,
+}
+
+/// Fire `n` back-to-back `SOLVE deadline_ms=<deadline_ms>` requests at a
+/// session. With `deadline_ms = 0` every request is already expired when
+/// a worker dequeues it, so a correct server answers `timeout` for each
+/// without running the solver.
+pub fn deadline_storm(
+    client: &mut Client,
+    session: &str,
+    n: usize,
+    deadline_ms: u64,
+) -> Result<StormOutcome, ClientError> {
+    let mut out = StormOutcome::default();
+    for _ in 0..n {
+        let reply = client.request(&Request::Solve {
+            session: session.to_owned(),
+            deadline_ms: Some(deadline_ms),
+        })?;
+        match reply {
+            Reply::Ok { .. } => out.ok += 1,
+            Reply::Busy { .. } => out.busy += 1,
+            Reply::Timeout { .. } => out.timeouts += 1,
+            Reply::Err { .. } => out.err += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// `SOLVE` a session and return its objective, for before/after
+/// corruption checks around a chaos scenario.
+pub fn solve_objective(client: &mut Client, session: &str) -> Result<u64, ClientError> {
+    let reply = client.solve(session)?;
+    reply
+        .kv("objective")
+        .and_then(|v| v.parse().ok())
+        .ok_or(ClientError::Rejected(reply.clone()))
+}

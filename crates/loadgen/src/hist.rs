@@ -1,0 +1,162 @@
+//! Client-side log2 latency histogram, bucket-compatible with the server.
+//!
+//! The server records request latency into a 28-bucket log2 histogram
+//! (`mcfs_server_request_latency_us`, see `mcfs-server`'s metrics module):
+//! value `v` lands in bucket `0` when `v == 0`, else in bucket
+//! `min(64 - v.leading_zeros(), 27)`. The load generator observes the same
+//! quantities from the client side of the wire with the *same* bucket rule,
+//! which is what makes a bucket-level reconciliation between the two ends
+//! meaningful: a client-side quantile and its server-side counterpart must
+//! land within ±1 bucket of each other once queueing is the dominant term.
+
+/// Number of log2 buckets; mirrors the server histogram exactly.
+pub const BUCKETS: usize = 28;
+
+/// Bucket index for a microsecond value — the server's rule, verbatim.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The (exclusive) upper bound of a bucket in microseconds; the last
+/// bucket is open-ended and reports `u64::MAX`.
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A plain (single-threaded) log2 histogram of microsecond latencies.
+///
+/// Unlike the server's atomic registry histogram this one is owned by one
+/// connection thread and merged after the run, so it needs no atomics.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+
+    /// Record one latency observation in microseconds.
+    pub fn observe(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (microseconds, saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The bucket index holding the `q`-quantile (`0.0 < q <= 1.0`), or
+    /// `None` on an empty histogram: the smallest bucket whose cumulative
+    /// count reaches `ceil(q * count)`.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        quantile_bucket(&self.buckets, self.count, q)
+    }
+
+    /// The `q`-quantile as a microsecond upper bound (the top of its
+    /// bucket); `0` on an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.quantile_bucket(q).map_or(0, bucket_upper_us)
+    }
+}
+
+/// Quantile-bucket rule shared with server-side (Prometheus-parsed)
+/// bucket arrays: smallest index whose cumulative count reaches
+/// `ceil(q * count)`.
+pub fn quantile_bucket(buckets: &[u64], count: u64, q: f64) -> Option<usize> {
+    if count == 0 {
+        return None;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= rank {
+            return Some(i);
+        }
+    }
+    Some(buckets.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_rule_matches_the_server() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = LatencyHist::new();
+        for _ in 0..90 {
+            h.observe(10); // bucket 4
+        }
+        for _ in 0..10 {
+            h.observe(5000); // bucket 13
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_bucket(0.5), Some(4));
+        assert_eq!(h.quantile_bucket(0.9), Some(4));
+        assert_eq!(h.quantile_bucket(0.99), Some(13));
+        assert_eq!(h.quantile_us(0.5), 1 << 4);
+        assert_eq!(LatencyHist::new().quantile_bucket(0.5), None);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.observe(3);
+        b.observe(3000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.bucket_counts()[bucket_of(3)], 1);
+        assert_eq!(a.bucket_counts()[bucket_of(3000)], 1);
+    }
+}

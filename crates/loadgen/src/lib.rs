@@ -1,0 +1,47 @@
+//! # mcfs-loadgen
+//!
+//! Workload-replay load generator, chaos/fault-injection harness and SLO
+//! reporting for the `mcfs-serve` serving stack.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`workload`] — verb mixes ([`Mix`]), the run shape ([`Profile`]) and
+//!   the deterministic per-connection Poisson schedule: same seed, same
+//!   arrival times and verb sequence, every run.
+//! * [`hist`] — a client-side log2 latency histogram using the *same*
+//!   bucket rule as the server's `mcfs_server_request_latency_us`, so the
+//!   two ends of the wire can be reconciled bucket-for-bucket.
+//! * [`runner`] — the replay engine: one thread per connection, a start
+//!   barrier, outcome classification (`ok`/`busy`/`timeout`/`err`) and
+//!   event/drop-marker accounting across watchers.
+//! * [`prom`] — a parser for the server's Prometheus exposition, feeding
+//!   [`report::reconcile`].
+//! * [`report`] — client/server reconciliation, the `BENCH_LOAD.json`
+//!   document, and the stored-floor SLO gate CI fails on.
+//! * [`chaos`] — fault injection: connection kills mid-request, raw
+//!   malformed/truncated frames, deadline storms.
+//! * [`micro`] — before/after micro-benchmarks pinning the server fixes
+//!   this harness motivated (write batching, parse-buffer reuse).
+//!
+//! The `mcfs-loadgen` binary ties these together; `tests/load_slo.rs` at
+//! the workspace root composes the chaos primitives into asserted
+//! invariants.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod hist;
+pub mod micro;
+pub mod prom;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use hist::LatencyHist;
+pub use prom::{parse_server_metrics, ServerMetrics};
+pub use report::{reconcile, render_json, Floors, MicroBench, Reconciliation};
+pub use runner::{run, RunOutcome, Target, VerbStats};
+pub use workload::{
+    schedule_for, workload_instance_text, workload_instance_text_sized, Action, Mix,
+    PlannedRequest, Profile,
+};

@@ -1,0 +1,182 @@
+//! Micro-benchmarks that pin the server-side fixes with before/after
+//! numbers in `BENCH_LOAD.json`:
+//!
+//! * **frame_write_batching** — the watch-pump contention fix. The old
+//!   pump wrote each event frame straight to the connection stream while
+//!   holding the shared writer mutex: one small syscall per `write!`
+//!   fragment, lock held for the whole drain of syscalls. The new pump
+//!   serializes the drain into a reused buffer outside the lock and does
+//!   a single `write_all` under it. This bench replays both shapes over a
+//!   real localhost socket (a reader thread drains the far end).
+//! * **frame_parse_scratch** — the allocation-churn fix. The old parser
+//!   allocated a fresh `String` per frame line; the new one reads verb
+//!   lines into a per-connection [`mcfs_server::FrameScratch`]. Both
+//!   paths parse the identical byte stream.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use mcfs_server::{EventBody, EventFrame, FrameScratch, Request, TracedRequest};
+
+use crate::report::MicroBench;
+
+/// Frames per simulated pump drain; matches a busy watcher's typical
+/// burst (one solve's worth of iteration events).
+const DRAIN_BATCH: usize = 16;
+
+fn bench_event_frame() -> EventFrame {
+    EventFrame {
+        session: "bench-session".to_owned(),
+        body: EventBody::Event {
+            seq: 12345,
+            event: mcfs_obs::Event::QueueDepth { depth: 3 },
+        },
+    }
+}
+
+/// A localhost socket pair with a background reader draining the far end
+/// into the void, so writes never block on a full kernel buffer.
+fn draining_socket() -> std::io::Result<(TcpStream, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let reader = std::thread::Builder::new()
+        .name("loadgen-micro-drain".into())
+        .spawn(move || {
+            if let Ok((mut sock, _)) = listener.accept() {
+                let mut sink = [0u8; 65536];
+                while matches!(sock.read(&mut sink), Ok(n) if n > 0) {}
+            }
+        })
+        .expect("spawning the drain thread");
+    let stream = TcpStream::connect(addr)?;
+    Ok((stream, reader))
+}
+
+/// Measure the watch-pump write path: per-frame direct writes vs. one
+/// batched `write_all` per drain, over `batches * DRAIN_BATCH` frames.
+pub fn frame_write_batching(batches: usize) -> std::io::Result<MicroBench> {
+    let frame = bench_event_frame();
+
+    // Before: each frame serialized straight into the stream — every
+    // `write!` fragment inside `EventFrame::write_to` is its own syscall.
+    let (mut stream, reader) = draining_socket()?;
+    let t0 = Instant::now();
+    for _ in 0..batches {
+        for _ in 0..DRAIN_BATCH {
+            frame.write_to(&mut stream)?;
+        }
+        stream.flush()?;
+    }
+    let before = t0.elapsed();
+    drop(stream);
+    let _ = reader.join();
+
+    // After: the drain is serialized into a reused buffer, then one
+    // `write_all` puts the whole batch on the wire.
+    let (mut stream, reader) = draining_socket()?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let t1 = Instant::now();
+    for _ in 0..batches {
+        buf.clear();
+        for _ in 0..DRAIN_BATCH {
+            frame.write_to(&mut buf)?;
+        }
+        stream.write_all(&buf)?;
+        stream.flush()?;
+    }
+    let after = t1.elapsed();
+    drop(stream);
+    let _ = reader.join();
+
+    let frames = (batches * DRAIN_BATCH) as f64;
+    Ok(MicroBench {
+        name: "frame_write_batching",
+        detail: "watch-pump event frame to TCP: per-frame direct writes vs one write_all per 16-frame drain",
+        before_ns: before.as_nanos() as f64 / frames,
+        after_ns: after.as_nanos() as f64 / frames,
+    })
+}
+
+/// The byte stream both parse paths consume: a steady-state connection's
+/// verb traffic (solve/stats-style one-liners plus edit payloads).
+fn parse_corpus(frames: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(frames * 32);
+    for i in 0..frames {
+        let req = match i % 4 {
+            0 => Request::Solve {
+                session: "bench".to_owned(),
+                deadline_ms: Some(250),
+            },
+            1 => Request::Stats {
+                session: "bench".to_owned(),
+            },
+            2 => Request::Edit {
+                session: "bench".to_owned(),
+                edits: vec![mcfs::Edit::AddCustomer { node: 4 }],
+                deadline_ms: None,
+            },
+            _ => Request::Assignment {
+                session: "bench".to_owned(),
+            },
+        };
+        req.write_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+    }
+    buf
+}
+
+/// Measure frame parsing: a fresh line `String` per frame (the old
+/// behavior, exactly what `TracedRequest::read_from` still does) vs. a
+/// reused per-connection [`FrameScratch`].
+pub fn frame_parse_scratch(frames: usize) -> MicroBench {
+    let corpus = parse_corpus(frames);
+
+    let mut parsed_before = 0usize;
+    let t0 = Instant::now();
+    {
+        let mut r: &[u8] = &corpus;
+        while let Some(_req) =
+            TracedRequest::read_from(&mut r, 1 << 20).expect("the corpus is well-formed")
+        {
+            parsed_before += 1;
+        }
+    }
+    let before = t0.elapsed();
+
+    let mut parsed_after = 0usize;
+    let mut scratch = FrameScratch::new();
+    let t1 = Instant::now();
+    {
+        let mut r: &[u8] = &corpus;
+        while let Some(_req) = TracedRequest::read_from_with(&mut r, 1 << 20, &mut scratch)
+            .expect("the corpus is well-formed")
+        {
+            parsed_after += 1;
+        }
+    }
+    let after = t1.elapsed();
+
+    assert_eq!(parsed_before, frames);
+    assert_eq!(parsed_after, frames);
+    MicroBench {
+        name: "frame_parse_scratch",
+        detail:
+            "request frame parsing: fresh String per line vs reused per-connection FrameScratch",
+        before_ns: before.as_nanos() as f64 / frames as f64,
+        after_ns: after.as_nanos() as f64 / frames as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_micro_benches_run_and_agree_on_counts() {
+        let write = frame_write_batching(8).expect("socket bench runs");
+        assert!(write.before_ns > 0.0 && write.after_ns > 0.0);
+        let parse = frame_parse_scratch(256);
+        assert!(parse.before_ns > 0.0 && parse.after_ns > 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal parser for the server's Prometheus text exposition, targeted
+//! at the families reconciliation needs.
+//!
+//! `mcfs-obs` renders version 0.0.4 text with simple label values (verb and
+//! outcome tokens, `le` bounds) that never contain escaped quotes, so a
+//! hand-rolled line parser is sufficient — and keeps the load generator
+//! free of external dependencies like the rest of the workspace.
+
+use std::collections::HashMap;
+
+use crate::hist::BUCKETS;
+
+/// The server-side counters reconciliation compares against, parsed from
+/// one `METRICS format=prometheus` (or `GET /metrics`) document.
+#[derive(Clone, Debug, Default)]
+pub struct ServerMetrics {
+    /// `mcfs_server_requests_total{verb,outcome}`, keyed by `(verb, outcome)`.
+    pub requests: HashMap<(String, String), u64>,
+    /// Non-cumulative per-bucket counts of `mcfs_server_request_latency_us`.
+    pub latency_buckets: Vec<u64>,
+    /// `mcfs_server_request_latency_us_count`.
+    pub latency_count: u64,
+    /// `mcfs_server_request_latency_us_sum` (microseconds).
+    pub latency_sum_us: u64,
+    /// Every other plain `mcfs_server_*` counter/gauge, keyed by name.
+    pub counters: HashMap<String, u64>,
+}
+
+impl ServerMetrics {
+    /// The count for one cell of the verb × outcome grid (0 when absent).
+    pub fn requests_for(&self, verb: &str, outcome: &str) -> u64 {
+        self.requests
+            .get(&(verb.to_owned(), outcome.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A plain counter by family name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Subtract a baseline snapshot, leaving only the traffic between the
+    /// two scrapes. Saturates at zero so a racing scrape cannot underflow.
+    pub fn delta_from(&self, base: &ServerMetrics) -> ServerMetrics {
+        let mut out = self.clone();
+        for (key, v) in &mut out.requests {
+            *v = v.saturating_sub(base.requests.get(key).copied().unwrap_or(0));
+        }
+        for (i, v) in out.latency_buckets.iter_mut().enumerate() {
+            *v = v.saturating_sub(base.latency_buckets.get(i).copied().unwrap_or(0));
+        }
+        out.latency_count = out.latency_count.saturating_sub(base.latency_count);
+        out.latency_sum_us = out.latency_sum_us.saturating_sub(base.latency_sum_us);
+        for (key, v) in &mut out.counters {
+            *v = v.saturating_sub(base.counters.get(key).copied().unwrap_or(0));
+        }
+        out
+    }
+}
+
+/// Parse one metric line into `(name, labels, value)`; `None` for
+/// comments, blanks, and lines outside the grammar we emit.
+#[allow(clippy::type_complexity)]
+fn parse_line(line: &str) -> Option<(&str, Vec<(&str, &str)>, u64)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, value) = line.rsplit_once(' ')?;
+    // Histogram sums are integers in our exposition; tolerate a float tail.
+    let value = value.parse::<u64>().ok().or_else(|| {
+        value
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .map(|v| v as u64)
+    })?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head, Vec::new()),
+        Some((name, rest)) => {
+            let rest = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for part in rest.split(',') {
+                let (k, v) = part.split_once('=')?;
+                labels.push((k, v.trim_matches('"')));
+            }
+            (name, labels)
+        }
+    };
+    Some((name, labels, value))
+}
+
+/// Parse a full Prometheus document into the families reconciliation uses.
+///
+/// Histogram `_bucket` lines arrive cumulative and in ascending `le`
+/// order (that is how `mcfs-obs` renders them); they are de-cumulated
+/// back into per-bucket counts so they line up with
+/// [`crate::hist::LatencyHist::bucket_counts`].
+pub fn parse_server_metrics(text: &str) -> ServerMetrics {
+    let mut out = ServerMetrics::default();
+    let mut latency_cumulative: Vec<u64> = Vec::with_capacity(BUCKETS);
+    for line in text.lines() {
+        let Some((name, labels, value)) = parse_line(line) else {
+            continue;
+        };
+        match name {
+            "mcfs_server_requests_total" => {
+                let verb = labels
+                    .iter()
+                    .find(|(k, _)| *k == "verb")
+                    .map(|(_, v)| *v)
+                    .unwrap_or("");
+                let outcome = labels
+                    .iter()
+                    .find(|(k, _)| *k == "outcome")
+                    .map(|(_, v)| *v)
+                    .unwrap_or("");
+                *out.requests
+                    .entry((verb.to_owned(), outcome.to_owned()))
+                    .or_insert(0) += value;
+            }
+            "mcfs_server_request_latency_us_bucket" => latency_cumulative.push(value),
+            "mcfs_server_request_latency_us_count" => out.latency_count = value,
+            "mcfs_server_request_latency_us_sum" => out.latency_sum_us = value,
+            other if other.starts_with("mcfs_server_") && labels.is_empty() => {
+                out.counters.insert(other.to_owned(), value);
+            }
+            _ => {}
+        }
+    }
+    let mut prev = 0u64;
+    out.latency_buckets = latency_cumulative
+        .iter()
+        .map(|&cum| {
+            let b = cum.saturating_sub(prev);
+            prev = cum;
+            b
+        })
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_grid_histogram_and_counters() {
+        let text = "\
+# HELP mcfs_server_requests_total Requests by verb and outcome
+# TYPE mcfs_server_requests_total counter
+mcfs_server_requests_total{verb=\"solve\",outcome=\"ok\"} 7
+mcfs_server_requests_total{verb=\"edit\",outcome=\"busy\"} 2
+# TYPE mcfs_server_request_latency_us histogram
+mcfs_server_request_latency_us_bucket{le=\"0\"} 0
+mcfs_server_request_latency_us_bucket{le=\"1\"} 3
+mcfs_server_request_latency_us_bucket{le=\"3\"} 5
+mcfs_server_request_latency_us_bucket{le=\"+Inf\"} 9
+mcfs_server_request_latency_us_sum 1234
+mcfs_server_request_latency_us_count 9
+mcfs_server_events_dropped_total 4
+";
+        let m = parse_server_metrics(text);
+        assert_eq!(m.requests_for("solve", "ok"), 7);
+        assert_eq!(m.requests_for("edit", "busy"), 2);
+        assert_eq!(m.requests_for("edit", "ok"), 0);
+        assert_eq!(m.latency_buckets, vec![0, 3, 2, 4]);
+        assert_eq!(m.latency_count, 9);
+        assert_eq!(m.latency_sum_us, 1234);
+        assert_eq!(m.counter("mcfs_server_events_dropped_total"), 4);
+    }
+
+    #[test]
+    fn delta_subtracts_a_baseline() {
+        let before = parse_server_metrics(
+            "mcfs_server_requests_total{verb=\"solve\",outcome=\"ok\"} 3\nmcfs_server_events_dropped_total 1\n",
+        );
+        let after = parse_server_metrics(
+            "mcfs_server_requests_total{verb=\"solve\",outcome=\"ok\"} 10\nmcfs_server_events_dropped_total 5\n",
+        );
+        let d = after.delta_from(&before);
+        assert_eq!(d.requests_for("solve", "ok"), 7);
+        assert_eq!(d.counter("mcfs_server_events_dropped_total"), 4);
+    }
+}

@@ -1,0 +1,424 @@
+//! Reconciliation of client-side observations against server metrics, the
+//! `BENCH_LOAD.json` report, and the stored-floor SLO gate.
+//!
+//! The JSON is hand-rolled string building (the workspace carries no
+//! serde), matching the `perf-report` idiom in `mcfs-bench`. Floors live
+//! in a plain `key value` text file so CI can diff them and a human can
+//! edit them without tooling.
+
+use std::collections::BTreeMap;
+
+use crate::hist::{bucket_upper_us, quantile_bucket, LatencyHist};
+use crate::prom::ServerMetrics;
+use crate::runner::RunOutcome;
+use crate::workload::Profile;
+
+/// The verbs that flow through the worker queue (and therefore appear in
+/// the server latency histogram); WATCH/UNWATCH are handled inline on the
+/// connection and METRICS is answered inline by admission.
+pub const QUEUED_VERBS: [&str; 7] = [
+    "open",
+    "edit",
+    "solve",
+    "assignment",
+    "stats",
+    "snapshot",
+    "close",
+];
+
+/// All verbs the grid reconciliation compares.
+pub const GRID_VERBS: [&str; 9] = [
+    "open",
+    "edit",
+    "solve",
+    "assignment",
+    "stats",
+    "snapshot",
+    "close",
+    "watch",
+    "unwatch",
+];
+
+/// Client vs. server comparison for one load run.
+#[derive(Clone, Debug, Default)]
+pub struct Reconciliation {
+    /// Cells where the client count disagrees with the server counter,
+    /// as `verb.outcome client=<n> server=<m>` strings. Empty on a clean
+    /// run against a dedicated server.
+    pub grid_mismatches: Vec<String>,
+    /// Client-side worker-executed observations.
+    pub client_count: u64,
+    /// Server-side `mcfs_server_request_latency_us_count`.
+    pub server_count: u64,
+    /// Client quantile buckets (p50, p99, p999).
+    pub client_buckets: [Option<usize>; 3],
+    /// Server quantile buckets (p50, p99, p999).
+    pub server_buckets: [Option<usize>; 3],
+}
+
+impl Reconciliation {
+    /// Signed client-minus-server bucket deltas for (p50, p99, p999);
+    /// `None` when either side is empty.
+    pub fn bucket_deltas(&self) -> [Option<i64>; 3] {
+        let mut out = [None; 3];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let (Some(c), Some(s)) = (self.client_buckets[i], self.server_buckets[i]) {
+                *slot = Some(c as i64 - s as i64);
+            }
+        }
+        out
+    }
+
+    /// Largest absolute quantile bucket delta (0 when nothing compared).
+    pub fn max_abs_bucket_delta(&self) -> i64 {
+        self.bucket_deltas()
+            .iter()
+            .flatten()
+            .map(|d| d.abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+const QUANTILES: [f64; 3] = [0.50, 0.99, 0.999];
+
+/// Compare a run's client-side view against the server's Prometheus
+/// counters (pass a [`ServerMetrics::delta_from`] result when the server
+/// served traffic before the run).
+pub fn reconcile(run: &RunOutcome, server: &ServerMetrics) -> Reconciliation {
+    let mut rec = Reconciliation::default();
+    for verb in GRID_VERBS {
+        let stats = run.verb(verb);
+        for (outcome, client) in [
+            ("ok", stats.ok),
+            ("busy", stats.busy),
+            ("timeout", stats.timeout),
+            ("err", stats.err),
+        ] {
+            let server_n = server.requests_for(verb, outcome);
+            if client != server_n {
+                rec.grid_mismatches.push(format!(
+                    "{verb}.{outcome} client={client} server={server_n}"
+                ));
+            }
+        }
+    }
+    rec.client_count = run.queued_hist.count();
+    rec.server_count = server.latency_count;
+    for (i, q) in QUANTILES.iter().enumerate() {
+        rec.client_buckets[i] = run.queued_hist.quantile_bucket(*q);
+        rec.server_buckets[i] = quantile_bucket(&server.latency_buckets, server.latency_count, *q);
+    }
+    rec
+}
+
+/// One micro-benchmark result pinned into the report (the before/after
+/// evidence for a server-side fix).
+#[derive(Clone, Debug)]
+pub struct MicroBench {
+    /// Stable key, e.g. `frame_write_batching`.
+    pub name: &'static str,
+    /// One-line description of what before/after mean.
+    pub detail: &'static str,
+    /// Nanoseconds per operation, old path.
+    pub before_ns: f64,
+    /// Nanoseconds per operation, new path.
+    pub after_ns: f64,
+}
+
+impl MicroBench {
+    /// Speedup factor (before / after); 0 when after is degenerate.
+    pub fn speedup(&self) -> f64 {
+        if self.after_ns <= 0.0 {
+            0.0
+        } else {
+            self.before_ns / self.after_ns
+        }
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "0.00".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn quantile_line(hist: &LatencyHist) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
+        hist.count(),
+        hist.quantile_us(0.50),
+        hist.quantile_us(0.99),
+        hist.quantile_us(0.999)
+    )
+}
+
+/// Render the full `BENCH_LOAD.json` document.
+pub fn render_json(
+    profile: &Profile,
+    run: &RunOutcome,
+    rec: &Reconciliation,
+    micros: &[MicroBench],
+    notes: &[String],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mcfs-bench-load v1\",\n");
+    out.push_str(&format!(
+        "  \"profile\": {{\"mix\": {}, \"connections\": {}, \"sessions\": {}, \"watchers\": {}, \"requests_per_conn\": {}, \"rate_hz\": {}, \"seed\": {}, \"instance_side\": {}}},\n",
+        json_str(profile.mix.token()),
+        profile.connections,
+        profile.sessions,
+        profile.watchers,
+        profile.requests_per_conn,
+        fmt_f64(profile.rate_hz),
+        profile.seed,
+        profile.instance_side
+    ));
+    out.push_str(&format!(
+        "  \"totals\": {{\"wall_ms\": {}, \"ok\": {}, \"busy\": {}, \"timeout\": {}, \"err\": {}, \"transport_errors\": {}, \"throughput_ok_per_s\": {}, \"events\": {}, \"dropped_markers\": {}}},\n",
+        run.wall.as_millis(),
+        run.ok_total(),
+        run.busy_total(),
+        run.verbs.values().map(|v| v.timeout).sum::<u64>(),
+        run.verbs.values().map(|v| v.err).sum::<u64>(),
+        run.transport_errors,
+        fmt_f64(run.throughput_ok_per_s()),
+        run.events,
+        run.dropped_marker_sum
+    ));
+    out.push_str("  \"verbs\": {\n");
+    let lines: Vec<String> = run
+        .verbs
+        .iter()
+        .map(|(verb, stats)| {
+            format!(
+                "    {}: {{\"ok\": {}, \"busy\": {}, \"timeout\": {}, \"err\": {}, \"latency\": {}}}",
+                json_str(verb),
+                stats.ok,
+                stats.busy,
+                stats.timeout,
+                stats.err,
+                quantile_line(&stats.hist)
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"queued_latency\": {},\n",
+        quantile_line(&run.queued_hist)
+    ));
+    let deltas = rec.bucket_deltas();
+    out.push_str(&format!(
+        "  \"reconciliation\": {{\"client_count\": {}, \"server_count\": {}, \"bucket_delta_p50\": {}, \"bucket_delta_p99\": {}, \"bucket_delta_p999\": {}, \"grid_mismatches\": [{}]}},\n",
+        rec.client_count,
+        rec.server_count,
+        deltas[0].map_or("null".to_owned(), |d| d.to_string()),
+        deltas[1].map_or("null".to_owned(), |d| d.to_string()),
+        deltas[2].map_or("null".to_owned(), |d| d.to_string()),
+        rec.grid_mismatches
+            .iter()
+            .map(|m| json_str(m))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"micro\": {\n");
+    let micro_lines: Vec<String> = micros
+        .iter()
+        .map(|m| {
+            format!(
+                "    {}: {{\"detail\": {}, \"before_ns_per_op\": {}, \"after_ns_per_op\": {}, \"speedup\": {}}}",
+                json_str(m.name),
+                json_str(m.detail),
+                fmt_f64(m.before_ns),
+                fmt_f64(m.after_ns),
+                fmt_f64(m.speedup())
+            )
+        })
+        .collect();
+    out.push_str(&micro_lines.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"notes\": [{}]\n",
+        notes
+            .iter()
+            .map(|n| json_str(n))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Stored SLO floors, parsed from `key value` lines (`#` comments).
+///
+/// Known keys: `min_ok_per_s` (ok-throughput must not sink below),
+/// `max_p99_solve_us` (client p99 solve latency must not rise above),
+/// `max_transport_errors`, `max_grid_mismatches`,
+/// `max_reconciliation_bucket_delta`.
+#[derive(Clone, Debug, Default)]
+pub struct Floors {
+    values: BTreeMap<String, f64>,
+}
+
+impl Floors {
+    /// Parse a floor file's text.
+    pub fn parse(text: &str) -> Floors {
+        let mut values = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((k, v)) = line.split_once(char::is_whitespace) {
+                if let Ok(v) = v.trim().parse::<f64>() {
+                    values.insert(k.to_owned(), v);
+                }
+            }
+        }
+        Floors { values }
+    }
+
+    /// A floor by key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+
+    /// Check a run against every stored floor; returns the list of
+    /// violations (empty = the gate passes).
+    pub fn check(&self, run: &RunOutcome, rec: &Reconciliation) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(min) = self.get("min_ok_per_s") {
+            let got = run.throughput_ok_per_s();
+            if got < min {
+                violations.push(format!(
+                    "ok throughput {got:.1}/s below the floor of {min:.1}/s"
+                ));
+            }
+        }
+        if let Some(max) = self.get("max_p99_solve_us") {
+            let got = run.verb("solve").hist.quantile_us(0.99);
+            if got as f64 > max {
+                violations.push(format!(
+                    "p99 solve latency {got}us above the ceiling of {max:.0}us"
+                ));
+            }
+        }
+        if let Some(max) = self.get("max_transport_errors") {
+            if run.transport_errors as f64 > max {
+                violations.push(format!(
+                    "{} transport errors exceed the allowance of {max:.0}",
+                    run.transport_errors
+                ));
+            }
+        }
+        if let Some(max) = self.get("max_grid_mismatches") {
+            if rec.grid_mismatches.len() as f64 > max {
+                violations.push(format!(
+                    "{} verb-grid mismatches exceed the allowance of {max:.0}: {:?}",
+                    rec.grid_mismatches.len(),
+                    rec.grid_mismatches
+                ));
+            }
+        }
+        if let Some(max) = self.get("max_reconciliation_bucket_delta") {
+            let got = rec.max_abs_bucket_delta();
+            if got as f64 > max {
+                violations.push(format!(
+                    "quantile bucket delta {got} exceeds the allowance of {max:.0}"
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// A human-readable latency label for a bucket index (e.g. `< 1ms`).
+pub fn bucket_label(i: usize) -> String {
+    let upper = bucket_upper_us(i);
+    if upper == u64::MAX {
+        format!(">= {}us", 1u64 << (crate::hist::BUCKETS - 2))
+    } else {
+        format!("< {upper}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_parse_and_gate() {
+        let floors = Floors::parse(
+            "# comment\nmin_ok_per_s 100\nmax_p99_solve_us 2000000\nmax_transport_errors 0\n",
+        );
+        assert_eq!(floors.get("min_ok_per_s"), Some(100.0));
+        let run = RunOutcome::default(); // zero throughput: violates the floor
+        let rec = Reconciliation::default();
+        let violations = floors.check(&run, &rec);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("ok throughput"));
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_contains_the_sections() {
+        let profile = Profile::default();
+        let run = RunOutcome::default();
+        let rec = Reconciliation::default();
+        let micros = [MicroBench {
+            name: "demo",
+            detail: "x",
+            before_ns: 100.0,
+            after_ns: 50.0,
+        }];
+        let json = render_json(&profile, &run, &rec, &micros, &["note".to_owned()]);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+        for key in [
+            "\"profile\"",
+            "\"totals\"",
+            "\"queued_latency\"",
+            "\"reconciliation\"",
+            "\"micro\"",
+            "\"notes\"",
+            "\"speedup\": 2.00",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn reconcile_flags_grid_disagreement() {
+        use crate::prom::parse_server_metrics;
+        let run = RunOutcome::default();
+        let server =
+            parse_server_metrics("mcfs_server_requests_total{verb=\"solve\",outcome=\"ok\"} 5\n");
+        let rec = reconcile(&run, &server);
+        assert!(rec
+            .grid_mismatches
+            .iter()
+            .any(|m| m.contains("solve.ok client=0 server=5")));
+    }
+}

@@ -1,0 +1,345 @@
+//! The replay engine: spawn one thread per connection, replay each
+//! connection's deterministic schedule against a live server, and fold the
+//! per-connection observations into one [`RunOutcome`].
+//!
+//! Every request is classified by its reply — `ok` / `busy` / `timeout` /
+//! `err` — and timed client-side (request write → reply parsed). Latencies
+//! for *queued* verbs land both in a per-verb histogram and in one
+//! combined histogram that deliberately excludes `busy`: the server only
+//! records `mcfs_server_request_latency_us` for requests a worker actually
+//! dequeued, so excluding shed requests is what makes the client and
+//! server histograms describe the same population and reconcile
+//! bucket-for-bucket.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use mcfs::Edit;
+use mcfs_server::protocol::text_to_lines;
+use mcfs_server::{Client, ClientError, EventBody, OpenKind, Reply, Request, ServerHandle};
+
+use crate::hist::LatencyHist;
+use crate::workload::{schedule_for, workload_instance_text_sized, Action, Profile};
+
+/// Where the load goes.
+pub enum Target<'a> {
+    /// In-process pipe connections against a [`ServerHandle`].
+    InProcess(&'a ServerHandle),
+    /// TCP connections to `host:port` (an external `mcfs-serve`).
+    Tcp(String),
+}
+
+impl Target<'_> {
+    /// Open one new connection to the target.
+    pub fn connect(&self) -> Result<Client, ClientError> {
+        match self {
+            Target::InProcess(server) => server.connect(),
+            Target::Tcp(addr) => Client::connect_tcp(addr),
+        }
+    }
+}
+
+/// Outcome counts and client-side latency for one verb.
+#[derive(Clone, Debug, Default)]
+pub struct VerbStats {
+    /// `ok` replies.
+    pub ok: u64,
+    /// `busy` sheds.
+    pub busy: u64,
+    /// `timeout` replies (deadline expired while queued).
+    pub timeout: u64,
+    /// `err` replies.
+    pub err: u64,
+    /// Client-side round-trip latency of every non-`busy` reply, µs.
+    pub hist: LatencyHist,
+}
+
+impl VerbStats {
+    /// Total replies seen for this verb.
+    pub fn total(&self) -> u64 {
+        self.ok + self.busy + self.timeout + self.err
+    }
+}
+
+/// Everything one load run observed from the client side of the wire.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// Wall time from the start barrier to the last connection joining.
+    pub wall: Duration,
+    /// Per-verb outcome counts and latency, keyed by verb token.
+    pub verbs: BTreeMap<&'static str, VerbStats>,
+    /// Combined latency of queued verbs (everything a worker executed:
+    /// `ok` + `timeout` + `err`, excluding `busy` and the inline
+    /// WATCH/UNWATCH/METRICS verbs) — the client twin of the server's
+    /// `mcfs_server_request_latency_us`.
+    pub queued_hist: LatencyHist,
+    /// Event frames received across all watchers.
+    pub events: u64,
+    /// Sum of `dropped=<n>` marker counts across all watchers.
+    pub dropped_marker_sum: u64,
+    /// Connections that died on a transport or protocol error.
+    pub transport_errors: u64,
+}
+
+impl RunOutcome {
+    /// Stats for one verb (default-empty when the verb never ran).
+    pub fn verb(&self, verb: &str) -> VerbStats {
+        self.verbs.get(verb).cloned().unwrap_or_default()
+    }
+
+    /// Total `ok` replies across all verbs.
+    pub fn ok_total(&self) -> u64 {
+        self.verbs.values().map(|v| v.ok).sum()
+    }
+
+    /// Total `busy` sheds across all verbs.
+    pub fn busy_total(&self) -> u64 {
+        self.verbs.values().map(|v| v.busy).sum()
+    }
+
+    /// `ok` replies per second of wall time.
+    pub fn throughput_ok_per_s(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.ok_total() as f64 / s
+        }
+    }
+
+    fn merge_thread(&mut self, t: ThreadOutcome) {
+        for (verb, stats) in t.verbs {
+            let e = self.verbs.entry(verb).or_default();
+            e.ok += stats.ok;
+            e.busy += stats.busy;
+            e.timeout += stats.timeout;
+            e.err += stats.err;
+            e.hist.merge(&stats.hist);
+        }
+        self.queued_hist.merge(&t.queued_hist);
+        self.events += t.events;
+        self.dropped_marker_sum += t.dropped_marker_sum;
+        self.transport_errors += t.transport_errors;
+    }
+}
+
+/// What one connection thread brings home.
+#[derive(Default)]
+struct ThreadOutcome {
+    verbs: BTreeMap<&'static str, VerbStats>,
+    queued_hist: LatencyHist,
+    events: u64,
+    dropped_marker_sum: u64,
+    transport_errors: u64,
+}
+
+impl ThreadOutcome {
+    /// Classify one reply; `queued` controls the combined histogram.
+    fn record(&mut self, verb: &'static str, reply: &Reply, rtt_us: u64, queued: bool) {
+        let stats = self.verbs.entry(verb).or_default();
+        match reply {
+            Reply::Ok { .. } => stats.ok += 1,
+            Reply::Busy { .. } => stats.busy += 1,
+            Reply::Timeout { .. } => stats.timeout += 1,
+            Reply::Err { .. } => stats.err += 1,
+        }
+        if !matches!(reply, Reply::Busy { .. }) {
+            stats.hist.observe(rtt_us);
+            if queued {
+                self.queued_hist.observe(rtt_us);
+            }
+        }
+    }
+}
+
+/// Issue one request, classify and time it. Returns `false` when the
+/// connection is dead (transport error) and the schedule should stop.
+fn issue(out: &mut ThreadOutcome, client: &mut Client, request: &Request, queued: bool) -> bool {
+    let verb = request.verb().name();
+    let t0 = Instant::now();
+    match client.request(request) {
+        Ok(reply) => {
+            out.record(verb, &reply, t0.elapsed().as_micros() as u64, queued);
+            true
+        }
+        Err(_) => {
+            out.transport_errors += 1;
+            false
+        }
+    }
+}
+
+/// Build the wire request for one scheduled action. `add_next` alternates
+/// per connection so every `RemoveCustomer` is preceded by this
+/// connection's own `AddCustomer` — the session's customer count never
+/// sinks below the fixture's four, whatever the cross-connection
+/// interleaving, so edits never fail on an empty list.
+fn request_for(
+    action: Action,
+    session: &str,
+    conn: usize,
+    add_next: &mut bool,
+    deadline_ms: Option<u64>,
+) -> Request {
+    let session = session.to_owned();
+    match action {
+        Action::Solve => Request::Solve {
+            session,
+            deadline_ms,
+        },
+        Action::Edit => {
+            let edits = if *add_next {
+                vec![Edit::AddCustomer {
+                    node: (conn % 9) as u32,
+                }]
+            } else {
+                vec![Edit::RemoveCustomer { index: 0 }]
+            };
+            *add_next = !*add_next;
+            Request::Edit {
+                session,
+                edits,
+                deadline_ms,
+            }
+        }
+        Action::Stats => Request::Stats { session },
+        Action::Assignment => Request::Assignment { session },
+        Action::Snapshot => Request::Snapshot {
+            session,
+            deadline_ms,
+        },
+    }
+}
+
+/// Run one load profile against a target and collect the outcome.
+///
+/// Setup (session `OPEN`s plus one warming `SOLVE` each, so read verbs
+/// always have a run to report) happens on one extra connection *before*
+/// the start barrier; its requests are recorded in the outcome too, which
+/// keeps the client-side verb×outcome grid equal to the server's — the
+/// server cannot tell setup from load.
+pub fn run(profile: &Profile, target: &Target) -> Result<RunOutcome, ClientError> {
+    let text = workload_instance_text_sized(profile.instance_side);
+    let mut outcome = RunOutcome::default();
+
+    // Setup connection: open + warm every session.
+    let mut setup_out = ThreadOutcome::default();
+    let mut setup = target.connect()?;
+    for s in 0..profile.sessions {
+        let open = Request::Open {
+            session: profile.session_for(s),
+            kind: OpenKind::Instance,
+            payload: text_to_lines(&text),
+        };
+        if !issue(&mut setup_out, &mut setup, &open, true) {
+            return Err(ClientError::Io(std::io::Error::other(
+                "setup connection died during OPEN",
+            )));
+        }
+        let solve = Request::Solve {
+            session: profile.session_for(s),
+            deadline_ms: None,
+        };
+        if !issue(&mut setup_out, &mut setup, &solve, true) {
+            return Err(ClientError::Io(std::io::Error::other(
+                "setup connection died during warm SOLVE",
+            )));
+        }
+    }
+    let opened = setup_out.verbs.get("open").map_or(0, |v| v.ok);
+    if opened != profile.sessions as u64 {
+        return Err(ClientError::Io(std::io::Error::other(format!(
+            "setup opened {opened}/{} sessions",
+            profile.sessions
+        ))));
+    }
+    outcome.merge_thread(setup_out);
+
+    // Connect everything first so the barrier releases a fully-armed fleet.
+    let mut clients = Vec::with_capacity(profile.connections);
+    for _ in 0..profile.connections {
+        clients.push(target.connect()?);
+    }
+
+    let barrier = Arc::new(Barrier::new(profile.connections + 1));
+    let results: Arc<Mutex<Vec<ThreadOutcome>>> =
+        Arc::new(Mutex::new(Vec::with_capacity(profile.connections)));
+    let mut handles = Vec::with_capacity(profile.connections);
+    for (conn, mut client) in clients.into_iter().enumerate() {
+        let profile = profile.clone();
+        let barrier = Arc::clone(&barrier);
+        let results = Arc::clone(&results);
+        let handle = std::thread::Builder::new()
+            .name(format!("loadgen-conn-{conn}"))
+            .spawn(move || {
+                let schedule = schedule_for(&profile, conn);
+                let session = profile.session_for(conn);
+                let watching = conn < profile.watchers;
+                let mut out = ThreadOutcome::default();
+                let mut alive = true;
+                if watching {
+                    alive = issue(
+                        &mut out,
+                        &mut client,
+                        &Request::Watch {
+                            session: session.clone(),
+                            buffer: profile.watch_buffer,
+                        },
+                        false,
+                    );
+                }
+                barrier.wait();
+                let t0 = Instant::now();
+                let mut add_next = true;
+                if alive {
+                    for planned in &schedule {
+                        let due = Duration::from_micros(planned.at_us);
+                        let elapsed = t0.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                        let request = request_for(
+                            planned.action,
+                            &session,
+                            conn,
+                            &mut add_next,
+                            profile.deadline_ms,
+                        );
+                        if !issue(&mut out, &mut client, &request, true) {
+                            alive = false;
+                            break;
+                        }
+                    }
+                }
+                if watching && alive {
+                    // UNWATCH flushes every pending event ahead of its
+                    // reply, so take_events() below sees the whole stream.
+                    issue(&mut out, &mut client, &Request::Unwatch { session }, false);
+                    for frame in client.take_events() {
+                        match frame.body {
+                            EventBody::Event { .. } => out.events += 1,
+                            EventBody::Dropped { count } => out.dropped_marker_sum += count,
+                        }
+                    }
+                }
+                results.lock().unwrap().push(out);
+            })
+            .expect("spawning a loadgen connection thread");
+        handles.push(handle);
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    outcome.wall = t0.elapsed();
+    for t in Arc::try_unwrap(results)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default()
+    {
+        outcome.merge_thread(t);
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,333 @@
+//! Workload shapes: verb mixes, the run profile, and the deterministic
+//! per-connection request schedule.
+//!
+//! Every connection derives its own `StdRng` from `profile.seed` and its
+//! connection index, so a run is reproducible end-to-end: same seed, same
+//! arrival times, same verb sequence — independent of how the OS schedules
+//! the threads that replay it. Arrivals are Poisson (exponential
+//! inter-arrival times at `rate_hz` per connection), the standard model
+//! for open-loop request traffic.
+
+use mcfs::McfsInstance;
+use mcfs_graph::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One replayable action against a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// `SOLVE` — the expensive verb, queue pressure comes from here.
+    Solve,
+    /// `EDIT` — alternating add/remove customer scripts.
+    Edit,
+    /// `STATS` — cheap read of the last run.
+    Stats,
+    /// `ASSIGNMENT` — reads the full solution payload.
+    Assignment,
+    /// `SNAPSHOT` — checkpoint text (solves first when edited).
+    Snapshot,
+}
+
+/// Named verb mixes, selectable as `--mix <token>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Solve-dominated: the worker pool is the bottleneck.
+    SolveHeavy,
+    /// Edit-dominated: exercises warm re-solves and payload parsing.
+    EditHeavy,
+    /// Read-dominated: cheap verbs, the wire is the bottleneck.
+    ReadHeavy,
+    /// A balanced blend of all five verbs.
+    Mixed,
+}
+
+impl Mix {
+    /// Parse a `--mix` token.
+    pub fn from_token(s: &str) -> Option<Mix> {
+        match s {
+            "solve-heavy" => Some(Mix::SolveHeavy),
+            "edit-heavy" => Some(Mix::EditHeavy),
+            "read-heavy" => Some(Mix::ReadHeavy),
+            "mixed" => Some(Mix::Mixed),
+            _ => None,
+        }
+    }
+
+    /// The canonical token for this mix.
+    pub fn token(self) -> &'static str {
+        match self {
+            Mix::SolveHeavy => "solve-heavy",
+            Mix::EditHeavy => "edit-heavy",
+            Mix::ReadHeavy => "read-heavy",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// Relative verb weights.
+    pub fn weights(self) -> &'static [(Action, u32)] {
+        match self {
+            Mix::SolveHeavy => &[
+                (Action::Solve, 60),
+                (Action::Edit, 15),
+                (Action::Stats, 10),
+                (Action::Assignment, 10),
+                (Action::Snapshot, 5),
+            ],
+            Mix::EditHeavy => &[
+                (Action::Edit, 50),
+                (Action::Solve, 30),
+                (Action::Stats, 10),
+                (Action::Assignment, 10),
+            ],
+            Mix::ReadHeavy => &[
+                (Action::Stats, 40),
+                (Action::Assignment, 35),
+                (Action::Solve, 20),
+                (Action::Snapshot, 5),
+            ],
+            Mix::Mixed => &[
+                (Action::Solve, 30),
+                (Action::Edit, 25),
+                (Action::Stats, 20),
+                (Action::Assignment, 20),
+                (Action::Snapshot, 5),
+            ],
+        }
+    }
+}
+
+/// The complete shape of one load run.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Verb mix.
+    pub mix: Mix,
+    /// Concurrent connections replaying schedules.
+    pub connections: usize,
+    /// Sessions opened up front; connection `i` drives session
+    /// `s{i % sessions}`, so `connections > sessions` means shared
+    /// sessions and real cross-connection queue contention.
+    pub sessions: usize,
+    /// The first `watchers` connections also `WATCH` their session for the
+    /// whole run, so event pumps share the wire with replies.
+    pub watchers: usize,
+    /// Requests per connection.
+    pub requests_per_conn: usize,
+    /// Per-connection Poisson arrival rate (requests/second).
+    pub rate_hz: f64,
+    /// Master seed; every derived schedule is a pure function of it.
+    pub seed: u64,
+    /// Ring capacity passed to `WATCH buffer=<n>` (None = server default).
+    pub watch_buffer: Option<usize>,
+    /// Optional `deadline_ms` stamped on SOLVE/EDIT/SNAPSHOT requests.
+    pub deadline_ms: Option<u64>,
+    /// Side length of the square-grid workload instance
+    /// ([`workload_instance_text_sized`]). 3 is the tiny protocol-smoke
+    /// fixture; larger sides make each solve carry real work, which is
+    /// what lets client and server latency histograms reconcile — with
+    /// microsecond handlers the client would mostly measure its own
+    /// round-trip floor.
+    pub instance_side: u32,
+    /// Prefix for generated session names (`<prefix><n>`). In-process runs
+    /// always target a fresh server, so the default `"s"` is fine; when
+    /// pointing at a long-lived external server, use a per-run prefix so
+    /// setup `OPEN`s do not collide with sessions a previous run left
+    /// behind (`OPEN` of an existing name is an error by design).
+    pub session_prefix: String,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            mix: Mix::SolveHeavy,
+            connections: 64,
+            sessions: 16,
+            watchers: 8,
+            requests_per_conn: 10,
+            rate_hz: 20.0,
+            seed: 42,
+            watch_buffer: None,
+            deadline_ms: None,
+            instance_side: 3,
+            session_prefix: "s".to_owned(),
+        }
+    }
+}
+
+impl Profile {
+    /// Session name driven by connection `conn`.
+    pub fn session_for(&self, conn: usize) -> String {
+        format!("{}{}", self.session_prefix, conn % self.sessions.max(1))
+    }
+
+    /// Total requests the replay phase will issue (excluding setup).
+    pub fn total_requests(&self) -> usize {
+        self.connections * self.requests_per_conn
+    }
+}
+
+/// One scheduled request: when (µs after the start barrier) and what.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedRequest {
+    /// Offset from the run start, in microseconds.
+    pub at_us: u64,
+    /// The verb to issue.
+    pub action: Action,
+}
+
+/// The deterministic schedule for connection `conn`: Poisson arrivals at
+/// `rate_hz`, verbs drawn from the mix weights.
+pub fn schedule_for(profile: &Profile, conn: usize) -> Vec<PlannedRequest> {
+    let mut rng = StdRng::seed_from_u64(
+        profile
+            .seed
+            .wrapping_add((conn as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    );
+    let weights = profile.mix.weights();
+    let total: u32 = weights.iter().map(|&(_, w)| w).sum();
+    let mut at_us = 0u64;
+    (0..profile.requests_per_conn)
+        .map(|_| {
+            // Exponential inter-arrival: -ln(1-u)/λ seconds.
+            let u: f64 = rng.random::<f64>();
+            let gap_s = -(1.0 - u).ln() / profile.rate_hz.max(1e-6);
+            at_us += (gap_s * 1e6) as u64;
+            let mut pick = rng.random_range(0..total);
+            let action = weights
+                .iter()
+                .find(|&&(_, w)| {
+                    if pick < w {
+                        true
+                    } else {
+                        pick -= w;
+                        false
+                    }
+                })
+                .map(|&(a, _)| a)
+                .expect("weights cover the draw");
+            PlannedRequest { at_us, action }
+        })
+        .collect()
+}
+
+/// The shared workload instance: the facade crate's 3×3 grid with four
+/// customers, but with capacity headroom (each facility takes 100) so the
+/// run's concurrent `AddCustomer` edits never push a session into
+/// infeasibility regardless of interleaving.
+pub fn workload_instance_text() -> String {
+    workload_instance_text_sized(3)
+}
+
+/// A `side`×`side` grid workload instance (minimum side 3):
+///
+/// * customers on every even-row/even-column node — 4 for side 3 (the
+///   classic fixture corners), growing quadratically with the side;
+/// * facilities down the middle column (every row for small sides, every
+///   other row beyond), each with capacity `side² + 1024` — enough to
+///   absorb every customer plus any number of concurrent `AddCustomer`
+///   edits a load run can realistically issue, so no interleaving pushes
+///   a session into infeasibility;
+/// * `k` = half the facilities (at least 2), so selection is a real
+///   choice.
+///
+/// Side 3 reproduces the classic 3×3 smoke fixture: customers at the
+/// corners, facilities 1/4/7, `k = 2`.
+pub fn workload_instance_text_sized(side: u32) -> String {
+    let side = side.max(3);
+    let n = side * side;
+    let mut b = GraphBuilder::new(n as usize);
+    for r in 0..side {
+        for c in 0..side {
+            let v = r * side + c;
+            if c + 1 < side {
+                b.add_edge(v, v + 1, 100);
+            }
+            if r + 1 < side {
+                b.add_edge(v, v + side, 100);
+            }
+        }
+    }
+    let g = b.build();
+    let customers: Vec<u32> = (0..side)
+        .step_by(2)
+        .flat_map(|r| (0..side).step_by(2).map(move |c| r * side + c))
+        .collect();
+    let mid = side / 2;
+    let row_step = if side <= 4 { 1 } else { 2 };
+    let facilities: Vec<u32> = (0..side)
+        .step_by(row_step)
+        .map(|r| r * side + mid)
+        .collect();
+    let k = (facilities.len() / 2).max(2);
+    let capacity = n + 1024;
+    let mut builder = McfsInstance::builder(&g).customers(customers);
+    for f in facilities {
+        builder = builder.facility(f, capacity);
+    }
+    let inst = builder
+        .k(k)
+        .build()
+        .expect("the workload fixture is well-formed");
+    let mut buf = Vec::new();
+    mcfs_io::write_instance(&mut buf, &inst).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("instance text is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_distinct_per_connection() {
+        let p = Profile::default();
+        let a1 = schedule_for(&p, 3);
+        let a2 = schedule_for(&p, 3);
+        assert_eq!(a1.len(), p.requests_per_conn);
+        assert!(a1
+            .iter()
+            .zip(a2.iter())
+            .all(|(x, y)| x.at_us == y.at_us && x.action == y.action));
+        let b = schedule_for(&p, 4);
+        assert!(
+            a1.iter()
+                .zip(b.iter())
+                .any(|(x, y)| x.at_us != y.at_us || x.action != y.action),
+            "different connections draw different schedules"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_roughly_at_rate() {
+        let p = Profile {
+            requests_per_conn: 200,
+            rate_hz: 100.0,
+            ..Profile::default()
+        };
+        let s = schedule_for(&p, 0);
+        assert!(s.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        let span_s = s.last().unwrap().at_us as f64 / 1e6;
+        let rate = s.len() as f64 / span_s;
+        assert!(
+            (rate - 100.0).abs() < 40.0,
+            "empirical rate {rate:.1}/s should be near 100/s"
+        );
+    }
+
+    #[test]
+    fn every_mix_token_round_trips() {
+        for mix in [Mix::SolveHeavy, Mix::EditHeavy, Mix::ReadHeavy, Mix::Mixed] {
+            assert_eq!(Mix::from_token(mix.token()), Some(mix));
+            assert!(!mix.weights().is_empty());
+        }
+        assert_eq!(Mix::from_token("nope"), None);
+    }
+
+    #[test]
+    fn the_workload_instance_parses_and_solves() {
+        use mcfs::Solver;
+        let text = workload_instance_text();
+        let owned = mcfs_io::read_instance(text.as_bytes()).unwrap();
+        let inst = owned.instance().unwrap();
+        let sol = mcfs::Wma::new().solve(&inst).unwrap();
+        inst.verify(&sol).unwrap();
+    }
+}

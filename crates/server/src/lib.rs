@@ -61,8 +61,8 @@ pub use client::{Client, ClientError};
 pub use http::MetricsHttpHandle;
 pub use metrics::{Metrics, Outcome};
 pub use protocol::{
-    ErrorCode, EventBody, EventFrame, Frame, MetricsFormat, OpenKind, ProtoError, Reply, Request,
-    TracedRequest, Verb, WATCH_ALL, WIRE_VERSION,
+    ErrorCode, EventBody, EventFrame, Frame, FrameScratch, MetricsFormat, OpenKind, ProtoError,
+    Reply, Request, TracedRequest, Verb, WATCH_ALL, WIRE_VERSION,
 };
 pub use server::{ServerConfig, ServerHandle};
 pub use session::Session;

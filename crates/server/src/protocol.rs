@@ -335,7 +335,38 @@ impl TracedRequest {
         r: &mut impl BufRead,
         max_payload: usize,
     ) -> Result<Option<TracedRequest>, ProtoError> {
-        Ok(read_traced_frame(r, max_payload)?.map(|(req, _)| req))
+        let mut scratch = FrameScratch::new();
+        Self::read_from_with(r, max_payload, &mut scratch)
+    }
+
+    /// Like [`TracedRequest::read_from`], but reads the verb line into a
+    /// caller-owned [`FrameScratch`] so a connection loop parses frames
+    /// without a fresh line allocation per frame.
+    pub fn read_from_with(
+        r: &mut impl BufRead,
+        max_payload: usize,
+        scratch: &mut FrameScratch,
+    ) -> Result<Option<TracedRequest>, ProtoError> {
+        Ok(read_traced_frame(r, max_payload, scratch)?.map(|(req, _)| req))
+    }
+}
+
+/// Reusable per-connection parse state: the buffer every frame's verb line
+/// is read into. Payload lines still become owned `String`s (they live on
+/// inside the parsed [`Request`]), but the verb line — the whole frame for
+/// `SOLVE`/`STATS`/`ASSIGNMENT`-style traffic — reuses this allocation, so
+/// a long-lived connection parses its steady-state request stream without
+/// touching the allocator.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    line: String,
+}
+
+impl FrameScratch {
+    /// An empty scratch; the line buffer grows to the longest verb line
+    /// seen and stays there.
+    pub fn new() -> FrameScratch {
+        FrameScratch::default()
     }
 }
 
@@ -691,7 +722,8 @@ impl Request {
         r: &mut impl BufRead,
         max_payload: usize,
     ) -> Result<Option<Request>, ProtoError> {
-        Ok(read_traced_frame(r, max_payload)?.map(|(t, _)| t.request))
+        let mut scratch = FrameScratch::new();
+        Ok(read_traced_frame(r, max_payload, &mut scratch)?.map(|(t, _)| t.request))
     }
 }
 
@@ -703,8 +735,9 @@ impl Request {
 pub(crate) fn read_traced_frame(
     r: &mut impl BufRead,
     max_payload: usize,
+    scratch: &mut FrameScratch,
 ) -> Result<Option<(TracedRequest, u64)>, ProtoError> {
-    let Some(line) = read_frame_line(r, 1)? else {
+    let Some(line) = read_frame_line_into(r, 1, &mut scratch.line)? else {
         return Ok(None);
     };
     let parse_start_ns = mcfs_obs::now_ns();
@@ -1268,13 +1301,28 @@ fn parse_payload_count(v: &str, max_payload: usize) -> Result<usize, ProtoError>
 /// Read one line of a frame; strips the trailing newline. `Ok(None)` = EOF.
 fn read_frame_line(r: &mut impl BufRead, line_no: usize) -> Result<Option<String>, ProtoError> {
     let mut buf = String::new();
-    match r.read_line(&mut buf) {
+    if read_frame_line_into(r, line_no, &mut buf)?.is_some() {
+        Ok(Some(buf))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Read one line of a frame into a reused buffer; strips the trailing
+/// newline. `Ok(None)` = EOF; `Ok(Some(..))` borrows the buffer.
+fn read_frame_line_into<'a>(
+    r: &mut impl BufRead,
+    line_no: usize,
+    buf: &'a mut String,
+) -> Result<Option<&'a str>, ProtoError> {
+    buf.clear();
+    match r.read_line(buf) {
         Ok(0) => Ok(None),
         Ok(_) => {
             while buf.ends_with('\n') || buf.ends_with('\r') {
                 buf.pop();
             }
-            Ok(Some(buf))
+            Ok(Some(buf.as_str()))
         }
         // Invalid UTF-8 and transport failures both land here; the stream
         // position is unknown afterwards, so the connection must close.

@@ -24,8 +24,8 @@ use crate::http::MetricsHttpHandle;
 use crate::metrics::{Metrics, Outcome};
 use crate::pipe::pipe;
 use crate::protocol::{
-    read_traced_frame, valid_session_name, ErrorCode, EventBody, EventFrame, MetricsFormat, Reply,
-    Request, Verb, DEFAULT_MAX_PAYLOAD_LINES, WATCH_ALL, WIRE_VERSION,
+    read_traced_frame, valid_session_name, ErrorCode, EventBody, EventFrame, FrameScratch,
+    MetricsFormat, Reply, Request, Verb, DEFAULT_MAX_PAYLOAD_LINES, WATCH_ALL, WIRE_VERSION,
 };
 use crate::worker::{run_worker, Job, TraceCtx};
 
@@ -335,11 +335,15 @@ impl WatchHandle {
 const PUMP_TICK: Duration = Duration::from_millis(25);
 
 /// Spawn the pump thread for one `WATCH`. The pump owns the bus
-/// subscriber; it writes whole single-line event frames under the shared
-/// writer lock, so frames from concurrent pumps and the reply path can
-/// interleave but never tear. On the stop signal it drains once more
-/// (events published before an `UNWATCH` was parsed are never lost) and
-/// exits; dropping the subscriber unregisters it from the bus.
+/// subscriber; each drain is serialized into a reused buffer *outside*
+/// the shared writer lock and then written with a single `write_all` +
+/// flush under it, so frames from concurrent pumps and the reply path can
+/// interleave but never tear — and the lock is held for one buffered
+/// write per drain rather than one write per frame, which is what keeps
+/// many watchers from convoying on the connection mutex. On the stop
+/// signal it drains once more (events published before an `UNWATCH` was
+/// parsed are never lost) and exits; dropping the subscriber unregisters
+/// it from the bus.
 fn spawn_pump<W: Write + Send + 'static>(
     core: Arc<ServerCore>,
     writer: Arc<Mutex<W>>,
@@ -349,62 +353,69 @@ fn spawn_pump<W: Write + Send + 'static>(
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("mcfs-watch-pump".into())
-        .spawn(move || loop {
-            let stopping = stop.load(Ordering::SeqCst);
-            let drain = if stopping {
-                sub.poll()
-            } else {
-                sub.wait(PUMP_TICK)
-            };
-            if !drain.is_empty() {
-                let mut w = writer.lock().unwrap();
-                let mut wrote = Ok(());
-                // The drop marker precedes the drained events: the ring
-                // sheds oldest-first, so the losses happened before them.
-                if drain.dropped > 0 {
-                    core.metrics.events_dropped(drain.dropped);
-                    let frame = EventFrame {
-                        session: target.clone(),
-                        body: EventBody::Dropped {
-                            count: drain.dropped,
-                        },
-                    };
-                    wrote = frame.write_to(&mut *w);
-                }
-                let mut streamed = 0u64;
-                for rec in &drain.events {
-                    if wrote.is_err() {
-                        break;
+        .spawn(move || {
+            let mut out: Vec<u8> = Vec::with_capacity(4096);
+            loop {
+                let stopping = stop.load(Ordering::SeqCst);
+                let drain = if stopping {
+                    sub.poll()
+                } else {
+                    sub.wait(PUMP_TICK)
+                };
+                if !drain.is_empty() {
+                    out.clear();
+                    let mut serialized = Ok(());
+                    // The drop marker precedes the drained events: the ring
+                    // sheds oldest-first, so the losses happened before them.
+                    if drain.dropped > 0 {
+                        core.metrics.events_dropped(drain.dropped);
+                        let frame = EventFrame {
+                            session: target.clone(),
+                            body: EventBody::Dropped {
+                                count: drain.dropped,
+                            },
+                        };
+                        serialized = frame.write_to(&mut out);
                     }
-                    let session = if target == WATCH_ALL {
-                        // Scope ids are process-global: events from
-                        // sessions of *other* server instances (or from
-                        // sessions closed mid-flight) resolve to nothing
-                        // here and are not this server's to stream.
-                        match core.session_name_of(rec.scope) {
-                            Some(name) => name,
-                            None => continue,
+                    let mut streamed = 0u64;
+                    for rec in &drain.events {
+                        if serialized.is_err() {
+                            break;
                         }
-                    } else {
-                        target.clone()
-                    };
-                    let frame = EventFrame {
-                        session,
-                        body: EventBody::Event {
-                            seq: rec.seq,
-                            event: rec.event.clone(),
-                        },
-                    };
-                    wrote = frame.write_to(&mut *w);
-                    streamed += 1;
+                        let session = if target == WATCH_ALL {
+                            // Scope ids are process-global: events from
+                            // sessions of *other* server instances (or from
+                            // sessions closed mid-flight) resolve to nothing
+                            // here and are not this server's to stream.
+                            match core.session_name_of(rec.scope) {
+                                Some(name) => name,
+                                None => continue,
+                            }
+                        } else {
+                            target.clone()
+                        };
+                        let frame = EventFrame {
+                            session,
+                            body: EventBody::Event {
+                                seq: rec.seq,
+                                event: rec.event.clone(),
+                            },
+                        };
+                        serialized = frame.write_to(&mut out);
+                        streamed += 1;
+                    }
+                    let wrote = serialized.and_then(|()| {
+                        let mut w = writer.lock().unwrap();
+                        w.write_all(&out).and_then(|()| w.flush())
+                    });
+                    core.metrics.events_streamed(streamed);
+                    if wrote.is_err() {
+                        return; // client gone; connection loop will notice too
+                    }
                 }
-                core.metrics.events_streamed(streamed);
-                if wrote.and_then(|()| w.flush()).is_err() {
-                    return; // client gone; connection loop will notice too
+                if stopping {
+                    return;
                 }
-            }
-            if stopping {
-                return;
             }
         })
         .expect("spawning a watch pump thread")
@@ -493,8 +504,10 @@ fn handle_watch_verbs<W: Write + Send + 'static>(
 /// fatal protocol error.
 ///
 /// The writer is shared behind a mutex with this connection's `WATCH`
-/// pump threads; replies and event frames are each written whole (and
-/// flushed) under the lock, so they interleave at frame granularity only.
+/// pump threads; replies and event frames are each serialized to a reused
+/// buffer first and written whole (and flushed) under the lock, so they
+/// interleave at frame granularity only — and a reply that fails to
+/// serialize leaves no partial bytes on the wire.
 ///
 /// When a frame carries `trace=<id>`, the connection thread records the
 /// request's lifecycle spans: `server.parse` (verb line read → frame
@@ -519,8 +532,13 @@ pub(crate) fn handle_connection<W: Write + Send + 'static>(
     // This connection's live WATCHes, keyed by target. Stopped (which
     // unsubscribes from the bus) when the connection ends, however it ends.
     let mut watches: HashMap<String, WatchHandle> = HashMap::new();
+    // Reused per-connection buffers: frame parsing reads verb lines into
+    // `scratch`, replies serialize into `out` before the writer lock is
+    // taken.
+    let mut scratch = FrameScratch::new();
+    let mut out: Vec<u8> = Vec::with_capacity(1024);
     loop {
-        match read_traced_frame(&mut reader, core.config.max_payload_lines) {
+        match read_traced_frame(&mut reader, core.config.max_payload_lines, &mut scratch) {
             Ok(None) => break, // clean EOF
             Ok(Some((traced, parse_start_ns))) => {
                 let ctx = traced.trace.map(|trace| {
@@ -546,10 +564,11 @@ pub(crate) fn handle_connection<W: Write + Send + 'static>(
                     request => core.submit_traced(request, ctx),
                 };
                 let reply_start_ns = ctx.map(|_| mcfs_obs::now_ns());
-                let wrote = {
+                out.clear();
+                let wrote = reply.write_to(&mut out).and_then(|()| {
                     let mut w = writer.lock().unwrap();
-                    reply.write_to(&mut *w).and_then(|()| w.flush())
-                };
+                    w.write_all(&out).and_then(|()| w.flush())
+                });
                 if let (Some(ctx), Some(start_ns)) = (ctx, reply_start_ns) {
                     let end_ns = mcfs_obs::now_ns();
                     mcfs_obs::record_manual(
@@ -581,10 +600,11 @@ pub(crate) fn handle_connection<W: Write + Send + 'static>(
                     code: ErrorCode::Proto,
                     message: e.to_string(),
                 };
-                let wrote = {
+                out.clear();
+                let wrote = reply.write_to(&mut out).and_then(|()| {
                     let mut w = writer.lock().unwrap();
-                    reply.write_to(&mut *w).and_then(|()| w.flush())
-                };
+                    w.write_all(&out).and_then(|()| w.flush())
+                });
                 if e.fatal || wrote.is_err() {
                     break;
                 }
@@ -694,6 +714,10 @@ impl ServerHandle {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Replies and event frames are single whole-frame
+                    // writes; Nagle would hold each behind the client's
+                    // delayed ACK.
+                    let _ = stream.set_nodelay(true);
                     let core = Arc::clone(&core);
                     let _ = std::thread::Builder::new()
                         .name("mcfs-conn-tcp".into())

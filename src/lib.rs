@@ -19,6 +19,8 @@
 //!   admission control and live metrics (`mcfs-serve`).
 //! * [`obs`] — the observability substrate: metrics registry with
 //!   Prometheus exposition, span tracing with Chrome-trace export.
+//! * [`loadgen`] — workload-replay load generator, chaos/fault-injection
+//!   harness and SLO reporting for the serving stack (`mcfs-loadgen`).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ pub use mcfs_flow as flow;
 pub use mcfs_gen as gen;
 pub use mcfs_graph as graph;
 pub use mcfs_io as io;
+pub use mcfs_loadgen as loadgen;
 pub use mcfs_obs as obs;
 pub use mcfs_server as server;
 

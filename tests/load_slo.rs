@@ -1,0 +1,542 @@
+//! Load, chaos and SLO tests for the serving stack, driven by
+//! `mcfs-loadgen` (`crates/loadgen`).
+//!
+//! Three families:
+//!
+//! 1. **Sustained load** — replay a deterministic mixed workload and
+//!    reconcile the client-side view against the server's Prometheus
+//!    counters: the verb×outcome grids must match cell-for-cell, the
+//!    latency histogram populations must be identical, and quantiles must
+//!    agree within ±1 log2 bucket.
+//! 2. **Admission & deadlines under pressure** — a property test that
+//!    queue depth never exceeds the configured limit and every shed gets
+//!    a well-formed `busy` reply (satellite: burst admission), plus a
+//!    test that a request whose deadline expires while queued is *never
+//!    executed* and replies within the blocking solve plus one
+//!    scheduling tick (satellite: deadline semantics).
+//! 3. **Chaos** — killed connections mid-solve never corrupt sessions,
+//!    slow-reader watchers force ring overflow whose `dropped=` markers
+//!    reconcile exactly with the server's bus counters, and
+//!    malformed/oversized/truncated frames are contained to their own
+//!    connection.
+
+use std::sync::{Barrier, OnceLock};
+use std::time::Instant;
+
+use mcfs_repro::core::{Edit, Facility, McfsInstance};
+use mcfs_repro::gen::bikes::generate_stations;
+use mcfs_repro::gen::customers::uniform_customers;
+use mcfs_repro::gen::{generate_city, CitySpec, CityStyle};
+use mcfs_repro::io::write_instance;
+use mcfs_repro::loadgen::{chaos, parse_server_metrics, reconcile, run, Mix, Profile, Target};
+use mcfs_repro::server::{Reply, Request, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+
+/// A heavy-enough instance that a cold solve occupies a worker for a long
+/// stretch (hundreds of ms even in release builds) — enough to pile a
+/// burst behind it deterministically. Built once, shared by every test
+/// and proptest case.
+fn blocking_instance_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let spec = CitySpec {
+            name: "load-slo",
+            target_nodes: 5000,
+            style: CityStyle::Grid,
+            avg_edge_len: 90.0,
+            seed: 7,
+        };
+        let g = generate_city(&spec);
+        let facilities: Vec<Facility> = generate_stations(&g, 40, 3)
+            .into_iter()
+            .map(|s| Facility {
+                node: s.node,
+                capacity: 400,
+            })
+            .collect();
+        let customers = uniform_customers(&g, 1000, 11);
+        let inst = McfsInstance::builder(&g)
+            .customers(customers)
+            .facilities(facilities)
+            .k(15)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_instance(&mut buf, &inst).unwrap();
+        String::from_utf8(buf).unwrap()
+    })
+}
+
+fn kv_metric(lines: &[String], key: &str) -> u64 {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("metric {key} missing"))
+        .parse()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// 1. Sustained load + reconciliation
+// ---------------------------------------------------------------------
+
+#[test]
+fn sustained_mixed_load_reconciles_client_and_server_metrics() {
+    let server = ServerHandle::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let mut metrics_client = server.connect().unwrap();
+    let before = parse_server_metrics(&metrics_client.metrics_prometheus().unwrap());
+
+    // Solve-heavy on the side-15 instance: the latency population is
+    // dominated by real solver work and queue wait — both of which client
+    // RTT and server-side latency measure identically — so the two ends
+    // land in the same log2 buckets. (A stats-heavy mix on the tiny
+    // fixture would measure the pipe round-trip floor against
+    // microsecond handler times instead.)
+    let profile = Profile {
+        mix: Mix::SolveHeavy,
+        connections: 48,
+        sessions: 12,
+        watchers: 8,
+        requests_per_conn: 6,
+        rate_hz: 40.0,
+        seed: 7,
+        instance_side: 15,
+        ..Profile::default()
+    };
+    let outcome = run(&profile, &Target::InProcess(&server)).unwrap();
+    let after = parse_server_metrics(&metrics_client.metrics_prometheus().unwrap());
+    let rec = reconcile(&outcome, &after.delta_from(&before));
+    server.shutdown();
+
+    assert_eq!(outcome.transport_errors, 0, "no connection may die");
+    assert_eq!(
+        outcome.ok_total()
+            + outcome.busy_total()
+            + outcome
+                .verbs
+                .values()
+                .map(|v| v.timeout + v.err)
+                .sum::<u64>(),
+        (profile.total_requests() + 2 * profile.sessions + 2 * profile.watchers) as u64,
+        "every scheduled request (plus setup opens/solves and watch/unwatch pairs) got a reply"
+    );
+    assert!(
+        rec.grid_mismatches.is_empty(),
+        "client and server verb grids agree: {:?}",
+        rec.grid_mismatches
+    );
+    assert_eq!(
+        rec.client_count, rec.server_count,
+        "both ends saw the same worker-executed population"
+    );
+    // p50/p99 must land within one log2 bucket of the server's view. The
+    // p999 of ~800 samples is effectively the max, so a debug build
+    // sharing cores with the rest of this suite gets one extra bucket of
+    // scheduling-noise allowance; the release CI gate (`mcfs-loadgen
+    // --strict` on a dedicated run) holds all three to ±1.
+    let [p50, p99, p999] = rec.bucket_deltas();
+    assert!(
+        p50.is_some_and(|d| d.abs() <= 1) && p99.is_some_and(|d| d.abs() <= 1),
+        "client/server p50/p99 within one log2 bucket, got deltas {:?}",
+        rec.bucket_deltas()
+    );
+    assert!(
+        p999.is_some_and(|d| d.abs() <= 2),
+        "client/server p999 within two log2 buckets, got deltas {:?}",
+        rec.bucket_deltas()
+    );
+    assert!(
+        outcome.events > 0,
+        "watchers saw live events from solves under load"
+    );
+}
+
+#[test]
+fn loadgen_sustains_hundreds_of_connections_with_many_watched_sessions() {
+    // The CI-scale shape at reduced request count: 500 concurrent
+    // connections, 100 distinct watched sessions, every reply accounted
+    // for. (The release-mode CI job runs the full profile via the
+    // mcfs-loadgen binary; this keeps the same concurrency honest in the
+    // ordinary test suite.)
+    let server = ServerHandle::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let profile = Profile {
+        mix: Mix::SolveHeavy,
+        connections: 500,
+        sessions: 125,
+        watchers: 100,
+        requests_per_conn: 3,
+        rate_hz: 15.0,
+        seed: 42,
+        instance_side: 3,
+        ..Profile::default()
+    };
+    let outcome = run(&profile, &Target::InProcess(&server)).unwrap();
+    server.shutdown();
+
+    assert_eq!(outcome.transport_errors, 0);
+    let replies: u64 = outcome.verbs.values().map(|v| v.total()).sum();
+    assert_eq!(
+        replies,
+        (profile.total_requests() + 2 * profile.sessions + 2 * profile.watchers) as u64
+    );
+    assert_eq!(
+        outcome.verb("watch").ok,
+        100,
+        "one hundred live watch subscriptions"
+    );
+    assert!(outcome.ok_total() > 1000, "the bulk of the load succeeds");
+}
+
+// ---------------------------------------------------------------------
+// 2. Admission under burst (property) and deadline semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Queue depth never exceeds the configured limit, and every shed
+    /// request gets a well-formed `busy` reply carrying `depth=`/`limit=`
+    /// kvs with `depth == limit`.
+    #[test]
+    fn burst_admission_never_exceeds_the_queue_limit(
+        queue_limit in 1usize..6,
+        burst in 8usize..24,
+    ) {
+        let server = ServerHandle::start(ServerConfig {
+            workers: 1,
+            queue_limit,
+            ..ServerConfig::default()
+        });
+        let mut driver = server.connect().unwrap();
+        driver
+            .open_text(
+                "burst",
+                mcfs_repro::server::OpenKind::Instance,
+                blocking_instance_text(),
+            )
+            .unwrap();
+
+        // Connect the whole burst fleet *before* blocking the worker, so
+        // the burst itself is pure sends — it lands well inside the
+        // blocking solve even in a fast release build.
+        let mut fleet: Vec<_> = (0..burst).map(|_| server.connect().unwrap()).collect();
+
+        // Occupy the only worker with a cold heavy solve, then burst
+        // cheap requests at the same session while it runs: admissions
+        // fill the queue to the limit, the rest must shed.
+        let mut blocker = server.connect().unwrap();
+        let handle = std::thread::spawn(move || blocker.solve("burst").unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(60));
+
+        let start = Barrier::new(burst);
+        let results: Vec<Reply> = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for mut conn in fleet.drain(..) {
+                let start = &start;
+                joins.push(scope.spawn(move || {
+                    start.wait();
+                    conn.request(&Request::Stats {
+                        session: "burst".into(),
+                    })
+                    .unwrap()
+                }));
+            }
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        handle.join().unwrap();
+
+        let busy: Vec<&Reply> = results
+            .iter()
+            .filter(|r| matches!(r, Reply::Busy { .. }))
+            .collect();
+        prop_assert!(
+            busy.len() >= burst.saturating_sub(queue_limit + 1),
+            "with the worker blocked, at most limit+1 requests fit ({} busy of {burst})",
+            busy.len()
+        );
+        let limit_str = queue_limit.to_string();
+        for reply in &busy {
+            prop_assert_eq!(reply.kv("session"), Some("burst"));
+            prop_assert_eq!(reply.kv("limit"), Some(limit_str.as_str()));
+            // A shed happens exactly when the queue sits at its limit.
+            prop_assert_eq!(reply.kv("depth"), Some(limit_str.as_str()));
+        }
+
+        let highwater = kv_metric(&driver.metrics().unwrap(), "queue_depth_highwater");
+        prop_assert!(
+            highwater as usize <= queue_limit,
+            "high-water {highwater} within the limit {queue_limit}"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn a_deadline_expiring_in_queue_is_never_executed_and_replies_promptly() {
+    let server = ServerHandle::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+
+    // The victim session is tiny and pre-solved — its edits are
+    // microsecond work. What blocks the worker is a *cold* solve of the
+    // heavy session: sessions share the single worker's FIFO, and a cold
+    // solve cannot be fast (a warm re-solve could — that's the paper's
+    // whole point — which is why the blocker must be a first solve).
+    let mut driver = server.connect().unwrap();
+    driver
+        .open_text(
+            "dl",
+            mcfs_repro::server::OpenKind::Instance,
+            &mcfs_repro::loadgen::workload_instance_text(),
+        )
+        .unwrap();
+    driver.solve("dl").unwrap();
+    let customers_before = driver.solution("dl").unwrap().assignment.len();
+    driver
+        .open_text(
+            "heavy",
+            mcfs_repro::server::OpenKind::Instance,
+            blocking_instance_text(),
+        )
+        .unwrap();
+
+    let mut blocker = server.connect().unwrap();
+    let solve_start = Instant::now();
+    let solver = std::thread::spawn(move || blocker.solve("heavy").unwrap());
+    // Long enough for the SOLVE to be admitted and running, far shorter
+    // than any cold solve of the heavy instance.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+
+    let t0 = Instant::now();
+    let reply = driver
+        .request(&Request::Edit {
+            session: "dl".into(),
+            edits: vec![Edit::AddCustomer { node: 2 }],
+            deadline_ms: Some(1),
+        })
+        .unwrap();
+    let edit_rtt = t0.elapsed();
+    solver.join().unwrap();
+    let solve_wall = solve_start.elapsed();
+
+    // The expired edit timed out — and reports how long it waited.
+    let Reply::Timeout { .. } = &reply else {
+        panic!("expired-in-queue edit must time out, got {reply:?}");
+    };
+    assert!(
+        reply.kv("waited_ms").is_some(),
+        "timeout replies say how long the request sat queued"
+    );
+    // Reply latency is bounded by the blocking work plus one scheduling
+    // tick — the worker answers it the moment it dequeues.
+    assert!(
+        edit_rtt <= solve_wall + std::time::Duration::from_millis(250),
+        "timeout reply within the blocking solve + a tick ({edit_rtt:?} vs {solve_wall:?})"
+    );
+
+    // Never executed: the victim session's customer count is untouched.
+    driver.solve("dl").unwrap();
+    let customers_after = driver.solution("dl").unwrap().assignment.len();
+    assert_eq!(
+        customers_after, customers_before,
+        "the expired edit never ran"
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 3. Chaos
+// ---------------------------------------------------------------------
+
+#[test]
+fn killed_connections_mid_solve_never_corrupt_sessions() {
+    let mut server = ServerHandle::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.serve_tcp("127.0.0.1:0").unwrap().to_string();
+    let mut driver = mcfs_repro::server::Client::connect_tcp(&addr).unwrap();
+
+    let text = mcfs_repro::loadgen::workload_instance_text();
+    let mut baselines = Vec::new();
+    for s in 0..4 {
+        let name = format!("kill{s}");
+        driver
+            .open_text(&name, mcfs_repro::server::OpenKind::Instance, &text)
+            .unwrap();
+        baselines.push((
+            name.clone(),
+            chaos::solve_objective(&mut driver, &name).unwrap(),
+        ));
+    }
+
+    // Two rounds of abrupt deaths: a well-formed SOLVE whose client
+    // vanishes before the reply, and a connection that dies mid-frame
+    // (truncated EDIT payload).
+    for (name, _) in &baselines {
+        chaos::kill_mid_request(&addr, &format!("SOLVE {name}\n")).unwrap();
+        chaos::kill_mid_request(&addr, &format!("EDIT {name} lines=3\nadd customer 1\n")).unwrap();
+    }
+    // Let the orphaned solves drain before re-checking.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    for (name, baseline) in &baselines {
+        let objective = chaos::solve_objective(&mut driver, name).unwrap();
+        assert_eq!(
+            objective, *baseline,
+            "session {name} solves to the same objective after its clients died"
+        );
+        // And the session still takes edits + solves: fully live.
+        driver.edit(name, &[Edit::AddCustomer { node: 4 }]).unwrap();
+        let edited = chaos::solve_objective(&mut driver, name).unwrap();
+        assert!(edited >= *baseline, "an added customer cannot lower cost");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_watcher_drop_markers_reconcile_with_bus_counters() {
+    let server = ServerHandle::start(ServerConfig::default());
+    let mut driver = server.connect().unwrap();
+    driver
+        .open_text(
+            "lossy",
+            mcfs_repro::server::OpenKind::Instance,
+            &mcfs_repro::loadgen::workload_instance_text(),
+        )
+        .unwrap();
+
+    // A one-slot ring is the slow-reader model: any burst of more than
+    // one event between pump drains must shed and surface as `dropped=`.
+    let mut watcher = server.connect().unwrap();
+    watcher.watch("lossy", Some(1)).unwrap();
+    let global_before = mcfs_repro::obs::bus::dropped_total();
+
+    for i in 0..40 {
+        driver
+            .edit("lossy", &[Edit::AddCustomer { node: i % 9 }])
+            .unwrap();
+        driver.solve("lossy").unwrap();
+    }
+
+    watcher.unwatch("lossy").unwrap();
+    let frames = watcher.take_events();
+    let metrics = driver.metrics().unwrap();
+    let streamed = kv_metric(&metrics, "events.streamed");
+    let dropped = kv_metric(&metrics, "events.dropped");
+    let global_delta = mcfs_repro::obs::bus::dropped_total() - global_before;
+    server.shutdown();
+
+    let mut received = 0u64;
+    let mut markers = 0u64;
+    for frame in &frames {
+        match frame.body {
+            mcfs_repro::server::EventBody::Event { .. } => received += 1,
+            mcfs_repro::server::EventBody::Dropped { count } => markers += count,
+        }
+    }
+    assert!(markers > 0, "a one-slot ring under 40 solve bursts sheds");
+    assert_eq!(
+        markers, dropped,
+        "every client-visible dropped= marker is counted by the server"
+    );
+    assert_eq!(
+        received, streamed,
+        "every streamed event reached the watcher"
+    );
+    assert!(
+        global_delta >= markers,
+        "the process-wide bus counter saw at least this server's sheds"
+    );
+}
+
+#[test]
+fn malformed_and_oversized_frames_are_contained_to_their_connection() {
+    let mut server = ServerHandle::start(ServerConfig::default());
+    let addr = server.serve_tcp("127.0.0.1:0").unwrap().to_string();
+    let mut driver = mcfs_repro::server::Client::connect_tcp(&addr).unwrap();
+    driver
+        .open_text(
+            "healthy",
+            mcfs_repro::server::OpenKind::Instance,
+            &mcfs_repro::loadgen::workload_instance_text(),
+        )
+        .unwrap();
+
+    // Oversized payload header: rejected before any payload is read.
+    let oversized = chaos::raw_exchange(&addr, b"EDIT healthy lines=99999999\n").unwrap();
+    assert!(
+        oversized.has_err("proto"),
+        "oversized lines= is a protocol error: {:?}",
+        oversized.lines
+    );
+
+    // Truncated payload: a fatal framing error — err reply, then hangup.
+    let truncated = chaos::raw_exchange(&addr, b"EDIT healthy lines=3\nadd customer 1\n").unwrap();
+    assert!(truncated.has_err("proto"), "{:?}", truncated.lines);
+    assert!(truncated.closed, "truncation desyncs framing: must hang up");
+
+    // Garbage verb line.
+    let garbage = chaos::raw_exchange(&addr, b"FROBNICATE healthy now\n").unwrap();
+    assert!(garbage.has_err("proto"), "{:?}", garbage.lines);
+
+    // The abuse was all counted, and the healthy session never noticed.
+    let metrics = driver.metrics().unwrap();
+    assert!(
+        kv_metric(&metrics, "requests.unparsed") >= 3,
+        "unparsed-frame counter tracks the abuse"
+    );
+    let objective = chaos::solve_objective(&mut driver, "healthy").unwrap();
+    assert!(objective > 0, "the healthy session still solves");
+    server.shutdown();
+}
+
+#[test]
+fn deadline_storm_times_out_every_expired_request_without_executing() {
+    let server = ServerHandle::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut driver = server.connect().unwrap();
+    driver
+        .open_text(
+            "storm",
+            mcfs_repro::server::OpenKind::Instance,
+            &mcfs_repro::loadgen::workload_instance_text(),
+        )
+        .unwrap();
+    let baseline = chaos::solve_objective(&mut driver, "storm").unwrap();
+    let solves_before = {
+        let m = driver.metrics().unwrap();
+        kv_metric(&m, "solves.warm") + kv_metric(&m, "solves.cold")
+    };
+
+    // deadline_ms=0 expires at admission time: every storm request must
+    // come back `timeout`, and none may reach the solver.
+    let outcome = chaos::deadline_storm(&mut driver, "storm", 32, 0).unwrap();
+    assert_eq!(outcome.timeouts, 32, "{outcome:?}");
+    assert_eq!(outcome.ok, 0);
+    assert_eq!(outcome.err, 0);
+
+    let solves_after = {
+        let m = driver.metrics().unwrap();
+        kv_metric(&m, "solves.warm") + kv_metric(&m, "solves.cold")
+    };
+    assert_eq!(
+        solves_after, solves_before,
+        "expired requests never reach the solver"
+    );
+    assert_eq!(
+        chaos::solve_objective(&mut driver, "storm").unwrap(),
+        baseline,
+        "the session state survived the storm untouched"
+    );
+    server.shutdown();
+}
