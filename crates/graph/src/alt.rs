@@ -15,12 +15,67 @@
 //!
 //! which is admissible and consistent on undirected graphs, so A* settles
 //! a fraction of the nodes Dijkstra would while returning exact distances.
-//! Landmarks are chosen by the standard farthest-point sweep.
+//!
+//! Two landmark selections live here:
+//!
+//! * [`AltIndex`] — the standard farthest-point sweep (kept as-is);
+//! * [`AltPlusIndex`] — the **ALT+** selection behind
+//!   [`BackendKind::AltPlus`](crate::backend::BackendKind): a farthest-point
+//!   *candidate pool* twice the requested size, then greedy **coverage
+//!   scoring** — each candidate is scored by how much it tightens the
+//!   lower bound over a deterministic sample of node pairs, and only the
+//!   best `count` survive. Farthest-point alone loves graph periphery;
+//!   coverage scoring keeps the landmarks that actually help real queries.
+//!
+//! Both run their A* on the zero-allocation arena substrate
+//! ([`crate::arena`]): epoch-stamped distance/settled state plus a warm
+//! [`FlatHeap`](crate::heap::FlatHeap) whose pop order matches the original
+//! `BinaryHeap`, so query results (and settle counts) are reproducible.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::arena::with_arena;
 use crate::{dijkstra_all, Dist, Graph, NodeId, INF};
+
+/// Shared A* engine: exact `s → t` distance under a consistent lower-bound
+/// function `lb(v) ≤ dist(v, t)`, with the settled-node count. Runs on a
+/// per-thread arena: the only allocation is inside `lb`'s captured state,
+/// if any.
+fn astar_query(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    lb: impl Fn(NodeId) -> Dist,
+) -> Option<(Dist, usize)> {
+    if s == t {
+        return Some((0, 1));
+    }
+    with_arena(|a| {
+        a.begin(g.num_nodes());
+        a.set_dist(s, 0);
+        a.flat.push((lb(s), s));
+        let mut count = 0usize;
+        while let Some((_, v)) = a.flat.pop() {
+            if a.mark(v) == 1 {
+                continue; // already settled
+            }
+            a.set_mark(v, 1);
+            count += 1;
+            if v == t {
+                return Some((a.dist(t), count));
+            }
+            let dv = a.dist(v);
+            let (targets, weights) = g.arcs(v);
+            for (&u, &w) in targets.iter().zip(weights) {
+                let nd = dv + w;
+                if nd < a.dist(u) {
+                    a.set_dist(u, nd);
+                    // Consistent heuristic: settle order remains correct.
+                    a.flat.push((nd + lb(u), u));
+                }
+            }
+        }
+        None
+    })
+}
 
 /// Preprocessed landmark index for exact point-to-point queries.
 ///
@@ -118,40 +173,180 @@ impl AltIndex {
     /// unreachable. Returns the settled-node count alongside the distance
     /// so callers (and benches) can observe the search effort.
     pub fn query(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<(Dist, usize)> {
-        if s == t {
-            return Some((0, 1));
-        }
         // Quick rejection: a landmark that reaches exactly one of the two
         // endpoints proves nothing, but if some landmark reaches `s` and
         // not `t` *within the same component sweep* they may still connect;
         // correctness is preserved by running the search.
-        let n = g.num_nodes();
-        let mut dist = vec![INF; n];
-        let mut settled = vec![false; n];
-        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
-        dist[s as usize] = 0;
-        heap.push(Reverse((self.lower_bound(s, t), s)));
-        let mut count = 0usize;
-        while let Some(Reverse((_, v))) = heap.pop() {
-            if settled[v as usize] {
-                continue;
-            }
-            settled[v as usize] = true;
-            count += 1;
-            if v == t {
-                return Some((dist[t as usize], count));
-            }
-            let dv = dist[v as usize];
-            for (u, w) in g.neighbors(v) {
-                let nd = dv + w;
-                if nd < dist[u as usize] {
-                    dist[u as usize] = nd;
-                    // Consistent heuristic: settle order remains correct.
-                    heap.push(Reverse((nd + self.lower_bound(u, t), u)));
+        astar_query(g, s, t, |v| self.lower_bound(v, t))
+    }
+}
+
+/// ALT+ landmark index: farthest-point candidate pool, coverage-scored
+/// greedy selection, arena-backed exact point-to-point queries.
+///
+/// ```
+/// use mcfs_graph::{alt::AltPlusIndex, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..3 { b.add_edge(i, i + 1, 5); }
+/// let g = b.build();
+/// let idx = AltPlusIndex::build(&g, 2, 0);
+/// assert_eq!(idx.distance(&g, 0, 3), Some(15));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AltPlusIndex {
+    landmarks: Vec<NodeId>,
+    /// `dist[l][v]`: network distance from landmark `l` to node `v`.
+    dist: Vec<Vec<Dist>>,
+}
+
+/// Node pairs sampled for coverage scoring. Enough to rank candidates
+/// stably; scoring cost is `pool × PAIRS` subtractions.
+const COVERAGE_PAIRS: usize = 256;
+
+impl AltPlusIndex {
+    /// Build an index with up to `count` landmarks.
+    ///
+    /// Selection runs in two stages:
+    /// 1. a farthest-point sweep from `seed_node` collects a candidate pool
+    ///    of `2 × count` nodes (each costs one Dijkstra — its distance
+    ///    vector is reused if the candidate is kept);
+    /// 2. greedy coverage scoring keeps the `count` candidates that most
+    ///    tighten `max_L |d(L,a) − d(L,b)|` over a deterministic sample of
+    ///    node pairs, measured against the bound the already-chosen
+    ///    landmarks provide.
+    ///
+    /// On disconnected graphs the pool stays inside components reachable
+    /// from the sweep, exactly like [`AltIndex::build`]; landmark-less
+    /// components degrade to a zero bound (plain Dijkstra behaviour).
+    pub fn build(g: &Graph, count: usize, seed_node: NodeId) -> Self {
+        assert!(
+            (seed_node as usize) < g.num_nodes(),
+            "seed node out of range"
+        );
+        let count = count.max(1);
+        let pool_target = count * 2;
+        // Stage 1: farthest-point pool (same sweep as AltIndex, wider).
+        let mut pool: Vec<(NodeId, Vec<Dist>)> = Vec::with_capacity(pool_target);
+        let mut min_d: Vec<Dist> = vec![INF; g.num_nodes()];
+        let mut next = seed_node;
+        for _ in 0..pool_target {
+            let d = dijkstra_all(g, next);
+            for v in 0..g.num_nodes() {
+                if d[v] < min_d[v] {
+                    min_d[v] = d[v];
                 }
             }
+            pool.push((next, d));
+            match (0..g.num_nodes())
+                .filter(|&v| min_d[v] != INF)
+                .max_by_key(|&v| min_d[v])
+            {
+                Some(v) if min_d[v] > 0 => next = v as NodeId,
+                _ => break, // graph exhausted (or single node)
+            }
         }
-        None
+
+        // Stage 2: greedy coverage scoring over a deterministic pair
+        // sample (splitmix-style LCG keyed on the seed node).
+        let n = g.num_nodes() as u64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (seed_node as u64 + 1);
+        let mut rand_node = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % n) as usize
+        };
+        let pairs: Vec<(usize, usize)> = (0..COVERAGE_PAIRS)
+            .map(|_| (rand_node(), rand_node()))
+            .collect();
+        // Bound each already-chosen landmark set provides per pair.
+        let mut best_bound = vec![0 as Dist; pairs.len()];
+        let mut chosen: Vec<(NodeId, Vec<Dist>)> = Vec::with_capacity(count);
+        let mut remaining: Vec<(NodeId, Vec<Dist>)> = pool;
+        while chosen.len() < count && !remaining.is_empty() {
+            let (best_i, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, (_, d))| {
+                    let gain: u128 = pairs
+                        .iter()
+                        .zip(&best_bound)
+                        .map(|(&(a, b), &cur)| {
+                            let (da, db) = (d[a], d[b]);
+                            if da == INF || db == INF {
+                                0u128
+                            } else {
+                                da.abs_diff(db).saturating_sub(cur) as u128
+                            }
+                        })
+                        .sum();
+                    (i, gain)
+                })
+                // Ties go to the earliest (farthest-point-ranked) candidate.
+                .max_by_key(|&(i, gain)| (gain, std::cmp::Reverse(i)))
+                .expect("remaining is non-empty");
+            let (node, d) = remaining.remove(best_i);
+            for (j, &(a, b)) in pairs.iter().enumerate() {
+                let (da, db) = (d[a], d[b]);
+                if da != INF && db != INF {
+                    best_bound[j] = best_bound[j].max(da.abs_diff(db));
+                }
+            }
+            chosen.push((node, d));
+        }
+        let (landmarks, dist) = chosen.into_iter().unzip();
+        Self { landmarks, dist }
+    }
+
+    /// The selected landmarks.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Admissible lower bound on `dist(u, v)` (0 when no landmark sees
+    /// both).
+    #[inline]
+    pub fn lower_bound(&self, u: NodeId, v: NodeId) -> Dist {
+        let mut best = 0;
+        for d in &self.dist {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du == INF || dv == INF {
+                continue;
+            }
+            let diff = du.abs_diff(dv);
+            if diff > best {
+                best = diff;
+            }
+        }
+        best
+    }
+
+    /// Exact shortest-path distance `s → t`, or `None` if unreachable.
+    pub fn distance(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.query(g, s, t).map(|(d, _)| d)
+    }
+
+    /// Exact shortest-path distance `s → t` via A* with the coverage-scored
+    /// bounds, plus the settled-node count.
+    pub fn query(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<(Dist, usize)> {
+        // Gather each landmark's distance-to-target once so the per-node
+        // bound is a scan over a small stack-friendly slice.
+        let to_t: Vec<Dist> = self.dist.iter().map(|d| d[t as usize]).collect();
+        astar_query(g, s, t, |v| {
+            let mut best = 0;
+            for (d, &lt) in self.dist.iter().zip(&to_t) {
+                let dv = d[v as usize];
+                if dv == INF || lt == INF {
+                    continue;
+                }
+                let diff = dv.abs_diff(lt);
+                if diff > best {
+                    best = diff;
+                }
+            }
+            best
+        })
     }
 }
 
@@ -239,6 +434,84 @@ mod tests {
         let idx = AltIndex::build(&g, 2, 5);
         assert_eq!(idx.query(&g, 7, 7), Some((0, 1)));
         assert_eq!(idx.lower_bound(7, 7), 0);
+    }
+
+    #[test]
+    fn altplus_exact_on_grid_and_selects_count_landmarks() {
+        let g = grid(12, 7);
+        let idx = AltPlusIndex::build(&g, 4, 0);
+        assert_eq!(idx.landmarks().len(), 4);
+        for (s, t) in [(0u32, 143u32), (5, 77), (140, 3)] {
+            let want = dijkstra_all(&g, s)[t as usize];
+            let (got, _) = idx.query(&g, s, t).unwrap();
+            assert_eq!(got, want, "{s} -> {t}");
+        }
+        assert_eq!(idx.query(&g, 7, 7), Some((0, 1)));
+    }
+
+    #[test]
+    fn altplus_prunes_at_least_as_well_as_plain_dijkstra() {
+        // Same irregular grid as the AltIndex pruning test.
+        let side = 20usize;
+        let mut b = GraphBuilder::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = (r * side + c) as NodeId;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1, 3 + ((r * 7 + c * 3) % 5) as Dist);
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side as NodeId, 3 + ((r * 3 + c * 7) % 5) as Dist);
+                }
+            }
+        }
+        let g = b.build();
+        let idx = AltPlusIndex::build(&g, 6, 0);
+        let (s, t) = (85u32, 94u32);
+        let oracle = dijkstra_all(&g, s);
+        let (d, settled) = idx.query(&g, s, t).unwrap();
+        assert_eq!(d, oracle[t as usize]);
+        let dij_settled = oracle.iter().filter(|&&x| x <= d).count();
+        assert!(
+            settled * 2 < dij_settled,
+            "ALT+ settled {settled} vs Dijkstra's {dij_settled}"
+        );
+    }
+
+    proptest! {
+        /// ALT+ agrees with the brute-force APSP oracle on every pair of
+        /// sparse random graphs (many disconnected), and its bounds are
+        /// admissible — the same contract the plain AltIndex satisfies.
+        #[test]
+        fn altplus_matches_brute_force_apsp(
+            n in 2usize..14,
+            edges in proptest::collection::vec((0u32..14, 0u32..14, 1u64..30), 0..14),
+            lm in 1usize..4,
+            seed in 0u32..14,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let want = crate::apsp::apsp_reference(&g);
+            let idx = AltPlusIndex::build(&g, lm, seed % n as u32);
+            prop_assert!(idx.landmarks().len() <= lm.max(1));
+            for s in 0..n as u32 {
+                for t in 0..n as u32 {
+                    let got = idx.distance(&g, s, t);
+                    if want[s as usize][t as usize] == INF {
+                        prop_assert_eq!(got, None, "{} -> {}", s, t);
+                    } else {
+                        prop_assert_eq!(got, Some(want[s as usize][t as usize]), "{} -> {}", s, t);
+                        prop_assert!(idx.lower_bound(s, t) <= want[s as usize][t as usize]);
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -1,0 +1,314 @@
+//! Per-thread reusable search state — the zero-allocation substrate.
+//!
+//! Every Dijkstra variant needs the same scratch: a tentative-distance
+//! array, a settled/marked flag per node, and a priority queue. Allocating
+//! (and INF-filling) those per search is what made cold row fills the cost
+//! center BENCH_PR5 measured. A [`SearchArena`] owns all of it with
+//! *epoch-stamped* validity: `dist[v]` / `mark[v]` are only meaningful when
+//! `stamp[v]` equals the arena's current epoch, so "resetting" for the next
+//! search is a single epoch increment — O(1), touching no memory — instead
+//! of an O(n) refill. The queues ([`crate::heap`]) keep their capacity
+//! across [`clear`](crate::heap::RadixHeap::clear), so a search on a warm
+//! arena performs **no heap allocation at all** (pinned by the
+//! counting-allocator test `crates/graph/tests/zero_alloc.rs`).
+//!
+//! Arenas are handed out by a thread-local pool ([`with_arena`]): each
+//! borrow pops an arena (or builds one on first use) and returns it on
+//! scope exit, so nested searches on one thread get distinct arenas and
+//! long-lived worker threads keep their warm storage between row fills.
+
+use std::cell::RefCell;
+
+use crate::heap::{DialHeap, FlatHeap, RadixHeap};
+use crate::{Dist, Graph, NodeId, INF};
+
+/// Largest bucket span (`max_weight + 1`) the row fill will run Dial's
+/// algorithm with; beyond it the radix heap takes over. 2^16 buckets cost
+/// ~1.5 MiB of `Vec` headers per arena — fine for a per-thread structure —
+/// and cover metric road networks (meter-valued weights) comfortably.
+const DIAL_SPAN_LIMIT: usize = 1 << 16;
+
+/// Reusable scratch for one in-flight graph search. See the [module
+/// docs](self).
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    /// Validity stamps: `dist[v]`/`mark[v]` are live iff `stamp[v] == epoch`.
+    stamp: Vec<u32>,
+    /// Tentative distances (stamped).
+    dist: Vec<Dist>,
+    /// Generic per-node flag (stamped): "settled" in A*, "wanted" in
+    /// target-bounded searches.
+    mark: Vec<u32>,
+    /// Current epoch; 0 is never a live stamp so a fresh arena is empty.
+    epoch: u32,
+    /// Monotone queue for order-insensitive searches (row fills) on graphs
+    /// with large weights.
+    pub(crate) radix: RadixHeap,
+    /// Dial bucket queue — the row-fill fast path for bounded weights.
+    pub(crate) dial: DialHeap,
+    /// Exact-order queue for tie-breaking-sensitive searches.
+    pub(crate) flat: FlatHeap<(Dist, NodeId)>,
+}
+
+impl SearchArena {
+    /// Fresh, cold arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a new search over `n` nodes: bumps the epoch (lazily
+    /// invalidating all stamped state), grows the backing arrays if this
+    /// graph is larger than any seen before, and clears both queues.
+    ///
+    /// On epoch wrap-around (every 2^32 - 1 searches) the stamp array is
+    /// hard-zeroed so stale stamps from 2^32 searches ago can never read as
+    /// live.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, INF);
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.radix.clear();
+        self.flat.clear();
+    }
+
+    /// Tentative distance of `v` in the current epoch ([`INF`] when
+    /// untouched).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        if self.stamp[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            INF
+        }
+    }
+
+    /// Set the tentative distance of `v` (stamping it live).
+    #[inline]
+    pub fn set_dist(&mut self, v: NodeId, d: Dist) {
+        let i = v as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.mark[i] = 0;
+        }
+        self.dist[i] = d;
+    }
+
+    /// The per-node flag for `v` in the current epoch (0 when untouched).
+    #[inline]
+    pub fn mark(&self, v: NodeId) -> u32 {
+        if self.stamp[v as usize] == self.epoch {
+            self.mark[v as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Set the per-node flag for `v` (stamping it live; an untouched node's
+    /// distance becomes [`INF`]).
+    #[inline]
+    pub fn set_mark(&mut self, v: NodeId, m: u32) {
+        let i = v as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.dist[i] = INF;
+        }
+        self.mark[i] = m;
+    }
+
+    /// One-to-all Dijkstra from `source`, writing the full distance row
+    /// into `out` (resized to the node count; unreachable nodes get
+    /// [`INF`]). `out` doubles as the tentative-distance array so the
+    /// search stays in one cache-friendly buffer and is INF-initialized
+    /// exactly once per call; the only state the arena contributes is a
+    /// warm monotone queue — a warm call with a right-sized `out`
+    /// allocates nothing.
+    ///
+    /// Queue choice is per graph: Dial's bucket queue (O(1) ops, no
+    /// comparisons) when `max_weight + 1 ≤ 2^16`, the radix heap otherwise.
+    /// Produces byte-identical rows to [`crate::classic::dijkstra_all_ref`]
+    /// either way: distances are unique per node, so queue tie order cannot
+    /// matter.
+    pub fn fill_row(&mut self, g: &Graph, source: NodeId, out: &mut Vec<Dist>) {
+        let n = g.num_nodes();
+        if out.len() == n {
+            out.fill(INF);
+        } else {
+            out.clear();
+            out.resize(n, INF);
+        }
+        out[source as usize] = 0;
+        // SAFETY throughout both loops: every node id that reaches `out`
+        // indexing is < `g.num_nodes()` == `out.len()` — the source is the
+        // caller's, CSR targets are range-checked at build time
+        // (`GraphBuilder::add_arc`), and popped nodes were previously
+        // pushed as one of those. Eliding the bounds checks is worth ~10%
+        // of whole-row wall time on the 512² grid benchmark.
+        let span = g.max_weight() as usize + 1;
+        if span <= DIAL_SPAN_LIMIT {
+            self.dial.reset(span);
+            self.dial.push(0, source);
+            while let Some((d, v)) = self.dial.pop() {
+                if d > unsafe { *out.get_unchecked(v as usize) } {
+                    continue; // stale entry
+                }
+                let (targets, weights) = unsafe { g.arcs_unchecked(v) };
+                for (&u, &w) in targets.iter().zip(weights) {
+                    let nd = d + w;
+                    let slot = unsafe { out.get_unchecked_mut(u as usize) };
+                    if nd < *slot {
+                        *slot = nd;
+                        self.dial.push(nd, u);
+                    }
+                }
+            }
+        } else {
+            self.radix.clear();
+            self.radix.push(0, source);
+            while let Some((d, v)) = self.radix.pop() {
+                if d > unsafe { *out.get_unchecked(v as usize) } {
+                    continue; // stale entry
+                }
+                let (targets, weights) = unsafe { g.arcs_unchecked(v) };
+                for (&u, &w) in targets.iter().zip(weights) {
+                    let nd = d + w;
+                    let slot = unsafe { out.get_unchecked_mut(u as usize) };
+                    if nd < *slot {
+                        *slot = nd;
+                        self.radix.push(nd, u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Pool of warm arenas for this thread. A stack: borrowing pops,
+    /// returning pushes, so nested borrows see distinct arenas.
+    static ARENA_POOL: RefCell<Vec<SearchArena>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a thread-local [`SearchArena`], creating one on first use
+/// and returning it to the pool afterwards. Reentrant: a nested call on the
+/// same thread gets a different arena. If `f` panics the borrowed arena is
+/// dropped (not poisoned, not leaked).
+pub fn with_arena<R>(f: impl FnOnce(&mut SearchArena) -> R) -> R {
+    let mut arena = ARENA_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut arena);
+    ARENA_POOL.with(|pool| pool.borrow_mut().push(arena));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 2, 4);
+        b.build()
+    }
+
+    #[test]
+    fn epoch_reset_invalidates_previous_search() {
+        let mut a = SearchArena::new();
+        a.begin(5);
+        a.set_dist(3, 42);
+        a.set_mark(2, 7);
+        assert_eq!(a.dist(3), 42);
+        assert_eq!(a.mark(2), 7);
+        a.begin(5);
+        assert_eq!(a.dist(3), INF, "stale distance must not survive reset");
+        assert_eq!(a.mark(2), 0, "stale mark must not survive reset");
+    }
+
+    #[test]
+    fn mark_and_dist_stamp_independently() {
+        let mut a = SearchArena::new();
+        a.begin(4);
+        a.set_mark(1, 9);
+        assert_eq!(a.dist(1), INF, "marking must not invent a distance");
+        a.set_dist(2, 5);
+        assert_eq!(a.mark(2), 0, "setting a distance must not invent a mark");
+    }
+
+    #[test]
+    fn grows_across_graphs_of_different_sizes() {
+        let mut a = SearchArena::new();
+        let small = sample();
+        let mut out = vec![0; 5];
+        a.begin(small.num_nodes());
+        a.fill_row(&small, 0, &mut out);
+        assert_eq!(out, vec![0, 5, 4, 5, INF]);
+        // A larger graph after a smaller one: arrays grow, stamps stay
+        // coherent.
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i, i + 1, 2);
+        }
+        let big = b.build();
+        let mut out = vec![0; 8];
+        a.begin(big.num_nodes());
+        a.fill_row(&big, 0, &mut out);
+        assert_eq!(out, (0..8).map(|i| 2 * i as Dist).collect::<Vec<_>>());
+        // And back to the small one.
+        let mut out = vec![0; 5];
+        a.begin(small.num_nodes());
+        a.fill_row(&small, 1, &mut out);
+        assert_eq!(out, vec![5, 0, 1, 2, INF]);
+    }
+
+    #[test]
+    fn epoch_wraparound_hard_resets_stamps() {
+        let mut a = SearchArena::new();
+        a.begin(3);
+        a.set_dist(0, 1);
+        // Force the wrap: the next begin() sees epoch 0 and must hard-zero.
+        a.epoch = u32::MAX;
+        a.set_dist(1, 2); // stamped with u32::MAX
+        a.begin(3);
+        assert_eq!(a.epoch, 1);
+        assert_eq!(a.dist(0), INF);
+        assert_eq!(a.dist(1), INF, "wrapped stamp must not read as live");
+    }
+
+    #[test]
+    fn pool_is_reentrant() {
+        with_arena(|outer| {
+            outer.begin(4);
+            outer.set_dist(0, 7);
+            with_arena(|inner| {
+                inner.begin(4);
+                assert_eq!(inner.dist(0), INF, "nested borrow is a distinct arena");
+                inner.set_dist(0, 9);
+            });
+            assert_eq!(outer.dist(0), 7, "inner arena did not alias the outer");
+        });
+    }
+
+    #[test]
+    fn fill_row_matches_classic_on_sample() {
+        let g = sample();
+        with_arena(|a| {
+            let mut out = vec![0; g.num_nodes()];
+            for s in 0..g.num_nodes() as NodeId {
+                a.begin(g.num_nodes());
+                a.fill_row(&g, s, &mut out);
+                assert_eq!(out, crate::classic::dijkstra_all_ref(&g, s), "source {s}");
+            }
+        });
+    }
+}

@@ -1,0 +1,313 @@
+//! Pluggable distance backends behind the [`DistanceOracle`] seam.
+//!
+//! Every solver reaches the graph through oracle *rows* (one-to-all
+//! distance vectors), so the row fill is the single point where the inner
+//! search can be swapped wholesale. A [`DistanceBackend`] computes rows;
+//! the oracle owns one, selected per graph via
+//! [`DistanceOracle::with_backend`], and reports per-backend fill activity
+//! through the obs metrics registry
+//! (`mcfs_oracle_rows_filled_total{backend=...}`,
+//! `mcfs_oracle_row_fill_ns_total{backend=...}`).
+//!
+//! The correctness contract is absolute: **a backend may only change wall
+//! time, never a solution.** One-to-all distances are unique per node, so
+//! any correct implementation produces byte-identical rows; the
+//! backend-equivalence harness (`tests/backend_differential.rs`) enforces
+//! it end-to-end by running all six solvers and the ReSolver warm-start
+//! path under every backend and demanding identical assignments and costs.
+//!
+//! Three implementations ship:
+//!
+//! * [`ClassicBackend`] — the seed-era `BinaryHeap` search
+//!   ([`crate::classic`]), kept as the reference;
+//! * [`BucketHeapBackend`] — the zero-allocation arena'd radix-heap fill
+//!   ([`SearchArena::fill_row`](crate::arena::SearchArena::fill_row));
+//! * [`AltPlusBackend`] — the same arena fill for rows (distances are
+//!   distances), plus a lazily built [`AltPlusIndex`] whose
+//!   coverage-scored landmarks accelerate *point-to-point* probes
+//!   ([`DistanceBackend::point_to_point`]) without paying for a full row.
+//!
+//! [`DistanceOracle`]: crate::DistanceOracle
+//! [`DistanceOracle::with_backend`]: crate::DistanceOracle::with_backend
+
+use std::sync::{Arc, OnceLock};
+
+use crate::alt::AltPlusIndex;
+use crate::arena::with_arena;
+use crate::{classic, Dist, Graph, NodeId};
+
+/// A strategy for computing one-to-all distance rows (and, optionally,
+/// accelerated point-to-point distances).
+///
+/// Implementations must be deterministic pure functions of the graph:
+/// identical inputs produce identical rows, regardless of call history,
+/// thread, or interleaving.
+pub trait DistanceBackend: Send + Sync + std::fmt::Debug {
+    /// Stable human-readable name, used as the `backend` metrics label.
+    fn name(&self) -> &'static str;
+
+    /// Fill `out` with the one-to-all distance row from `source`
+    /// (unreachable nodes hold [`INF`]). `out` arrives with arbitrary
+    /// length/contents and must leave with exactly `g.num_nodes()` entries.
+    fn fill_row(&self, g: &Graph, source: NodeId, out: &mut Vec<Dist>);
+
+    /// Optional accelerated point-to-point distance. `None` means the
+    /// backend has no fast path (caller falls back to a row); `Some(d)` is
+    /// the exact answer, with `d == None` for unreachable pairs.
+    fn point_to_point(&self, _g: &Graph, _s: NodeId, _t: NodeId) -> Option<Option<Dist>> {
+        None
+    }
+}
+
+/// The selectable backends, by name. The enum (not trait objects) is what
+/// config files, wire verbs and CLI flags traffic in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Seed-era `BinaryHeap` Dijkstra — the reference implementation.
+    Classic,
+    /// Zero-allocation arena'd radix-heap fill (the default).
+    #[default]
+    BucketHeap,
+    /// Bucket-heap rows plus coverage-scored ALT landmarks for
+    /// point-to-point probes.
+    AltPlus,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in reference-first order — the iteration
+    /// order of the equivalence harness.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Classic,
+        BackendKind::BucketHeap,
+        BackendKind::AltPlus,
+    ];
+
+    /// The stable name (`classic` / `bucket-heap` / `alt-plus`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Classic => "classic",
+            BackendKind::BucketHeap => "bucket-heap",
+            BackendKind::AltPlus => "alt-plus",
+        }
+    }
+
+    /// Construct a fresh backend instance of this kind.
+    pub fn instantiate(self) -> Arc<dyn DistanceBackend> {
+        match self {
+            BackendKind::Classic => Arc::new(ClassicBackend),
+            BackendKind::BucketHeap => Arc::new(BucketHeapBackend),
+            BackendKind::AltPlus => Arc::new(AltPlusBackend::new(DEFAULT_ALT_LANDMARKS)),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "classic" => Ok(BackendKind::Classic),
+            "bucket-heap" | "bucketheap" | "bucket_heap" => Ok(BackendKind::BucketHeap),
+            "alt-plus" | "altplus" | "alt_plus" => Ok(BackendKind::AltPlus),
+            other => Err(format!(
+                "unknown distance backend {other:?} (expected classic, bucket-heap or alt-plus)"
+            )),
+        }
+    }
+}
+
+/// Landmark count [`BackendKind::AltPlus`] instantiates with: enough for
+/// useful bounds on city-scale graphs, cheap enough to build lazily.
+pub const DEFAULT_ALT_LANDMARKS: usize = 8;
+
+/// The seed-era `BinaryHeap` Dijkstra, preserved in [`crate::classic`].
+/// Allocates per call, exactly as the original did; exists so the fast
+/// backends always have a fixed point to be measured and verified against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassicBackend;
+
+impl DistanceBackend for ClassicBackend {
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn fill_row(&self, g: &Graph, source: NodeId, out: &mut Vec<Dist>) {
+        *out = classic::dijkstra_all_ref(g, source);
+    }
+}
+
+/// Zero-allocation row fill: per-thread [`SearchArena`] storage, monotone
+/// radix heap, raw CSR slice relaxation. After a thread's arena is warm, a
+/// fill performs no heap allocation (pinned by
+/// `crates/graph/tests/zero_alloc.rs`).
+///
+/// [`SearchArena`]: crate::arena::SearchArena
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BucketHeapBackend;
+
+impl DistanceBackend for BucketHeapBackend {
+    fn name(&self) -> &'static str {
+        "bucket-heap"
+    }
+
+    fn fill_row(&self, g: &Graph, source: NodeId, out: &mut Vec<Dist>) {
+        with_arena(|a| {
+            a.begin(g.num_nodes());
+            a.fill_row(g, source, out);
+        });
+    }
+}
+
+/// Bucket-heap rows plus an [`AltPlusIndex`] (farthest-point pool +
+/// coverage-scored landmark selection) built lazily on the first
+/// point-to-point probe. Rows are byte-identical to every other backend;
+/// only `point_to_point` wall time differs.
+#[derive(Debug)]
+pub struct AltPlusBackend {
+    landmarks: usize,
+    index: OnceLock<AltPlusIndex>,
+    /// `(num_nodes, num_arcs)` of the graph the index was built on; the
+    /// oracle's own fingerprint guard makes a mismatch unreachable in
+    /// practice, this one keeps the backend safe standalone too.
+    built_on: OnceLock<(usize, usize)>,
+}
+
+impl AltPlusBackend {
+    /// Backend that will select up to `landmarks` landmarks on first use.
+    pub fn new(landmarks: usize) -> Self {
+        Self {
+            landmarks: landmarks.max(1),
+            index: OnceLock::new(),
+            built_on: OnceLock::new(),
+        }
+    }
+
+    /// The landmark index, building it (landmark selection + one Dijkstra
+    /// sweep per pool candidate) on first call.
+    pub fn index_for(&self, g: &Graph) -> &AltPlusIndex {
+        let idx = self.index.get_or_init(|| {
+            self.built_on
+                .set((g.num_nodes(), g.num_arcs()))
+                .expect("index initialized exactly once");
+            AltPlusIndex::build(g, self.landmarks, 0)
+        });
+        assert_eq!(
+            *self.built_on.get().expect("set during init"),
+            (g.num_nodes(), g.num_arcs()),
+            "AltPlusBackend used with a different graph than it was built on"
+        );
+        idx
+    }
+}
+
+impl DistanceBackend for AltPlusBackend {
+    fn name(&self) -> &'static str {
+        "alt-plus"
+    }
+
+    fn fill_row(&self, g: &Graph, source: NodeId, out: &mut Vec<Dist>) {
+        // Landmarks cannot speed up a full one-to-all row (every node's
+        // distance is part of the answer); reuse the zero-alloc fill so
+        // rows stay byte-identical across backends by construction.
+        BucketHeapBackend.fill_row(g, source, out);
+    }
+
+    fn point_to_point(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<Option<Dist>> {
+        Some(self.index_for(g).distance(g, s, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 2, 4);
+        b.build()
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.instantiate().name(), kind.name());
+        }
+        assert!("chonky-heap".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::BucketHeap);
+    }
+
+    #[test]
+    fn every_backend_fills_identical_rows_on_sample() {
+        let g = sample();
+        for kind in BackendKind::ALL {
+            let backend = kind.instantiate();
+            for s in 0..g.num_nodes() as NodeId {
+                let mut out = Vec::new();
+                backend.fill_row(&g, s, &mut out);
+                assert_eq!(out, classic::dijkstra_all_ref(&g, s), "{kind} from {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn altplus_point_to_point_is_exact() {
+        let g = sample();
+        let b = AltPlusBackend::new(3);
+        assert_eq!(b.point_to_point(&g, 0, 3), Some(Some(5)));
+        assert_eq!(b.point_to_point(&g, 0, 4), Some(None), "unreachable");
+        assert_eq!(b.point_to_point(&g, 4, 4), Some(Some(0)));
+        // Classic and bucket-heap have no fast path.
+        assert_eq!(ClassicBackend.point_to_point(&g, 0, 3), None);
+        assert_eq!(BucketHeapBackend.point_to_point(&g, 0, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn altplus_cross_graph_use_panics() {
+        let b = AltPlusBackend::new(2);
+        let g1 = sample();
+        b.index_for(&g1);
+        let g2 = GraphBuilder::new(3).build();
+        b.index_for(&g2);
+    }
+
+    proptest! {
+        /// Row equivalence across backends on random graphs, including
+        /// disconnected ones and zero-weight edge inputs (bumped to 1 by
+        /// the builder).
+        #[test]
+        fn backends_agree_on_random_graphs(
+            n in 2usize..24,
+            edges in proptest::collection::vec((0u32..24, 0u32..24, 0u64..40), 0..50),
+            source in 0u32..24,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let source = source % n as u32;
+            let want = classic::dijkstra_all_ref(&g, source);
+            for kind in BackendKind::ALL {
+                let mut out = vec![42; 3]; // wrong-length garbage on entry
+                kind.instantiate().fill_row(&g, source, &mut out);
+                prop_assert_eq!(&out, &want, "{} from {}", kind, source);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The `BinaryHeap`-based reference searches — the **Classic** distance
+//! backend.
+//!
+//! These are the original (pre-arena) implementations, preserved verbatim
+//! as the behavioural reference the fast substrate is pinned against:
+//!
+//! * [`ClassicBackend`](crate::backend::ClassicBackend) fills oracle rows
+//!   with [`dijkstra_all_ref`], so the backend-equivalence harness
+//!   (`tests/backend_differential.rs`) can run every solver on the exact
+//!   seed-era search and demand byte-identical solutions from the
+//!   bucket-heap and ALT+ backends;
+//! * the in-crate property tests compare every rewritten search in
+//!   [`crate::dijkstra`] / [`crate::paths`] / [`crate::lazy`] against its
+//!   `_ref` twin here.
+//!
+//! Nothing in this module is performance-relevant; do not "optimize" it —
+//! its value is that it never changes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rustc_hash::FxHashSet;
+
+use crate::{Dist, Graph, NodeId, INF};
+
+/// Reference one-to-all Dijkstra (`BinaryHeap`, fresh allocations).
+/// Identical output contract to [`crate::dijkstra_all`].
+pub fn dijkstra_all_ref(g: &Graph, source: NodeId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Reference radius-bounded Dijkstra (hash-map tentative distances).
+/// Identical output contract to [`crate::dijkstra_bounded`].
+pub fn dijkstra_bounded_ref(g: &Graph, source: NodeId, radius: Dist) -> Vec<(NodeId, Dist)> {
+    let mut dist = rustc_hash::FxHashMap::default();
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::new();
+    dist.insert(source, 0 as Dist);
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > *dist.get(&v).unwrap_or(&INF) {
+            continue;
+        }
+        out.push((v, d));
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd <= radius && nd < *dist.get(&u).unwrap_or(&INF) {
+                dist.insert(u, nd);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    out
+}
+
+/// Reference target-bounded Dijkstra. Identical output contract to
+/// [`crate::dijkstra_to_targets`].
+pub fn dijkstra_to_targets_ref(g: &Graph, source: NodeId, targets: &[NodeId]) -> Vec<Dist> {
+    let want: FxHashSet<NodeId> = targets.iter().copied().collect();
+    let mut remaining = want.len();
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        if want.contains(&v) {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    targets.iter().map(|&t| dist[t as usize]).collect()
+}
+
+/// Reference multi-source Dijkstra. Identical output contract to
+/// [`crate::multi_source_dijkstra`] — including ownership tie-breaking,
+/// which follows the `(dist, node)` settle order.
+pub fn multi_source_dijkstra_ref(g: &Graph, sources: &[NodeId]) -> (Vec<Dist>, Vec<usize>) {
+    let mut dist = vec![INF; g.num_nodes()];
+    let mut owner = vec![usize::MAX; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        // If the same node appears twice the first occurrence wins.
+        if dist[s as usize] == INF {
+            dist[s as usize] = 0;
+            owner[s as usize] = i;
+            heap.push(Reverse((0 as Dist, s)));
+        }
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                owner[u as usize] = owner[v as usize];
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, owner)
+}
+
+/// Reference Dijkstra with predecessor tracking. Identical output contract
+/// to [`crate::dijkstra_with_parents`] — parents follow the `(dist, node)`
+/// settle order, so routes are reproduced exactly.
+pub fn dijkstra_with_parents_ref(g: &Graph, source: NodeId) -> (Vec<Dist>, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                parent[u as usize] = v;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, parent)
+}

@@ -40,6 +40,8 @@ pub struct Graph {
     offsets: Vec<u32>,
     targets: Vec<NodeId>,
     weights: Vec<Dist>,
+    /// Largest arc weight, fixed at build time (0 for an arc-free graph).
+    max_weight: Dist,
     /// Optional planar coordinates, used by generators, the Hilbert baseline
     /// and geometry-aware heuristics. Algorithms never *require* them.
     coords: Option<Vec<Point>>,
@@ -73,6 +75,55 @@ impl Graph {
             .iter()
             .copied()
             .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Out-neighbors of `v` as raw parallel slices `(targets, weights)` —
+    /// the SIMD-friendly form the hot search loops consume. The two slices
+    /// always have equal length; iterating them by index compiles to two
+    /// contiguous streaming loads with no iterator adapter in the way,
+    /// which is what lets the arena'd searches keep the relaxation loop
+    /// branch-light.
+    #[inline]
+    pub fn arcs(&self, v: NodeId) -> (&[NodeId], &[Dist]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// [`arcs`](Self::arcs) without bounds checks, for proven-hot inner
+    /// loops (the arena row fill).
+    ///
+    /// # Safety
+    /// `v` must be a valid node id (`v < num_nodes()`). The CSR invariant
+    /// `offsets[v] <= offsets[v + 1] <= targets.len()` is established by
+    /// [`GraphBuilder::build`] and never mutated afterwards.
+    #[inline]
+    pub unsafe fn arcs_unchecked(&self, v: NodeId) -> (&[NodeId], &[Dist]) {
+        // SAFETY: caller guarantees v < num_nodes, so both offset reads are
+        // in range and the (lo, hi) pair brackets a valid sub-slice.
+        unsafe {
+            let lo = *self.offsets.get_unchecked(v as usize) as usize;
+            let hi = *self.offsets.get_unchecked(v as usize + 1) as usize;
+            (
+                self.targets.get_unchecked(lo..hi),
+                self.weights.get_unchecked(lo..hi),
+            )
+        }
+    }
+
+    /// The raw CSR offset array (`num_nodes + 1` entries). Exposed for
+    /// backends that want to scan the whole adjacency structure linearly.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Maximum arc weight in the graph (0 for an arc-free graph) — lets
+    /// distance backends pick bucket widths. Computed once at build time,
+    /// so hot paths can consult it per search.
+    #[inline]
+    pub fn max_weight(&self) -> Dist {
+        self.max_weight
     }
 
     /// Out-degree of `v`.
@@ -211,10 +262,12 @@ impl GraphBuilder {
             weights[slot] = w;
             cursor[u as usize] += 1;
         }
+        let max_weight = weights.iter().copied().max().unwrap_or(0);
         Graph {
             offsets,
             targets,
             weights,
+            max_weight,
             coords: self.coords,
         }
     }
@@ -242,6 +295,25 @@ mod tests {
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_arcs(), 8);
         assert_eq!(g.num_edges_undirected(), 4);
+    }
+
+    #[test]
+    fn arcs_slices_mirror_neighbors() {
+        let g = diamond();
+        for v in g.nodes() {
+            let (targets, weights) = g.arcs(v);
+            assert_eq!(targets.len(), weights.len());
+            let via_slices: Vec<_> = targets
+                .iter()
+                .copied()
+                .zip(weights.iter().copied())
+                .collect();
+            let via_iter: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(via_slices, via_iter);
+        }
+        assert_eq!(g.offsets().len(), g.num_nodes() + 1);
+        assert_eq!(g.max_weight(), 7);
+        assert_eq!(GraphBuilder::new(3).build().max_weight(), 0);
     }
 
     #[test]

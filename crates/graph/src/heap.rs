@@ -1,0 +1,564 @@
+//! Flat priority queues for the zero-allocation search substrate.
+//!
+//! Two structures replace `std::collections::BinaryHeap` in the hot
+//! searches, each matched to the contract its call site needs:
+//!
+//! * [`RadixHeap`] — a *monotone* bucket queue over `u64` keys (Denardo &
+//!   Fox / Ahuja-Mehlhorn-Orlin radix heap). Dijkstra pops keys in
+//!   nondecreasing order and only ever pushes keys ≥ the last pop, which is
+//!   exactly the monotonicity a radix heap exploits: push is O(1), pop is
+//!   amortized O(64), and no comparisons happen at all on the push path.
+//!   Order among *equal* keys is unspecified, so it serves searches whose
+//!   output is order-insensitive — one-to-all row fills, where only the
+//!   final distance array escapes.
+//! * [`FlatHeap`] — a flat 4-ary min-heap over any `T: Ord + Copy`. Every
+//!   pop returns a true minimum under `T`'s total order, so its pop
+//!   *sequence* is byte-identical to `BinaryHeap<Reverse<T>>` whenever the
+//!   keys form a total order (e.g. `(dist, node)` pairs): it is the
+//!   drop-in replacement for the order-sensitive searches (lazy streams,
+//!   Voronoi ownership, parent trees) that must not change solutions.
+//!   The wider fan-out halves tree depth versus a binary heap and keeps
+//!   siblings in one cache line.
+//!
+//! Both queues keep their backing storage across [`clear`](RadixHeap::clear)
+//! so a warmed-up search loop performs no heap allocation; the per-thread
+//! [`crate::arena::SearchArena`] owns one of each.
+
+use crate::{Dist, NodeId};
+
+/// Number of radix buckets: one per possible position of the highest bit in
+/// which a key differs from the last popped minimum, plus bucket 0 for
+/// "equal to the minimum".
+const RADIX_BUCKETS: usize = 65;
+
+/// Monotone bucket/radix priority queue over `(key: u64, value: u32)` pairs.
+///
+/// Invariant: every key pushed is ≥ the key of the last [`pop`](Self::pop)
+/// (checked in debug builds). Violating it in release silently corrupts the
+/// pop order — Dijkstra with non-negative weights and A* with a consistent
+/// heuristic both satisfy it by construction.
+#[derive(Clone, Debug)]
+pub struct RadixHeap {
+    /// `buckets[i]` holds items whose key differs from `last` first at bit
+    /// `i - 1` (bucket 0: key == last).
+    buckets: Vec<Vec<(Dist, NodeId)>>,
+    /// The lower bound all live keys respect: key of the last pop.
+    last: Dist,
+    len: usize,
+}
+
+impl Default for RadixHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixHeap {
+    /// Empty heap with lower bound 0.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..RADIX_BUCKETS).map(|_| Vec::new()).collect(),
+            last: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of items (stale duplicates included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The monotone lower bound: the key of the last pop (0 initially).
+    #[inline]
+    pub fn last_key(&self) -> Dist {
+        self.last
+    }
+
+    /// Remove all items and reset the lower bound to 0, keeping every
+    /// bucket's capacity — the epoch-reset entry point for arena reuse.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.last = 0;
+        self.len = 0;
+    }
+
+    /// Bucket index for `key` against lower bound `last`: 0 when equal,
+    /// otherwise 1 + the position of the highest differing bit.
+    #[inline]
+    fn bucket_of(key: Dist, last: Dist) -> usize {
+        (Dist::BITS - (key ^ last).leading_zeros()) as usize
+    }
+
+    /// Insert `(key, value)`. `key` must be ≥ [`last_key`](Self::last_key).
+    #[inline]
+    pub fn push(&mut self, key: Dist, value: NodeId) {
+        debug_assert!(
+            key >= self.last,
+            "radix heap requires monotone pushes: {key} < {}",
+            self.last
+        );
+        self.buckets[Self::bucket_of(key, self.last)].push((key, value));
+        self.len += 1;
+    }
+
+    /// Remove and return an item with the minimum key, or `None` when
+    /// empty. Order among equal keys is unspecified.
+    pub fn pop(&mut self) -> Option<(Dist, NodeId)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets[0].is_empty() {
+            // Find the first non-empty bucket, adopt its minimum key as the
+            // new lower bound and redistribute: every item lands in a
+            // strictly lower bucket (the minimum itself in bucket 0), which
+            // is what makes the total redistribution work O(64) amortized
+            // per item.
+            let i = self
+                .buckets
+                .iter()
+                .position(|b| !b.is_empty())
+                .expect("len > 0 implies a non-empty bucket");
+            let min = self.buckets[i]
+                .iter()
+                .map(|&(k, _)| k)
+                .min()
+                .expect("bucket is non-empty");
+            self.last = min;
+            // Take the bucket, scatter, put the (now empty) Vec back so its
+            // capacity is never dropped.
+            let mut moved = std::mem::take(&mut self.buckets[i]);
+            for (k, v) in moved.drain(..) {
+                self.buckets[Self::bucket_of(k, min)].push((k, v));
+            }
+            self.buckets[i] = moved;
+        }
+        self.len -= 1;
+        self.buckets[0].pop()
+    }
+}
+
+/// Dial's bucket queue for graphs with bounded edge weights.
+///
+/// When the maximum arc weight is `C`, every live key in a Dijkstra run
+/// lies in `[cur, cur + C]` where `cur` is the last popped key, so `C + 1`
+/// circular buckets indexed by `key mod (C + 1)` are collision-free. Push
+/// is one indexed `Vec::push`; pop advances a monotone cursor, whose
+/// *total* advance over a whole search is the graph's max settled distance
+/// — effectively O(1) per operation, with no comparisons anywhere. This is
+/// the fastest queue the bucket-heap backend has; it is used whenever the
+/// graph's [`max_weight`](crate::Graph::max_weight) keeps the bucket count
+/// reasonable, with [`RadixHeap`] as the general-weight fallback.
+///
+/// Order among equal keys is unspecified (LIFO per bucket), so like
+/// [`RadixHeap`] it serves order-insensitive searches only.
+#[derive(Clone, Debug, Default)]
+pub struct DialHeap {
+    /// `buckets[(key - cur) rotated from cur_idx]` holds the nodes queued
+    /// at `key` — circular indexing is done with add/wrap arithmetic, never
+    /// an integer division, because a `u64` modulo on every push and cursor
+    /// step is the single most expensive instruction in an otherwise
+    /// comparison-free queue.
+    buckets: Vec<Vec<NodeId>>,
+    /// The monotone cursor: key of the last pop (0 initially). All live
+    /// keys are in `[cur, cur + buckets.len() - 1]`.
+    cur: Dist,
+    /// Bucket index the cursor currently points at (`cur`'s bucket).
+    cur_idx: usize,
+    len: usize,
+}
+
+impl DialHeap {
+    /// Empty queue with no buckets; call [`reset`](Self::reset) before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empty the queue, rewind the cursor to 0 and make sure at least
+    /// `span` buckets exist (`span = max_weight + 1`). Existing buckets
+    /// keep their capacity, so a warm reset on a previously seen span
+    /// allocates nothing.
+    pub fn reset(&mut self, span: usize) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < span {
+            self.buckets.resize_with(span, Vec::new);
+        }
+        self.cur = 0;
+        self.cur_idx = 0;
+        self.len = 0;
+    }
+
+    /// Insert `(key, value)`. `key` must be ≥ the last popped key and
+    /// within the bucket span of it (both hold for Dijkstra pushes when
+    /// the span covers the maximum arc weight; checked in debug builds).
+    #[inline]
+    pub fn push(&mut self, key: Dist, value: NodeId) {
+        debug_assert!(
+            key >= self.cur && key - self.cur < self.buckets.len() as Dist,
+            "Dial push out of window: key {key}, cur {}, span {}",
+            self.cur,
+            self.buckets.len()
+        );
+        let mut idx = self.cur_idx + (key - self.cur) as usize;
+        if idx >= self.buckets.len() {
+            idx -= self.buckets.len();
+        }
+        self.buckets[idx].push(value);
+        self.len += 1;
+    }
+
+    /// Remove and return an item with the minimum key, or `None` when
+    /// empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Dist, NodeId)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(v) = self.buckets[self.cur_idx].pop() {
+                self.len -= 1;
+                return Some((self.cur, v));
+            }
+            self.cur += 1;
+            self.cur_idx += 1;
+            if self.cur_idx == self.buckets.len() {
+                self.cur_idx = 0;
+            }
+        }
+    }
+}
+
+/// Arity of [`FlatHeap`]: 4 children per node keeps the tree shallow and
+/// sibling scans within one cache line for 16-byte items.
+const FLAT_ARITY: usize = 4;
+
+/// Flat 4-ary min-heap over a totally ordered `Copy` element type.
+///
+/// Functionally identical to `BinaryHeap<Reverse<T>>`: every pop returns a
+/// minimum element. When `T`'s order is total (no two distinct elements
+/// compare equal — true for `(dist, node)` keys), the pop sequence is
+/// identical to the `BinaryHeap`'s, so swapping one for the other can never
+/// change a solver's tie-breaking.
+#[derive(Clone, Debug, Default)]
+pub struct FlatHeap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Ord + Copy> FlatHeap<T> {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remove all items, keeping the backing capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Insert an item.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        self.data.push(item);
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// A minimum item without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.data.first()
+    }
+
+    /// Remove and return a minimum item.
+    pub fn pop(&mut self) -> Option<T> {
+        let len = self.data.len();
+        if len == 0 {
+            return None;
+        }
+        self.data.swap(0, len - 1);
+        let min = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        min
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / FLAT_ARITY;
+            if self.data[i] < self.data[parent] {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.data.len();
+        loop {
+            let first_child = i * FLAT_ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + FLAT_ARITY).min(len);
+            let mut best = first_child;
+            for c in first_child + 1..last_child {
+                if self.data[c] < self.data[best] {
+                    best = c;
+                }
+            }
+            if self.data[best] < self.data[i] {
+                self.data.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn radix_basic_order() {
+        let mut h = RadixHeap::new();
+        for (k, v) in [(5, 1), (0, 0), (3, 2), (5, 3), (7, 4)] {
+            h.push(k, v);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = h.pop() {
+            // Monotone pushes relative to the running minimum stay legal.
+            if k < 6 {
+                // no-op push exercising the equal-key bucket
+                h.push(k, 99);
+                assert_eq!(h.pop().map(|(kk, _)| kk), Some(k));
+            }
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![0, 3, 5, 5, 7]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn radix_clear_resets_lower_bound() {
+        let mut h = RadixHeap::new();
+        h.push(10, 1);
+        assert_eq!(h.pop(), Some((10, 1)));
+        assert_eq!(h.last_key(), 10);
+        h.clear();
+        assert_eq!(h.last_key(), 0);
+        h.push(0, 2); // would violate monotonicity without the reset
+        assert_eq!(h.pop(), Some((0, 2)));
+    }
+
+    #[test]
+    fn radix_huge_keys() {
+        let mut h = RadixHeap::new();
+        h.push(u64::MAX - 1, 1);
+        h.push(1, 2);
+        h.push(u64::MAX, 3);
+        assert_eq!(h.pop(), Some((1, 2)));
+        assert_eq!(h.pop(), Some((u64::MAX - 1, 1)));
+        assert_eq!(h.pop(), Some((u64::MAX, 3)));
+        assert_eq!(h.pop(), None);
+    }
+
+    // Model-based property: against a `BinaryHeap` model, an arbitrary
+    // interleaving of monotone pushes and pops yields the same key
+    // sequence, including duplicate keys and reuse after `clear()`.
+    //
+    // Ops encoding: `(op % 3 != 0)` → push with key `last + delta`
+    // (deltas of 0 exercise equal-key buckets), else pop.
+    proptest! {
+        #[test]
+        fn radix_matches_binary_heap_model(
+            rounds in proptest::collection::vec(
+                proptest::collection::vec((0u8..3, 0u64..1000), 0..120),
+                1..4,
+            ),
+        ) {
+            let mut h = RadixHeap::new();
+            // Each round reuses the same heap after an epoch-style clear.
+            for ops in rounds {
+                h.clear();
+                let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+                let mut value = 0u32;
+                for (op, delta) in ops {
+                    if op != 0 {
+                        // Push any key ≥ the current lower bound; keys are
+                        // allowed to collide (duplicates) and to repeat the
+                        // lower bound itself (monotone-decrease to zero
+                        // slack).
+                        let key = h.last_key().saturating_add(delta);
+                        h.push(key, value);
+                        model.push(Reverse(key));
+                        value += 1;
+                    } else {
+                        let got = h.pop().map(|(k, _)| k);
+                        let want = model.pop().map(|Reverse(k)| k);
+                        prop_assert_eq!(got, want);
+                    }
+                    prop_assert_eq!(h.len(), model.len());
+                }
+                // Drain: the tails agree too.
+                while let Some(Reverse(want)) = model.pop() {
+                    prop_assert_eq!(h.pop().map(|(k, _)| k), Some(want));
+                }
+                prop_assert!(h.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn dial_basics_and_warm_reset() {
+        let mut h = DialHeap::new();
+        h.reset(8); // span 8: keys within 7 of the cursor
+        assert!(h.is_empty());
+        h.push(3, 1);
+        h.push(0, 2);
+        h.push(3, 3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop(), Some((0, 2)));
+        h.push(7, 4); // cur is now 0; window reaches 7
+        let mut rest = vec![h.pop().unwrap(), h.pop().unwrap(), h.pop().unwrap()];
+        rest.sort_unstable();
+        assert_eq!(rest, vec![(3, 1), (3, 3), (7, 4)]);
+        assert_eq!(h.pop(), None);
+        // Warm reset on the same span rewinds the cursor.
+        h.reset(8);
+        h.push(0, 9);
+        assert_eq!(h.pop(), Some((0, 9)));
+        // Growing the span keeps it working.
+        h.reset(20);
+        h.push(19, 1);
+        h.push(2, 2);
+        assert_eq!(h.pop(), Some((2, 2)));
+        assert_eq!(h.pop(), Some((19, 1)));
+    }
+
+    // Dial vs a `BinaryHeap` model under Dijkstra-shaped traffic: pushes
+    // land within `span - 1` of the last pop (exactly what bounded edge
+    // weights guarantee), mixed with pops; key sequences must agree,
+    // including duplicate keys and reuse after a warm `reset`.
+    proptest! {
+        #[test]
+        fn dial_matches_binary_heap_model(
+            span in 1usize..70,
+            rounds in proptest::collection::vec(
+                proptest::collection::vec((0u8..3, 0u64..70), 0..120),
+                1..4,
+            ),
+        ) {
+            let mut h = DialHeap::new();
+            for ops in rounds {
+                h.reset(span);
+                let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+                let mut last_pop = 0u64;
+                let mut value = 0u32;
+                for (op, delta) in ops {
+                    if op != 0 {
+                        let key = last_pop + delta % span as u64;
+                        h.push(key, value);
+                        model.push(Reverse(key));
+                        value += 1;
+                    } else {
+                        let got = h.pop().map(|(k, _)| k);
+                        let want = model.pop().map(|Reverse(k)| k);
+                        prop_assert_eq!(got, want);
+                        if let Some(k) = got {
+                            last_pop = k;
+                        }
+                    }
+                    prop_assert_eq!(h.len(), model.len());
+                }
+                while let Some(Reverse(want)) = model.pop() {
+                    prop_assert_eq!(h.pop().map(|(k, _)| k), Some(want));
+                }
+                prop_assert!(h.is_empty());
+            }
+        }
+    }
+
+    // `FlatHeap` pops the exact same *sequence* as `BinaryHeap<Reverse<T>>`
+    // on totally ordered `(dist, node)` keys — the property that makes it a
+    // tie-breaking-preserving replacement in the order-sensitive searches.
+    proptest! {
+        #[test]
+        fn flat_heap_matches_binary_heap_sequence(
+            ops in proptest::collection::vec((0u8..3, 0u64..50, 0u32..20), 0..200),
+        ) {
+            let mut h: FlatHeap<(u64, u32)> = FlatHeap::new();
+            let mut model: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+            for (op, k, v) in ops {
+                if op != 0 {
+                    h.push((k, v));
+                    model.push(Reverse((k, v)));
+                } else {
+                    prop_assert_eq!(h.pop(), model.pop().map(|Reverse(x)| x));
+                }
+                prop_assert_eq!(h.peek().copied(), model.peek().map(|&Reverse(x)| x));
+            }
+            while let Some(Reverse(want)) = model.pop() {
+                prop_assert_eq!(h.pop(), Some(want));
+            }
+            prop_assert!(h.is_empty());
+        }
+    }
+
+    #[test]
+    fn flat_heap_clear_keeps_working() {
+        let mut h: FlatHeap<(u64, u32)> = FlatHeap::new();
+        for i in 0..100 {
+            h.push((100 - i, i as u32));
+        }
+        h.clear();
+        assert!(h.is_empty());
+        h.push((2, 0));
+        h.push((1, 1));
+        assert_eq!(h.pop(), Some((1, 1)));
+        assert_eq!(h.pop(), Some((2, 0)));
+        assert_eq!(h.pop(), None);
+    }
+}

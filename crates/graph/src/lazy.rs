@@ -10,11 +10,9 @@
 //! million-node network is only explored as far as the matching actually
 //! needs.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rustc_hash::FxHashMap;
 
+use crate::heap::FlatHeap;
 use crate::{Dist, Graph, NodeId, INF};
 
 /// A paused Dijkstra search from one source that yields settled nodes in
@@ -28,8 +26,11 @@ pub struct LazyDijkstra {
     source: NodeId,
     /// Tentative distances for touched nodes.
     dist: FxHashMap<NodeId, Dist>,
-    /// Frontier; may contain stale entries (lazy deletion).
-    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    /// Frontier; may contain stale entries (lazy deletion). A flat 4-ary
+    /// heap whose pop sequence is identical to the original `BinaryHeap`'s
+    /// (keys are totally ordered), so per-customer streams keep their exact
+    /// settle order — WMA tie-breaking is untouched.
+    heap: FlatHeap<(Dist, NodeId)>,
     /// Distance of the last settled node — settles are monotone.
     last_settled: Dist,
     /// Total settled so far.
@@ -39,8 +40,8 @@ pub struct LazyDijkstra {
 impl LazyDijkstra {
     /// Start a (paused) search from `source`.
     pub fn new(source: NodeId) -> Self {
-        let mut heap = BinaryHeap::new();
-        heap.push(Reverse((0, source)));
+        let mut heap = FlatHeap::new();
+        heap.push((0, source));
         let mut dist = FxHashMap::default();
         dist.insert(source, 0);
         Self {
@@ -75,7 +76,7 @@ impl LazyDijkstra {
     /// Settle and return the next-nearest unsettled node, or `None` when the
     /// reachable component is exhausted.
     pub fn next_settled(&mut self, g: &Graph) -> Option<(NodeId, Dist)> {
-        while let Some(Reverse((d, v))) = self.heap.pop() {
+        while let Some((d, v)) = self.heap.pop() {
             match self.dist.get(&v) {
                 Some(&best) if d > best => continue, // stale
                 _ => {}
@@ -85,12 +86,13 @@ impl LazyDijkstra {
             self.settled_count += 1;
             // Mark settled by pinning the final distance, then relax.
             self.dist.insert(v, d);
-            for (u, w) in g.neighbors(v) {
+            let (targets, weights) = g.arcs(v);
+            for (&u, &w) in targets.iter().zip(weights) {
                 let nd = d + w;
                 let e = self.dist.entry(u).or_insert(INF);
                 if nd < *e {
                     *e = nd;
-                    self.heap.push(Reverse((nd, u)));
+                    self.heap.push((nd, u));
                 }
             }
             return Some((v, d));
@@ -101,7 +103,7 @@ impl LazyDijkstra {
     /// Lower bound on the distance of the *next* settle without performing
     /// it; `None` when exhausted. (Peeks past stale heap entries.)
     pub fn peek_next_dist(&mut self) -> Option<Dist> {
-        while let Some(&Reverse((d, v))) = self.heap.peek() {
+        while let Some(&(d, v)) = self.heap.peek() {
             match self.dist.get(&v) {
                 Some(&best) if d > best => {
                     self.heap.pop();

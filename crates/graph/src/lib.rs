@@ -20,6 +20,10 @@
 //!   baseline (Section VII-A of the paper).
 //! * [`geometry`] — planar points and a grid-bucket nearest-neighbor index
 //!   used by generators and the Hilbert baseline's centroid snapping.
+//! * [`backend`] — pluggable [`DistanceBackend`]s for the oracle's row
+//!   fills: the preserved [`classic`] `BinaryHeap` reference, the
+//!   zero-allocation bucket-heap fill (per-thread [`SearchArena`]s over the
+//!   [`heap`] radix/flat heaps), and ALT+ with coverage-scored landmarks.
 //! * [`apsp`] — a brute-force all-pairs-shortest-paths oracle used only by
 //!   tests.
 //!
@@ -31,23 +35,30 @@
 
 pub mod alt;
 pub mod apsp;
+pub mod arena;
+pub mod backend;
+pub mod classic;
 pub mod components;
 pub mod csr;
 pub mod dijkstra;
 pub mod geometry;
+pub mod heap;
 pub mod hilbert;
 pub mod lazy;
 pub mod oracle;
 pub mod par;
 pub mod paths;
 
-pub use alt::AltIndex;
+pub use alt::{AltIndex, AltPlusIndex};
+pub use arena::{with_arena, SearchArena};
+pub use backend::{BackendKind, DistanceBackend};
 pub use components::{connected_components, ComponentInfo};
 pub use csr::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use dijkstra::{
     dijkstra_all, dijkstra_bounded, dijkstra_to_targets, multi_source_dijkstra, two_nearest_sources,
 };
 pub use geometry::{GridIndex, Point};
+pub use heap::{FlatHeap, RadixHeap};
 pub use hilbert::{hilbert_d2xy, hilbert_xy2d};
 pub use lazy::LazyDijkstra;
 pub use oracle::{DistanceOracle, OracleRunGuard, OracleStats};

@@ -4,10 +4,18 @@
 //! customer from everything?" — and the WMA pipeline asks it repeatedly:
 //! each demand-raising iteration, the refine pass, and every baseline
 //! re-derive distances from the same handful of customer nodes. The
-//! [`DistanceOracle`] memoizes those one-to-all rows ([`dijkstra_all`])
-//! behind a mutex-guarded bounded FIFO cache of `Arc<Vec<Dist>>`, so a row
-//! is computed once and then shared by reference across WMA iterations, the
-//! refine pass, and the baselines.
+//! [`DistanceOracle`] memoizes those one-to-all rows behind a mutex-guarded
+//! bounded FIFO cache of `Arc<Vec<Dist>>`, so a row is computed once and
+//! then shared by reference across WMA iterations, the refine pass, and the
+//! baselines.
+//!
+//! Rows are *computed* by a pluggable [`DistanceBackend`] selected per
+//! oracle (hence per graph) with [`DistanceOracle::with_backend`] — the
+//! zero-allocation bucket-heap fill by default, the preserved classic
+//! `BinaryHeap` search or ALT+ on request. Backends are verified to produce
+//! byte-identical rows, so the choice can change wall time but never a
+//! solution; per-backend fill activity is reported through the obs metrics
+//! registry (`mcfs_oracle_rows_filled_total{backend=...}`).
 //!
 //! The batched entry point [`DistanceOracle::distances_for_sources`] fans
 //! independent Dijkstra expansions across a scoped worker pool
@@ -27,10 +35,11 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use rustc_hash::FxHashMap;
 
-use crate::dijkstra::dijkstra_all;
+use crate::backend::{BackendKind, DistanceBackend};
 use crate::par::{available_threads, par_map_indexed};
 use crate::{Dist, Graph, NodeId, INF};
 
@@ -215,6 +224,12 @@ pub struct DistanceOracle {
     cache: Mutex<RowCache>,
     capacity: usize,
     threads: usize,
+    backend: Arc<dyn DistanceBackend>,
+    backend_kind: BackendKind,
+    /// Per-backend labeled obs counters, resolved once at selection time so
+    /// a row fill pays two relaxed adds, not a registry lookup.
+    backend_rows: mcfs_obs::Counter,
+    backend_fill_ns: mcfs_obs::Counter,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -225,6 +240,7 @@ impl std::fmt::Debug for DistanceOracle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats();
         f.debug_struct("DistanceOracle")
+            .field("backend", &self.backend_kind.name())
             .field("threads", &s.threads)
             .field("capacity", &s.capacity)
             .field("cached_rows", &s.cached_rows)
@@ -242,9 +258,11 @@ impl Default for DistanceOracle {
 }
 
 impl DistanceOracle {
-    /// Oracle with the default cache bound and one worker per available
-    /// hardware thread.
+    /// Oracle with the default cache bound, one worker per available
+    /// hardware thread and the default (bucket-heap) distance backend.
     pub fn new() -> Self {
+        let kind = BackendKind::default();
+        let (backend_rows, backend_fill_ns) = Self::backend_counters(kind);
         Self {
             cache: Mutex::new(RowCache {
                 rows: FxHashMap::default(),
@@ -253,11 +271,68 @@ impl DistanceOracle {
             }),
             capacity: DEFAULT_CACHE_ROWS,
             threads: available_threads(),
+            backend: kind.instantiate(),
+            backend_kind: kind,
+            backend_rows,
+            backend_fill_ns,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             nodes_settled: AtomicU64::new(0),
         }
+    }
+
+    fn backend_counters(kind: BackendKind) -> (mcfs_obs::Counter, mcfs_obs::Counter) {
+        let r = mcfs_obs::Registry::global();
+        let labels = &[("backend", kind.name())];
+        (
+            r.counter_with(
+                "mcfs_oracle_rows_filled_total",
+                "One-to-all distance rows computed, by distance backend",
+                labels,
+            ),
+            r.counter_with(
+                "mcfs_oracle_row_fill_ns_total",
+                "Nanoseconds spent filling distance rows, by distance backend",
+                labels,
+            ),
+        )
+    }
+
+    /// Select the [`DistanceBackend`] that computes this oracle's rows.
+    /// Purely a performance knob: every backend produces byte-identical
+    /// rows (enforced by the backend-equivalence harness), so solutions
+    /// never depend on the choice. Select before the first query; swapping
+    /// backends mid-flight is legal but mixes fill-time attribution.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        let (backend_rows, backend_fill_ns) = Self::backend_counters(kind);
+        self.backend = kind.instantiate();
+        self.backend_kind = kind;
+        self.backend_rows = backend_rows;
+        self.backend_fill_ns = backend_fill_ns;
+        self
+    }
+
+    /// The kind of backend computing this oracle's rows.
+    pub fn backend(&self) -> BackendKind {
+        self.backend_kind
+    }
+
+    /// The selected backend's stable name (`classic` / `bucket-heap` /
+    /// `alt-plus`) — also the `backend` label on the oracle's obs metrics.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Compute one row via the selected backend, recording per-backend
+    /// fill count and wall time in the obs registry.
+    fn compute_row(&self, g: &Graph, source: NodeId) -> Vec<Dist> {
+        let t0 = Instant::now();
+        let mut row = Vec::new();
+        self.backend.fill_row(g, source, &mut row);
+        self.backend_rows.inc();
+        self.backend_fill_ns.add(t0.elapsed().as_nanos() as u64);
+        row
     }
 
     /// Set the worker-thread count for batched queries. `0` means "auto"
@@ -379,7 +454,7 @@ impl DistanceOracle {
         // second insert is a no-op overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let _span = mcfs_obs::span("oracle.row");
-        let row = Arc::new(dijkstra_all(g, source));
+        let row = Arc::new(self.compute_row(g, source));
         let settled = settled_in(&row);
         self.nodes_settled.fetch_add(settled, Ordering::Relaxed);
         let obs = obs_counters();
@@ -428,7 +503,7 @@ impl DistanceOracle {
         // order below — hence FIFO eviction order — is scheduling-independent.
         let batch_span = mcfs_obs::span("oracle.batch");
         let computed = par_map_indexed(missing.len(), self.threads, |i| {
-            Arc::new(dijkstra_all(g, missing[i]))
+            Arc::new(self.compute_row(g, missing[i]))
         });
         drop(batch_span);
         let settled = computed.iter().map(|row| settled_in(row)).sum::<u64>();
@@ -468,6 +543,30 @@ impl DistanceOracle {
         (d != INF).then_some(d)
     }
 
+    /// Point-to-point distance that lets the backend skip the full row when
+    /// it can. A cached row always wins (free lookup); otherwise a backend
+    /// with a point-to-point fast path (ALT+) answers directly *without*
+    /// populating the row cache, and backends without one fall back to the
+    /// usual compute-and-cache row path. Same answer as
+    /// [`try_distance`](Self::try_distance) in every case.
+    pub fn point_to_point(&self, g: &Graph, source: NodeId, target: NodeId) -> Option<Dist> {
+        {
+            let mut cache = self.cache.lock().unwrap();
+            Self::check_graph(&mut cache, g);
+            if let Some(row) = cache.rows.get(&source) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs_counters().hits.inc();
+                note_run(1, 0, 0, 0);
+                let d = row[target as usize];
+                return (d != INF).then_some(d);
+            }
+        }
+        if let Some(answer) = self.backend.point_to_point(g, source, target) {
+            return answer;
+        }
+        self.try_distance(g, source, target)
+    }
+
     /// Distances from `source` to each of `targets`, in the order given.
     /// Row-backed equivalent of [`dijkstra_to_targets`](crate::dijkstra_to_targets):
     /// the first call from a source pays a full expansion instead of an
@@ -503,7 +602,7 @@ impl DistanceOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{dijkstra_to_targets, multi_source_dijkstra, GraphBuilder};
+    use crate::{dijkstra_all, dijkstra_to_targets, multi_source_dijkstra, GraphBuilder};
 
     /// Path 0 -5- 1 -1- 2 -1- 3, shortcut 0 -4- 2; node 4 isolated.
     fn sample() -> Graph {
@@ -670,6 +769,44 @@ mod tests {
         assert_eq!(o.try_distance(&g, 0, 4), None);
         assert_eq!(o.distance(&g, 0, 4), INF);
         assert_eq!(o.try_distance(&g, 4, 4), Some(0));
+    }
+
+    #[test]
+    fn backend_selection_changes_nothing_but_the_label() {
+        let g = sample();
+        let baseline = DistanceOracle::new().with_threads(1);
+        assert_eq!(baseline.backend(), BackendKind::BucketHeap, "default");
+        for kind in BackendKind::ALL {
+            let o = DistanceOracle::new().with_threads(2).with_backend(kind);
+            assert_eq!(o.backend(), kind);
+            assert_eq!(o.backend_name(), kind.name());
+            for s in 0..g.num_nodes() as NodeId {
+                assert_eq!(*o.row(&g, s), dijkstra_all(&g, s), "{kind} from {s}");
+            }
+            let (d, owner) = o.multi_source(&g, &[0, 3]);
+            let (d_base, owner_base) = baseline.multi_source(&g, &[0, 3]);
+            assert_eq!((d, owner), (d_base, owner_base), "{kind}");
+        }
+    }
+
+    #[test]
+    fn point_to_point_agrees_with_try_distance() {
+        let g = sample();
+        for kind in BackendKind::ALL {
+            let o = DistanceOracle::new().with_threads(1).with_backend(kind);
+            // Cold: ALT+ answers without caching a row, others fill one.
+            assert_eq!(o.point_to_point(&g, 0, 3), Some(5), "{kind}");
+            assert_eq!(o.point_to_point(&g, 0, 4), None, "{kind} unreachable");
+            if kind == BackendKind::AltPlus {
+                assert_eq!(o.stats().misses, 0, "fast path skips the row fill");
+            }
+            // Warm: the cached row wins for every backend.
+            o.row(&g, 0);
+            let hits_before = o.stats().hits;
+            assert_eq!(o.point_to_point(&g, 0, 3), Some(5), "{kind} warm");
+            assert_eq!(o.stats().hits, hits_before + 1, "{kind} served from cache");
+            assert_eq!(o.try_distance(&g, 0, 3), Some(5));
+        }
     }
 
     #[test]

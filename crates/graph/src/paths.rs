@@ -7,9 +7,7 @@
 //! batched form the assignment use-case wants: one facility, many assigned
 //! customers, one search.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::arena::with_arena;
 use crate::{Dist, Graph, NodeId, INF};
 
 /// Dijkstra from `source` with predecessor tracking.
@@ -17,27 +15,34 @@ use crate::{Dist, Graph, NodeId, INF};
 /// Returns `(dist, parent)` where `parent[v]` is the previous node on a
 /// shortest path from `source` to `v` (`u32::MAX` for the source itself and
 /// for unreachable nodes). Ties are broken by settle order, so routes are
-/// deterministic for a given graph.
+/// deterministic for a given graph — the arena's
+/// [`FlatHeap`](crate::heap::FlatHeap) reproduces the classic `BinaryHeap`
+/// settle order exactly (pinned against
+/// [`crate::classic::dijkstra_with_parents_ref`] below), so routes are also
+/// stable across the substrate rewrite.
 pub fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<Dist>, Vec<NodeId>) {
     let n = g.num_nodes();
     let mut dist = vec![INF; n];
     let mut parent = vec![u32::MAX; n];
-    let mut heap = BinaryHeap::new();
-    dist[source as usize] = 0;
-    heap.push(Reverse((0 as Dist, source)));
-    while let Some(Reverse((d, v))) = heap.pop() {
-        if d > dist[v as usize] {
-            continue;
-        }
-        for (u, w) in g.neighbors(v) {
-            let nd = d + w;
-            if nd < dist[u as usize] {
-                dist[u as usize] = nd;
-                parent[u as usize] = v;
-                heap.push(Reverse((nd, u)));
+    with_arena(|a| {
+        a.begin(n);
+        dist[source as usize] = 0;
+        a.flat.push((0, source));
+        while let Some((d, v)) = a.flat.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            let (targets, weights) = g.arcs(v);
+            for (&u, &w) in targets.iter().zip(weights) {
+                let nd = d + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    parent[u as usize] = v;
+                    a.flat.push((nd, u));
+                }
             }
         }
-    }
+    });
     (dist, parent)
 }
 
@@ -136,6 +141,30 @@ mod tests {
     }
 
     proptest! {
+        /// The arena'd search reproduces the classic `BinaryHeap` parents
+        /// byte-for-byte — same distances, same predecessor choices on
+        /// ties — so extracted routes are identical to the seed's.
+        #[test]
+        fn parents_match_classic_reference(
+            n in 2usize..20,
+            edges in proptest::collection::vec((0u32..20, 0u32..20, 1u64..30), 0..50),
+            s in 0u32..20,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            let s = s % n as u32;
+            let (dist, parent) = dijkstra_with_parents(&g, s);
+            let (dist_ref, parent_ref) = crate::classic::dijkstra_with_parents_ref(&g, s);
+            prop_assert_eq!(dist, dist_ref);
+            prop_assert_eq!(parent, parent_ref, "parent ties must be preserved");
+        }
+
         /// Routes are valid walks whose edge-weight sum equals the Dijkstra
         /// distance, on random graphs.
         #[test]

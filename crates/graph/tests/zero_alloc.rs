@@ -1,0 +1,123 @@
+//! Pins the "zero-allocation steady state" acceptance criterion for the
+//! bucket-heap backend: once a thread's [`SearchArena`] is warm, a
+//! one-to-all row fill into a preallocated buffer performs **no heap
+//! allocation at all**.
+//!
+//! The check uses a counting `#[global_allocator]` gated on a const-init
+//! thread-local flag, so only allocations made *by the measuring thread
+//! inside the measured window* count — the libtest harness threads
+//! (watchdogs, output capture) allocate concurrently and must not flake
+//! the assertion. The file still holds exactly one `#[test]`: a global
+//! allocator is process-wide state and deserves an isolated binary.
+//!
+//! [`SearchArena`]: mcfs_graph::SearchArena
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use mcfs_graph::{dijkstra_all, with_arena, GraphBuilder, INF};
+
+thread_local! {
+    /// Count allocations on this thread? Const-init so reading it in the
+    /// allocator never itself allocates TLS lazily.
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+    /// `(allocs, deallocs)` observed on this thread while measuring.
+    static EVENTS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// System allocator that tallies events for threads that opted in.
+/// Deallocations count too: returning memory in the hot loop would be just
+/// as much of a regression (something was allocated earlier in it).
+struct CountingAlloc;
+
+fn note(alloc: bool) {
+    // `try_with` so allocator use during TLS teardown can't panic.
+    let _ = MEASURING.try_with(|m| {
+        if m.get() {
+            let _ = EVENTS.try_with(|e| {
+                let (a, d) = e.get();
+                e.set(if alloc { (a + 1, d) } else { (a, d + 1) });
+            });
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(true);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note(false);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(true);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A Fig.6-shaped grid: the workload class the paper benchmarks on.
+fn grid(side: usize) -> mcfs_graph::Graph {
+    let mut b = GraphBuilder::new(side * side);
+    let id = |r: usize, c: usize| (r * side + c) as u32;
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                b.add_edge(id(r, c), id(r, c + 1), ((r * 7 + c * 13) % 40 + 1) as u64);
+            }
+            if r + 1 < side {
+                b.add_edge(id(r, c), id(r + 1, c), ((r * 11 + c * 3) % 40 + 1) as u64);
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn warm_row_fill_allocates_nothing() {
+    let side = 40;
+    let g = grid(side);
+    let n = g.num_nodes();
+    let mut out = vec![0u64; n];
+
+    // Warm-up: grows the arena's stamp/dist arrays and every radix bucket
+    // to the workload's high-water mark. One pass over the same sources
+    // that get measured — steady state is "this workload, repeated".
+    let sources = [7u32, (n / 3) as u32, (n / 2) as u32, (n - 5) as u32];
+    for &s in &sources {
+        with_arena(|a| {
+            a.begin(n);
+            a.fill_row(&g, s, &mut out);
+        });
+    }
+
+    // Steady state: every fill must be allocation-free on this thread.
+    EVENTS.with(|e| e.set((0, 0)));
+    MEASURING.with(|m| m.set(true));
+    for &s in &sources {
+        with_arena(|a| {
+            a.begin(n);
+            a.fill_row(&g, s, &mut out);
+        });
+    }
+    MEASURING.with(|m| m.set(false));
+    let events = EVENTS.with(|e| e.get());
+
+    assert_eq!(
+        events,
+        (0, 0),
+        "warm bucket-heap row fills must not touch the heap (allocs, deallocs)"
+    );
+
+    // The rows computed under the counter are real answers, not a stub
+    // that trivially avoids allocating: check the last one.
+    let want = dijkstra_all(&g, *sources.last().unwrap());
+    assert_eq!(out, want);
+    assert!(out.iter().all(|&d| d != INF), "grid is connected");
+}

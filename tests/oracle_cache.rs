@@ -153,6 +153,82 @@ fn duplicate_sources_in_a_batch_are_deduplicated_but_replayed_in_order() {
     assert!(std::sync::Arc::ptr_eq(&rows[1], &rows[3]));
 }
 
+/// Arena reuse across worker threads: the bucket-heap backend fills rows
+/// out of per-thread [`SearchArena`]s whose dist/mark arrays are recycled
+/// via epoch-stamped resets. If an epoch reset ever failed to invalidate a
+/// previous search's state, a later row on the same thread would read stale
+/// distances. Hammer one oracle from many threads, each interleaving
+/// sources (short and long expansions, disconnected components), and check
+/// every row against a fresh classic Dijkstra.
+///
+/// [`SearchArena`]: mcfs_repro::graph::SearchArena
+#[test]
+fn arena_reuse_across_threads_never_leaks_stale_distances() {
+    // Two components with very different diameters: {0..=5} chained, {6,7}.
+    let mut b = GraphBuilder::new(8);
+    for v in 0..5u32 {
+        b.add_edge(v, v + 1, (v as u64 % 3) + 1);
+    }
+    b.add_edge(6, 7, 9);
+    let g = std::sync::Arc::new(b.build());
+    let want: Vec<Vec<u64>> = (0..8u32).map(|s| dijkstra_all(&g, s)).collect();
+
+    // Zero-capacity cache so *every* query re-runs the backend fill and
+    // exercises a fresh epoch on whichever pool arena the thread grabs.
+    let oracle = std::sync::Arc::new(DistanceOracle::new().with_threads(1).with_cache_rows(0));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let (g, oracle, want) = (g.clone(), oracle.clone(), want.clone());
+            std::thread::spawn(move || {
+                for round in 0..50u32 {
+                    let s = (t + round) % 8;
+                    assert_eq!(
+                        oracle.row(&g, s).as_slice(),
+                        want[s as usize].as_slice(),
+                        "thread {t}, round {round}, source {s}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Same arenas, new graph *size* (bigger, then smaller): `begin` must
+    // re-fit the stamped arrays, and INF entries must stay INF rather than
+    // echoing distances from the previous graph.
+    let mut b = GraphBuilder::new(16);
+    b.add_edge(0, 15, 3);
+    let g2 = b.build();
+    let o2 = DistanceOracle::new().with_threads(1).with_cache_rows(0);
+    assert_eq!(o2.row(&g2, 0)[15], 3);
+    assert!(o2.row(&g2, 0)[1..15].iter().all(|&d| d == INF));
+    let g3 = GraphBuilder::new(2).build();
+    let o3 = DistanceOracle::new().with_threads(1).with_cache_rows(0);
+    assert_eq!(o3.row(&g3, 1).as_slice(), &[INF, 0]);
+}
+
+/// The batched fan-out path drives backend fills on pool worker threads;
+/// rows must be identical to the scalar path regardless of which worker's
+/// arena (at whatever epoch) computed them.
+#[test]
+fn batched_fanout_reuses_arenas_without_cross_talk() {
+    let mut b = GraphBuilder::new(12);
+    for v in 0..11u32 {
+        b.add_edge(v, v + 1, u64::from(v) + 1);
+    }
+    let g = b.build();
+    let oracle = DistanceOracle::new().with_threads(4).with_cache_rows(0);
+    for _ in 0..10 {
+        let sources: Vec<NodeId> = (0..12).collect();
+        let rows = oracle.distances_for_sources(&g, &sources);
+        for (&s, row) in sources.iter().zip(&rows) {
+            assert_eq!(row.as_slice(), dijkstra_all(&g, s).as_slice(), "source {s}");
+        }
+    }
+}
+
 /// A zero-capacity cache still answers correctly — it just never retains.
 #[test]
 fn zero_capacity_cache_disables_retention_not_correctness() {
